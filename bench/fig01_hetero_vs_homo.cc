@@ -1,0 +1,41 @@
+// Fig. 1: throughput vs. cost of heterogeneous configurations against the
+// best homogeneous one, for RM2 over the G1/C1/C2 motivation pool at the
+// $2.5/hr budget. As in the paper's motivation study, queries are
+// distributed with Ribbon's simple FCFS mechanism, the homogeneous
+// throughput is proportionally scaled up to the full budget, and the
+// expected shape is: (3,1,3) beats homogeneous while (2,0,9) and (1,4,2)
+// fall below it — heterogeneity alone is not sufficient.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace kairos;
+  const cloud::Catalog catalog = cloud::Catalog::MotivationPool();
+  const bench::ModelBench rm2(catalog, "RM2", /*budget=*/2.5);
+  const auto mix = workload::LogNormalBatches::Production();
+
+  const cloud::Config homo({4, 0, 0});
+  const std::vector<cloud::Config> heteros = {
+      cloud::Config({3, 1, 3}), cloud::Config({2, 0, 9}),
+      cloud::Config({1, 4, 2})};
+
+  TextTable table(
+      {"config", "cost ($/hr)", "QPS (Ribbon dist.)", "vs homogeneous"});
+  const double homo_raw = rm2.Throughput(homo, "RIBBON", mix, 40.0);
+  const double homo_scaled = homo_raw * 2.5 / homo.CostPerHour(catalog);
+  table.AddRow({homo.ToString() + " homogeneous (scaled)",
+                TextTable::Num(2.5, 3), TextTable::Num(homo_scaled),
+                "1.00x"});
+  for (const cloud::Config& config : heteros) {
+    const double qps = rm2.Throughput(config, "RIBBON", mix, homo_scaled);
+    table.AddRow({config.ToString(),
+                  TextTable::Num(config.CostPerHour(catalog), 3),
+                  TextTable::Num(qps),
+                  TextTable::Num(qps / homo_scaled, 2) + "x"});
+  }
+  table.Print(std::cout,
+              "Fig. 1: heterogeneous configs vs best homogeneous (RM2, "
+              "budget $2.5/hr, Ribbon FCFS distribution)");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig. 7: the two worked upper-bound scenarios, evaluated by the actual
+// Eq. 9-15 implementation. Scenario 1 has the base instance as the
+// bottleneck (QPSmax = 225); scenario 2 leaves base slack (QPSmax = 233).
+#include <array>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "ub/upper_bound.h"
+
+int main() {
+  using namespace kairos;
+  struct Scenario {
+    const char* name;
+    double q_b, q_b_splus, q_a, f;
+    double paper_qpsmax;
+  };
+  const std::array<Scenario, 2> scenarios = {{
+      {"Scenario 1 (base bottleneck)", 100.0, 90.0, 150.0, 0.6, 225.0},
+      {"Scenario 2 (aux bottleneck)", 100.0, 90.0, 140.0, 0.7, 233.33},
+  }};
+
+  TextTable table({"scenario", "Qb", "Qb_s+", "Qa", "f", "QPSmax (ours)",
+                   "QPSmax (paper)"});
+  for (const Scenario& s : scenarios) {
+    const std::array<std::pair<int, double>, 1> aux = {{{1, s.q_a}}};
+    const double qps = ub::UpperBoundGeneral(1, s.q_b, s.q_b_splus, aux, s.f);
+    table.AddRow({s.name, TextTable::Num(s.q_b, 0),
+                  TextTable::Num(s.q_b_splus, 0), TextTable::Num(s.q_a, 0),
+                  TextTable::Num(s.f, 1), TextTable::Num(qps),
+                  TextTable::Num(s.paper_qpsmax)});
+  }
+  table.Print(std::cout, "Fig. 7: upper-bound worked examples (Eq. 9-15)");
+  return 0;
+}

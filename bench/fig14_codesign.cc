@@ -1,0 +1,51 @@
+// Fig. 14: the query-distribution mechanism and the upper-bound config
+// search are co-designed. For RM2's top-12 upper-bound configurations,
+// measure the throughput under RIBBON / DRS / CLKWRK / KAIROS, print the
+// upper bound (UB) itself, and the Oracle reference. Expected shape:
+// KAIROS tracks UB closely (the bound is meaningful *because* the
+// distributor exploits heterogeneity); swapping in any other distributor
+// lands far below the bound.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "ub/selector.h"
+#include "ub/upper_bound.h"
+
+int main() {
+  using namespace kairos;
+  const cloud::Catalog catalog = cloud::Catalog::PaperPool();
+  const bench::ModelBench mb(catalog, "RM2");
+  const auto mix = workload::LogNormalBatches::Production();
+
+  const auto monitor = core::MonitorFromMix(mix, 10000, 7);
+  const ub::UpperBoundEstimator est(catalog, mb.truth, mb.qos_ms);
+  const auto space = mb.Space();
+  const auto ranked =
+      ub::RankByUpperBound(space, est.EstimateAll(space, monitor));
+
+  // Oracle reference over the whole space (the dashed line).
+  const auto oracle_best = oracle::OracleSearch(
+      catalog, space, mb.truth, mb.qos_ms, mix, ScaledCount(3000, 800), 55);
+
+  TextTable table({"UB rank", "config", "RIBBON", "DRS", "CLKWRK", "KAIROS",
+                   "UB"});
+  const std::size_t top_n = std::min<std::size_t>(12, ranked.size());
+  for (std::size_t i = 0; i < top_n; ++i) {
+    const cloud::Config& config = ranked[i].config;
+    const double guess = 0.5 * ranked[i].upper_bound;
+    const double ribbon = mb.Throughput(config, "RIBBON", mix, guess);
+    const int threshold = mb.TuneDrsThreshold(config, mix, guess);
+    const double drs = mb.Throughput(config, "DRS", mix, guess, threshold);
+    const double clk = mb.Throughput(config, "CLKWRK", mix, guess);
+    const double kairos = mb.Throughput(config, "KAIROS", mix, guess);
+    table.AddRow({std::to_string(i), config.ToString(),
+                  TextTable::Num(ribbon), TextTable::Num(drs),
+                  TextTable::Num(clk), TextTable::Num(kairos),
+                  TextTable::Num(ranked[i].upper_bound)});
+  }
+  table.Print(std::cout,
+              "Fig. 14: RM2 top upper-bound configs under each distribution "
+              "scheme (Oracle reference = " +
+                  TextTable::Num(oracle_best.best_qps) + " QPS)");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table 3: models and QoS targets, plus each model's calibrated latency
+// surface over the paper's instance pool (the reproduction's substitution
+// for real model serving — see DESIGN.md).
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "latency/model_zoo.h"
+
+int main() {
+  using namespace kairos;
+  TextTable table({"Model", "Description", "Application", "QoS (ms)"});
+  for (const auto& spec : latency::ModelZoo()) {
+    table.AddRow({spec.name, spec.description, spec.application,
+                  TextTable::Num(spec.qos_ms, 0)});
+  }
+  table.Print(std::cout, "Table 3: models and QoS targets");
+
+  const cloud::Catalog catalog = cloud::Catalog::PaperPool();
+  TextTable curves({"Model", "Type", "base_ms", "per_item_ms",
+                    "lat(1000) ms", "QoS region s_j"});
+  for (const auto& spec : latency::ModelZoo()) {
+    const auto truth = spec.Instantiate(catalog);
+    for (cloud::TypeId t = 0; t < catalog.size(); ++t) {
+      const auto& c = truth.Curve(t);
+      curves.AddRow({spec.name, catalog[t].short_name,
+                     TextTable::Num(c.base_ms, 2),
+                     TextTable::Num(c.per_item_ms, 4),
+                     TextTable::Num(c.AtBatch(1000), 1),
+                     std::to_string(truth.MaxQosBatch(t, spec.qos_ms))});
+    }
+  }
+  curves.Print(std::cout, "Calibrated latency surfaces (substitution)");
+  return 0;
+}

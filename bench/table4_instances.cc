@@ -1,0 +1,28 @@
+// Table 4: the heterogeneous instance pool and prices, plus the resulting
+// configuration-space sizes at the paper's budgets.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace kairos;
+  const cloud::Catalog catalog = cloud::Catalog::PaperPool();
+  TextTable table({"Instance Type", "Short", "Instance Class", "Price ($/hr)",
+                   "Role"});
+  for (cloud::TypeId t = 0; t < catalog.size(); ++t) {
+    const auto& it = catalog[t];
+    table.AddRow({it.name, it.short_name, ToString(it.klass),
+                  TextTable::Num(it.price_per_hour, 4),
+                  it.is_base ? "base" : "auxiliary"});
+  }
+  table.Print(std::cout, "Table 4: heterogeneous instance pool");
+
+  TextTable sizes({"Budget ($/hr)", "Configurations under budget"});
+  for (double budget : {1.0, 2.5, 5.0, 10.0}) {
+    const auto space = cloud::EnumerateConfigs(
+        catalog, {.budget_per_hour = budget, .min_base_instances = 1});
+    sizes.AddRow({TextTable::Num(budget, 1), std::to_string(space.size())});
+  }
+  sizes.Print(std::cout, "Search-space size vs budget (Sec. 5.2)");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Capacity planning: sweep the hourly cost budget and show, for each
+// budget, the configuration Kairos plans, its estimated upper bound, its
+// measured allowable throughput, and the queries-per-dollar efficiency.
+// This is the "what do I rent?" workflow a service operator runs before
+// launching or rescaling an inference service.
+//
+//   ./capacity_planning [MODEL]
+#include <iostream>
+#include <string>
+
+#include "cloud/config_space.h"
+#include "common/table.h"
+#include "core/kairos.h"
+
+int main(int argc, char** argv) {
+  const std::string model = argc > 1 ? argv[1] : "DIEN";
+  const kairos::cloud::Catalog catalog = kairos::cloud::Catalog::PaperPool();
+  const auto mix = kairos::workload::LogNormalBatches::Production();
+
+  kairos::TextTable table({"budget ($/hr)", "planned config", "cost ($/hr)",
+                           "upper bound (QPS)", "measured (QPS)",
+                           "QPS per $/hr"});
+  for (const double budget : {1.0, 1.5, 2.0, 2.5, 4.0, 6.0, 10.0}) {
+    kairos::core::KairosOptions options;
+    options.budget_per_hour = budget;
+    kairos::core::Kairos kairos(catalog, model, options);
+    kairos.ObserveMix(mix);
+
+    const kairos::core::Plan plan = kairos.PlanConfiguration();
+    kairos::serving::EvalOptions eval;
+    eval.queries = 1000;
+    eval.rate_guess = plan.ranked.front().upper_bound * 0.5;
+    const auto measured = kairos.MeasureThroughput(plan.config, mix, eval);
+    const double cost = plan.config.CostPerHour(catalog);
+    table.AddRow({kairos::TextTable::Num(budget, 2), plan.config.ToString(),
+                  kairos::TextTable::Num(cost, 3),
+                  kairos::TextTable::Num(plan.ranked.front().upper_bound),
+                  kairos::TextTable::Num(measured.qps),
+                  kairos::TextTable::Num(measured.qps / cost, 1)});
+  }
+  table.Print(std::cout, "capacity planning for " + model +
+                             " (production batch mix, Table-3 QoS)");
+  std::cout << "Each row is a one-shot plan: no configuration was evaluated "
+               "online before the chosen one.\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Common result type for min-cost assignment solvers. The Kairos query
+// distributor (Sec. 5.1) reduces query→instance mapping to rectangular
+// min-cost bipartite matching: with m queries and n instances, exactly
+// min(m, n) pairs are matched (Eq. 6-7).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace kairos::assign {
+
+/// Result of a rectangular assignment over an m x n cost matrix.
+struct AssignmentResult {
+  /// col_for_row[i] = matched column of row i, or -1 when unmatched
+  /// (rows go unmatched only when m > n). Exactly min(m, n) entries >= 0.
+  std::vector<int> col_for_row;
+
+  /// Sum of costs over matched pairs.
+  double total_cost = 0.0;
+
+  /// Number of matched pairs (== min(m, n) for feasible problems).
+  int matched = 0;
+};
+
+/// Validates that a result is a feasible matching for an m x n problem:
+/// min(m,n) pairs, no column used twice. Used by tests and debug checks.
+bool IsValidMatching(const AssignmentResult& result, std::size_t rows,
+                     std::size_t cols);
+
+}  // namespace kairos::assign

@@ -1,0 +1,66 @@
+#include "assign/brute_force.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace kairos::assign {
+
+AssignmentResult SolveBruteForce(const Matrix& cost) {
+  const std::size_t m = cost.rows();
+  const std::size_t n = cost.cols();
+  AssignmentResult best;
+  best.col_for_row.assign(m, -1);
+  if (m == 0 || n == 0) return best;
+  if (std::min(m, n) > 9) {
+    throw std::invalid_argument("SolveBruteForce: problem too large");
+  }
+
+  best.total_cost = std::numeric_limits<double>::infinity();
+
+  if (m <= n) {
+    // Choose an ordered selection of m distinct columns: iterate over
+    // permutations of all n columns but only read the first m — dedupe by
+    // skipping permutations that only shuffle the tail.
+    std::vector<int> cols(n);
+    std::iota(cols.begin(), cols.end(), 0);
+    std::vector<int> chosen(m);
+    // Enumerate m-permutations recursively to avoid the tail-shuffle waste.
+    std::vector<bool> used(n, false);
+    double running = 0.0;
+    auto recurse = [&](auto&& self, std::size_t row) -> void {
+      if (row == m) {
+        if (running < best.total_cost) {
+          best.total_cost = running;
+          for (std::size_t i = 0; i < m; ++i) best.col_for_row[i] = chosen[i];
+        }
+        return;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        if (used[j]) continue;
+        used[j] = true;
+        running += cost(row, j);
+        chosen[row] = static_cast<int>(j);
+        self(self, row + 1);
+        running -= cost(row, j);
+        used[j] = false;
+      }
+    };
+    recurse(recurse, 0);
+    best.matched = static_cast<int>(m);
+  } else {
+    const Matrix t = cost.Transposed();
+    AssignmentResult transposed = SolveBruteForce(t);
+    best.total_cost = transposed.total_cost;
+    for (std::size_t j = 0; j < n; ++j) {
+      const int i = transposed.col_for_row[j];
+      best.col_for_row[static_cast<std::size_t>(i)] = static_cast<int>(j);
+    }
+    best.matched = transposed.matched;
+  }
+  return best;
+}
+
+}  // namespace kairos::assign

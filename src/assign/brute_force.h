@@ -1,0 +1,14 @@
+// Exhaustive assignment solver for property tests: enumerates every
+// matching of min(m, n) pairs and returns the cheapest. Exponential —
+// intended only for matrices with min(m, n) <= ~8.
+#pragma once
+
+#include "assign/assignment.h"
+
+namespace kairos::assign {
+
+/// Optimal rectangular assignment by enumeration; same contract as SolveJv.
+/// Throws std::invalid_argument when min(rows, cols) > 9 (too large).
+AssignmentResult SolveBruteForce(const Matrix& cost);
+
+}  // namespace kairos::assign

@@ -1,0 +1,14 @@
+// Hungarian (Kuhn–Munkres) assignment solver with potentials. Slower in
+// practice than the JV solver but completely independent code, used as a
+// cross-checking reference implementation in tests (the paper cites the
+// Hungarian algorithm as the classical baseline of JV, Sec. 5.1).
+#pragma once
+
+#include "assign/assignment.h"
+
+namespace kairos::assign {
+
+/// Solves min-cost rectangular assignment; same contract as SolveJv.
+AssignmentResult SolveHungarian(const Matrix& cost);
+
+}  // namespace kairos::assign

@@ -1,0 +1,154 @@
+#include "assign/jv.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace kairos::assign {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// One Dijkstra-style augmenting search from free row `cur_row` over an
+// m x n cost slab (m <= n). Returns the sink column, or -1 if no path.
+int AugmentingPath(std::size_t nc, const std::vector<double>& cost,
+                   std::vector<double>& u, std::vector<double>& v,
+                   std::vector<int>& path, const std::vector<int>& row4col,
+                   std::vector<double>& shortest_path_costs, std::size_t i,
+                   std::vector<bool>& sr, std::vector<bool>& sc,
+                   std::vector<std::size_t>& remaining, double* p_min_val) {
+  double min_val = 0.0;
+  std::size_t num_remaining = nc;
+  for (std::size_t it = 0; it < nc; ++it) {
+    remaining[it] = nc - it - 1;
+  }
+  std::fill(sr.begin(), sr.end(), false);
+  std::fill(sc.begin(), sc.end(), false);
+  std::fill(shortest_path_costs.begin(), shortest_path_costs.end(), kInf);
+
+  int sink = -1;
+  while (sink == -1) {
+    std::size_t index = static_cast<std::size_t>(-1);
+    double lowest = kInf;
+    sr[i] = true;
+    for (std::size_t it = 0; it < num_remaining; ++it) {
+      const std::size_t j = remaining[it];
+      const double r = min_val + cost[i * nc + j] - u[i] - v[j];
+      if (r < shortest_path_costs[j]) {
+        path[j] = static_cast<int>(i);
+        shortest_path_costs[j] = r;
+      }
+      // Prefer sink columns on ties for a shorter augmentation.
+      if (shortest_path_costs[j] < lowest ||
+          (shortest_path_costs[j] == lowest && row4col[j] == -1)) {
+        lowest = shortest_path_costs[j];
+        index = it;
+      }
+    }
+    min_val = lowest;
+    if (min_val == kInf) return -1;  // infeasible
+    const std::size_t j = remaining[index];
+    if (row4col[j] == -1) {
+      sink = static_cast<int>(j);
+    } else {
+      i = static_cast<std::size_t>(row4col[j]);
+    }
+    sc[j] = true;
+    remaining[index] = remaining[--num_remaining];
+  }
+  *p_min_val = min_val;
+  return sink;
+}
+
+// Core solver for m <= n.
+std::vector<int> SolveWide(std::size_t nr, std::size_t nc,
+                           const std::vector<double>& cost) {
+  std::vector<double> u(nr, 0.0), v(nc, 0.0), shortest_path_costs(nc);
+  std::vector<int> path(nc, -1), col4row(nr, -1), row4col(nc, -1);
+  std::vector<bool> sr(nr), sc(nc);
+  std::vector<std::size_t> remaining(nc);
+
+  for (std::size_t cur_row = 0; cur_row < nr; ++cur_row) {
+    double min_val = 0.0;
+    const int sink =
+        AugmentingPath(nc, cost, u, v, path, row4col, shortest_path_costs,
+                       cur_row, sr, sc, remaining, &min_val);
+    if (sink < 0) {
+      throw std::runtime_error("SolveJv: infeasible cost matrix");
+    }
+    // Update dual variables.
+    u[cur_row] += min_val;
+    for (std::size_t i = 0; i < nr; ++i) {
+      if (sr[i] && i != cur_row) {
+        u[i] += min_val - shortest_path_costs[static_cast<std::size_t>(col4row[i])];
+      }
+    }
+    for (std::size_t j = 0; j < nc; ++j) {
+      if (sc[j]) v[j] -= min_val - shortest_path_costs[j];
+    }
+    // Augment along the alternating path back from the sink.
+    int j = sink;
+    while (true) {
+      const int i = path[static_cast<std::size_t>(j)];
+      row4col[static_cast<std::size_t>(j)] = i;
+      std::swap(col4row[static_cast<std::size_t>(i)], j);
+      if (i == static_cast<int>(cur_row)) break;
+    }
+  }
+  return col4row;
+}
+
+}  // namespace
+
+AssignmentResult SolveJv(const Matrix& cost) {
+  const std::size_t m = cost.rows();
+  const std::size_t n = cost.cols();
+  AssignmentResult result;
+  result.col_for_row.assign(m, -1);
+  if (m == 0 || n == 0) return result;
+
+  for (double c : cost.data()) {
+    if (!std::isfinite(c)) {
+      throw std::invalid_argument("SolveJv: non-finite cost");
+    }
+  }
+
+  if (m <= n) {
+    const std::vector<int> col4row = SolveWide(m, n, cost.data());
+    for (std::size_t i = 0; i < m; ++i) {
+      result.col_for_row[i] = col4row[i];
+      result.total_cost += cost(i, static_cast<std::size_t>(col4row[i]));
+      ++result.matched;
+    }
+  } else {
+    // Transpose, solve, and invert the mapping; surplus rows stay -1.
+    const Matrix t = cost.Transposed();
+    const std::vector<int> col4row = SolveWide(n, m, t.data());
+    for (std::size_t j = 0; j < n; ++j) {
+      const int i = col4row[j];
+      result.col_for_row[static_cast<std::size_t>(i)] = static_cast<int>(j);
+      result.total_cost += cost(static_cast<std::size_t>(i), j);
+      ++result.matched;
+    }
+  }
+  return result;
+}
+
+bool IsValidMatching(const AssignmentResult& result, std::size_t rows,
+                     std::size_t cols) {
+  if (result.col_for_row.size() != rows) return false;
+  std::vector<bool> used(cols, false);
+  int matched = 0;
+  for (int j : result.col_for_row) {
+    if (j < 0) continue;
+    if (static_cast<std::size_t>(j) >= cols) return false;
+    if (used[static_cast<std::size_t>(j)]) return false;
+    used[static_cast<std::size_t>(j)] = true;
+    ++matched;
+  }
+  return matched == static_cast<int>(std::min(rows, cols)) &&
+         matched == result.matched;
+}
+
+}  // namespace kairos::assign

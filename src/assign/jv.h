@@ -1,0 +1,17 @@
+// Jonker–Volgenant shortest-augmenting-path solver for dense rectangular
+// min-cost assignment (Jonker & Volgenant 1987; the rectangular variant
+// follows Crouse 2016, the same algorithm behind
+// scipy.optimize.linear_sum_assignment that the paper's implementation
+// calls). O(n^3) worst case, very fast in practice on the small matrices
+// the Kairos controller builds (tens of queries x tens of instances).
+#pragma once
+
+#include "assign/assignment.h"
+
+namespace kairos::assign {
+
+/// Solves min-cost rectangular assignment on a dense cost matrix. All costs
+/// must be finite. Throws std::invalid_argument on non-finite costs.
+AssignmentResult SolveJv(const Matrix& cost);
+
+}  // namespace kairos::assign

@@ -1,0 +1,61 @@
+#include "cloud/billing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kairos::cloud {
+
+BillingMeter::BillingMeter(const Catalog& catalog) : catalog_(catalog) {}
+
+void BillingMeter::Accrue(const Config& config, Time duration) {
+  if (duration < 0.0) {
+    throw std::invalid_argument("BillingMeter::Accrue: negative duration");
+  }
+  total_usd_ += config.CostPerHour(catalog_) * duration / 3600.0;
+  total_time_ += duration;
+}
+
+double BillingMeter::AverageRatePerHour() const {
+  if (total_time_ <= 0.0) return 0.0;
+  return total_usd_ / (total_time_ / 3600.0);
+}
+
+void BillingMeter::Reset() {
+  total_usd_ = 0.0;
+  total_time_ = 0.0;
+}
+
+std::vector<ReconfigPhase> PlanReconfiguration(const Config& from,
+                                               const Config& to,
+                                               Time launch_delay,
+                                               Time horizon) {
+  if (from.NumTypes() != to.NumTypes()) {
+    throw std::invalid_argument("PlanReconfiguration: arity mismatch");
+  }
+  if (horizon <= 0.0) {
+    throw std::invalid_argument("PlanReconfiguration: horizon <= 0");
+  }
+  // During the launch window we serve on the intersection (shrink is
+  // instant, growth is delayed) while billing for the union of what we
+  // still hold and what we are launching.
+  std::vector<int> active_counts(from.NumTypes());
+  std::vector<int> billed_counts(from.NumTypes());
+  for (std::size_t t = 0; t < from.NumTypes(); ++t) {
+    const auto tid = static_cast<TypeId>(t);
+    active_counts[t] = std::min(from.Count(tid), to.Count(tid));
+    billed_counts[t] = std::max(active_counts[t], to.Count(tid));
+  }
+
+  std::vector<ReconfigPhase> phases;
+  const Time window = std::min(launch_delay, horizon);
+  if (window > 0.0) {
+    phases.push_back(ReconfigPhase{Config(active_counts),
+                                   Config(billed_counts), window});
+  }
+  if (horizon > window) {
+    phases.push_back(ReconfigPhase{to, to, horizon - window});
+  }
+  return phases;
+}
+
+}  // namespace kairos::cloud

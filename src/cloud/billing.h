@@ -1,0 +1,59 @@
+// Pay-as-you-go cost accounting (Sec. 3): cloud instances accrue cost per
+// second at their hourly price; the meter tracks spend across
+// configuration changes so experiments can report cost alongside
+// throughput, and enforce a spend ceiling.
+#pragma once
+
+#include <vector>
+
+#include "cloud/config.h"
+#include "cloud/instance_type.h"
+#include "common/time.h"
+
+namespace kairos::cloud {
+
+/// Per-second cost meter over a sequence of held configurations.
+class BillingMeter {
+ public:
+  /// `catalog` must outlive the meter.
+  explicit BillingMeter(const Catalog& catalog);
+
+  /// Charges for holding `config` for `duration` seconds.
+  void Accrue(const Config& config, Time duration);
+
+  /// Total accrued cost in USD.
+  double TotalCost() const { return total_usd_; }
+
+  /// Total metered wall time in seconds.
+  Time TotalTime() const { return total_time_; }
+
+  /// Average spend rate in USD/hr over the metered period (0 if empty).
+  double AverageRatePerHour() const;
+
+  /// Resets the meter.
+  void Reset();
+
+ private:
+  const Catalog& catalog_;
+  double total_usd_ = 0.0;
+  Time total_time_ = 0.0;
+};
+
+/// One step of a reconfiguration timeline (see PlanReconfiguration).
+struct ReconfigPhase {
+  Config active;    ///< configuration actually serving during this phase
+  Config billed;    ///< configuration being paid for (includes launching)
+  Time duration;    ///< phase length in seconds
+};
+
+/// Models switching from `from` to `to` with a fixed instance-launch delay
+/// (the paper notes allocating cloud instances takes tens of seconds,
+/// Sec. 4). Instances being launched bill immediately but serve only after
+/// `launch_delay`; instances being released stop billing at once (shrink
+/// is instant). Returns the phases covering [0, horizon).
+std::vector<ReconfigPhase> PlanReconfiguration(const Config& from,
+                                               const Config& to,
+                                               Time launch_delay,
+                                               Time horizon);
+
+}  // namespace kairos::cloud

@@ -1,0 +1,64 @@
+#include "cloud/config.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace kairos::cloud {
+
+Config::Config(std::vector<int> counts) : counts_(std::move(counts)) {
+  for (int c : counts_) {
+    if (c < 0) throw std::invalid_argument("Config: negative count");
+  }
+}
+
+int Config::TotalInstances() const {
+  int total = 0;
+  for (int c : counts_) total += c;
+  return total;
+}
+
+double Config::CostPerHour(const Catalog& catalog) const {
+  if (counts_.size() != catalog.size()) {
+    throw std::invalid_argument("Config::CostPerHour: catalog arity mismatch");
+  }
+  double cost = 0.0;
+  for (TypeId t = 0; t < counts_.size(); ++t) {
+    cost += counts_[t] * catalog[t].price_per_hour;
+  }
+  return cost;
+}
+
+bool Config::IsSubConfigOf(const Config& other) const {
+  if (counts_.size() != other.counts_.size()) return false;
+  bool strictly_less_somewhere = false;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > other.counts_[i]) return false;
+    if (counts_[i] < other.counts_[i]) strictly_less_somewhere = true;
+  }
+  return strictly_less_somewhere;
+}
+
+double Config::SquaredDistance(const Config& other) const {
+  if (counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Config::SquaredDistance: arity mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double d = static_cast<double>(counts_[i] - other.counts_[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::string Config::ToString() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i) os << ", ";
+    os << counts_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace kairos::cloud

@@ -1,0 +1,74 @@
+#include "cloud/instance_type.h"
+
+#include <stdexcept>
+
+namespace kairos::cloud {
+
+std::string ToString(InstanceClass c) {
+  switch (c) {
+    case InstanceClass::kGpuAccelerated:
+      return "GPU Accelerated Computing";
+    case InstanceClass::kComputeOptimizedCpu:
+      return "Compute Optimized CPU";
+    case InstanceClass::kMemoryOptimizedCpu:
+      return "Memory Optimized CPU";
+    case InstanceClass::kGeneralPurposeCpu:
+      return "General Purpose CPU";
+  }
+  return "Unknown";
+}
+
+TypeId Catalog::Add(InstanceType type) {
+  types_.push_back(std::move(type));
+  return types_.size() - 1;
+}
+
+TypeId Catalog::BaseType() const {
+  bool found = false;
+  TypeId base = 0;
+  for (TypeId i = 0; i < types_.size(); ++i) {
+    if (types_[i].is_base) {
+      if (found) throw std::logic_error("Catalog: multiple base types");
+      base = i;
+      found = true;
+    }
+  }
+  if (!found) throw std::logic_error("Catalog: no base type");
+  return base;
+}
+
+std::vector<TypeId> Catalog::AuxiliaryTypes() const {
+  std::vector<TypeId> out;
+  for (TypeId i = 0; i < types_.size(); ++i) {
+    if (!types_[i].is_base) out.push_back(i);
+  }
+  return out;
+}
+
+TypeId Catalog::FindShortName(const std::string& short_name) const {
+  for (TypeId i = 0; i < types_.size(); ++i) {
+    if (types_[i].short_name == short_name) return i;
+  }
+  throw std::out_of_range("Catalog: unknown short name " + short_name);
+}
+
+Catalog Catalog::PaperPool() {
+  Catalog c;
+  c.Add({"g4dn.xlarge", "G1", InstanceClass::kGpuAccelerated, 0.526, true});
+  c.Add({"c5n.2xlarge", "C1", InstanceClass::kComputeOptimizedCpu, 0.432,
+         false});
+  c.Add({"r5n.large", "C2", InstanceClass::kMemoryOptimizedCpu, 0.149, false});
+  c.Add({"t3.xlarge", "T3", InstanceClass::kGeneralPurposeCpu, 0.1664, false});
+  return c;
+}
+
+Catalog Catalog::MotivationPool() {
+  Catalog c;
+  c.Add({"g4dn.xlarge", "G1", InstanceClass::kGpuAccelerated, 0.526, true});
+  c.Add({"c5n.2xlarge", "C1", InstanceClass::kComputeOptimizedCpu, 0.432,
+         false});
+  c.Add({"r5n.large", "C2", InstanceClass::kMemoryOptimizedCpu, 0.149, false});
+  return c;
+}
+
+}  // namespace kairos::cloud

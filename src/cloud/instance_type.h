@@ -1,0 +1,67 @@
+// Cloud instance catalog: the paper's Table 4 EC2 types with hourly prices.
+// The catalog is open — experiments can register custom types — but the
+// default pool is exactly the paper's G1/C1/C2/T3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kairos::cloud {
+
+/// Broad hardware class of an instance (paper Table 4 "Instance Class").
+enum class InstanceClass {
+  kGpuAccelerated,
+  kComputeOptimizedCpu,
+  kMemoryOptimizedCpu,
+  kGeneralPurposeCpu,
+};
+
+/// Human-readable name for an InstanceClass.
+std::string ToString(InstanceClass c);
+
+/// Index of an instance type inside a Catalog.
+using TypeId = std::size_t;
+
+/// One rentable instance type.
+struct InstanceType {
+  std::string name;        ///< e.g. "g4dn.xlarge"
+  std::string short_name;  ///< paper shorthand, e.g. "G1"
+  InstanceClass klass;
+  double price_per_hour;   ///< USD/hr (paper Table 4)
+  bool is_base = false;    ///< true for the base type (Sec. 4): meets QoS
+                           ///< for every batch size up to the cap.
+};
+
+/// Ordered collection of instance types. TypeId 0 is by convention the base
+/// type in the paper pool, but code must consult `is_base`.
+class Catalog {
+ public:
+  /// Adds a type; returns its id.
+  TypeId Add(InstanceType type);
+
+  std::size_t size() const { return types_.size(); }
+  const InstanceType& operator[](TypeId id) const { return types_.at(id); }
+
+  /// Id of the (single) base type. Throws if none or multiple are marked.
+  TypeId BaseType() const;
+
+  /// Ids of all non-base (auxiliary) types, in catalog order.
+  std::vector<TypeId> AuxiliaryTypes() const;
+
+  /// Finds a type by short name ("G1"); throws std::out_of_range if absent.
+  TypeId FindShortName(const std::string& short_name) const;
+
+  /// The paper's Table 4 pool: g4dn.xlarge (G1, base, $0.526), c5n.2xlarge
+  /// (C1, $0.432), r5n.large (C2, $0.149), t3.xlarge (T3, $0.1664).
+  static Catalog PaperPool();
+
+  /// The three-type pool used in the paper's motivation figures (Fig. 1-3):
+  /// G1, C1, C2 only.
+  static Catalog MotivationPool();
+
+ private:
+  std::vector<InstanceType> types_;
+};
+
+}  // namespace kairos::cloud

@@ -1,0 +1,28 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace kairos {
+
+double BenchScale() {
+  static const double scale = [] {
+    const char* raw = std::getenv("KAIROS_BENCH_SCALE");
+    if (raw == nullptr) return 1.0;
+    try {
+      const double parsed = std::stod(raw);
+      return parsed > 0.0 ? parsed : 1.0;
+    } catch (...) {
+      return 1.0;
+    }
+  }();
+  return scale;
+}
+
+std::size_t ScaledCount(std::size_t baseline, std::size_t floor) {
+  const double scaled = static_cast<double>(baseline) * BenchScale();
+  return std::max(floor, static_cast<std::size_t>(scaled));
+}
+
+}  // namespace kairos

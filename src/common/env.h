@@ -1,0 +1,18 @@
+// Benchmark fidelity knobs read from the environment, so the same binaries
+// can run quick smoke sweeps or paper-fidelity sweeps without rebuilding.
+#pragma once
+
+#include <cstddef>
+
+namespace kairos {
+
+/// Global fidelity multiplier, from KAIROS_BENCH_SCALE (default 1.0).
+/// Values < 1 shrink simulated query counts for fast smoke runs; values > 1
+/// increase statistical fidelity.
+double BenchScale();
+
+/// Scales a baseline count by BenchScale(), with a floor to keep results
+/// meaningful.
+std::size_t ScaledCount(std::size_t baseline, std::size_t floor = 64);
+
+}  // namespace kairos

@@ -1,0 +1,118 @@
+#include "common/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kairos {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("Matrix::Multiply: dimension mismatch");
+  }
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Matrix CholeskyFactor(const Matrix& a, double jitter) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("CholeskyFactor: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      if (i == j) sum += jitter;
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw std::domain_error("CholeskyFactor: not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> SolveLower(const Matrix& l, const std::vector<double>& b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) throw std::invalid_argument("SolveLower: size mismatch");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  return y;
+}
+
+std::vector<double> SolveLowerTransposed(const Matrix& l,
+                                         const std::vector<double>& y) {
+  const std::size_t n = l.rows();
+  if (y.size() != n) {
+    throw std::invalid_argument("SolveLowerTransposed: size mismatch");
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> SolveSpd(const Matrix& a, const std::vector<double>& b,
+                             double jitter) {
+  const Matrix l = CholeskyFactor(a, jitter);
+  return SolveLowerTransposed(l, SolveLower(l, b));
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("Dot: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace kairos

@@ -1,0 +1,73 @@
+// Minimal dense linear algebra: row-major matrix, Cholesky factorization and
+// triangular solves. This is the numerical substrate for the Gaussian-process
+// surrogate behind the Ribbon Bayesian-optimization baseline (Sec. 7) and for
+// assignment-cost matrices.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace kairos {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Construction from nested initializer lists (tests / examples).
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw row-major storage (size rows()*cols()).
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Matrix product this * other. Dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Identity matrix of size n.
+  static Matrix Identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// In-place lower Cholesky factorization of a symmetric positive-definite
+/// matrix: returns L with A = L Lᵀ. Adds `jitter` to the diagonal before
+/// factorizing (standard GP numerical guard). Throws std::domain_error if A
+/// is not positive definite even with jitter.
+Matrix CholeskyFactor(const Matrix& a, double jitter = 0.0);
+
+/// Solves L y = b for lower-triangular L (forward substitution).
+std::vector<double> SolveLower(const Matrix& l, const std::vector<double>& b);
+
+/// Solves Lᵀ x = y for lower-triangular L (backward substitution).
+std::vector<double> SolveLowerTransposed(const Matrix& l,
+                                         const std::vector<double>& y);
+
+/// Solves A x = b via Cholesky for SPD A.
+std::vector<double> SolveSpd(const Matrix& a, const std::vector<double>& b,
+                             double jitter = 0.0);
+
+/// Dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace kairos

@@ -1,0 +1,71 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace kairos {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  // Warm the engine with a SplitMix64-derived sequence.
+  std::seed_seq seq{SplitMix64(s), SplitMix64(s), SplitMix64(s), SplitMix64(s)};
+  engine_.seed(seq);
+}
+
+double Rng::Uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::Normal() {
+  return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double Rng::Exponential(double rate) {
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+std::int64_t Rng::Poisson(double mean) {
+  return std::poisson_distribution<std::int64_t>(mean)(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  std::discrete_distribution<std::size_t> dist(weights.begin(), weights.end());
+  return dist(engine_);
+}
+
+Rng Rng::Fork() {
+  const std::uint64_t child_seed = engine_();
+  return Rng(child_seed);
+}
+
+}  // namespace kairos

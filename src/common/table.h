@@ -1,0 +1,39 @@
+// ASCII-table and CSV emission for the benchmark harnesses: every fig*/table*
+// bench prints its series both as an aligned table (human) and as a CSV block
+// (machine, for replotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kairos {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with the given number of decimals.
+  static std::string Num(double v, int decimals = 2);
+
+  /// Renders the aligned table.
+  std::string Render() const;
+
+  /// Renders as CSV (no alignment padding).
+  std::string RenderCsv() const;
+
+  /// Convenience: prints the table, then the CSV block delimited by
+  /// "--- csv ---" markers, to the stream.
+  void Print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kairos

@@ -1,0 +1,22 @@
+// Time representation shared by the simulator and all latency math.
+//
+// All simulator-internal time is double seconds since simulation start.
+// Latency surfaces are specified in milliseconds (the unit the paper uses)
+// and converted at the API boundary via these helpers.
+#pragma once
+
+namespace kairos {
+
+/// Simulation time point / duration, in seconds.
+using Time = double;
+
+/// Converts milliseconds to simulator seconds.
+constexpr Time MsToSec(double ms) { return ms * 1e-3; }
+
+/// Converts simulator seconds to milliseconds.
+constexpr double SecToMs(Time s) { return s * 1e3; }
+
+/// A value safely larger than any simulated horizon, usable as "never".
+inline constexpr Time kTimeInfinity = 1e30;
+
+}  // namespace kairos

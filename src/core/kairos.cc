@@ -1,0 +1,80 @@
+#include "core/kairos.h"
+
+#include <stdexcept>
+
+#include "policy/clockwork_policy.h"
+#include "policy/drs_policy.h"
+#include "policy/kairos_policy.h"
+#include "policy/ribbon_policy.h"
+
+namespace kairos::core {
+
+Kairos::Kairos(const cloud::Catalog& catalog, const std::string& model,
+               KairosOptions options)
+    : catalog_(catalog),
+      spec_(latency::FindModel(model)),
+      truth_(spec_.Instantiate(catalog)),
+      qos_ms_(spec_.qos_ms * options.qos_scale),
+      options_(options),
+      monitor_(options.monitor_warmup) {
+  if (options.qos_scale <= 0.0) {
+    throw std::invalid_argument("Kairos: qos_scale must be positive");
+  }
+}
+
+void Kairos::ObserveMix(const workload::BatchDistribution& mix) {
+  Rng rng(options_.seed);
+  for (std::size_t i = 0; i < options_.monitor_warmup; ++i) {
+    monitor_.Observe(mix.Sample(rng));
+  }
+}
+
+Plan Kairos::PlanConfiguration() const {
+  PlannerContext ctx{&catalog_, &truth_, qos_ms_, options_.budget_per_hour};
+  return Planner(ctx).PlanConfiguration(monitor_);
+}
+
+search::SearchResult Kairos::PlanWithEvaluations(
+    const search::EvalFn& eval, const search::SearchOptions& options) const {
+  PlannerContext ctx{&catalog_, &truth_, qos_ms_, options_.budget_per_hour};
+  return Planner(ctx).PlanWithEvaluations(monitor_, eval, options);
+}
+
+Runtime Kairos::Deploy(const cloud::Config& config) const {
+  return Runtime(catalog_, config, truth_, qos_ms_, options_.runtime);
+}
+
+serving::EvalResult Kairos::MeasureThroughput(
+    const cloud::Config& config, const workload::BatchDistribution& mix,
+    const serving::EvalOptions& eval_options) const {
+  return Deploy(config).MeasureThroughput(mix, eval_options);
+}
+
+serving::PolicyFactory MakePolicyFactory(const std::string& name,
+                                         int drs_threshold) {
+  if (name == "KAIROS") {
+    return [] { return std::make_unique<policy::KairosPolicy>(); };
+  }
+  if (name == "RIBBON") {
+    return [] { return std::make_unique<policy::RibbonPolicy>(); };
+  }
+  if (name == "DRS") {
+    return [drs_threshold] {
+      return std::make_unique<policy::DrsPolicy>(drs_threshold);
+    };
+  }
+  if (name == "CLKWRK") {
+    return [] { return std::make_unique<policy::ClockworkPolicy>(); };
+  }
+  throw std::out_of_range("MakePolicyFactory: unknown scheme " + name);
+}
+
+workload::QueryMonitor MonitorFromMix(const workload::BatchDistribution& mix,
+                                      std::size_t count, std::uint64_t seed) {
+  workload::QueryMonitor monitor(count);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) monitor.Observe(mix.Sample(rng));
+  return monitor;
+}
+
+}  // namespace kairos::core

@@ -1,0 +1,93 @@
+// Public facade of the Kairos library. Downstream users (and this repo's
+// examples and benches) interact mainly through this header:
+//
+//   * Kairos        — plan a heterogeneous configuration under a budget and
+//                     deploy it with the Kairos query distributor;
+//   * MakePolicyFactory — build any of the paper's distribution schemes by
+//                     name (KAIROS / RIBBON / DRS / CLKWRK) for comparisons;
+//   * MonitorFromMix — warm a QueryMonitor from a batch distribution, the
+//                     paper's query-monitoring warmup.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/planner.h"
+#include "core/runtime.h"
+#include "latency/model_zoo.h"
+#include "serving/throughput_eval.h"
+#include "workload/batch_dist.h"
+#include "workload/monitor.h"
+
+namespace kairos::core {
+
+/// Facade options; defaults reproduce the paper's setup (Sec. 7).
+struct KairosOptions {
+  double budget_per_hour = 2.5;
+  /// Multiplier on the model's Table-3 QoS target (Fig. 15b uses 1.2).
+  double qos_scale = 1.0;
+  /// Queries observed to warm the monitor before planning.
+  std::size_t monitor_warmup = 10000;
+  std::uint64_t seed = 7;
+  RuntimeOptions runtime;
+};
+
+/// End-to-end Kairos for one model on one catalog.
+class Kairos {
+ public:
+  /// `catalog` must outlive the facade. `model` is a Table-3 name.
+  Kairos(const cloud::Catalog& catalog, const std::string& model,
+         KairosOptions options = {});
+
+  /// Observes workload (warms the monitor) from a batch distribution.
+  void ObserveMix(const workload::BatchDistribution& mix);
+
+  /// Observes a single live query batch size.
+  void ObserveQuery(int batch_size) { monitor_.Observe(batch_size); }
+
+  /// Drops stale workload statistics (e.g. after a regime change).
+  void ResetMonitor() { monitor_.Reset(); }
+
+  /// One-shot Kairos planning (no online evaluation).
+  Plan PlanConfiguration() const;
+
+  /// Kairos+ planning; `eval` measures real throughput of a config.
+  search::SearchResult PlanWithEvaluations(
+      const search::EvalFn& eval,
+      const search::SearchOptions& options = {}) const;
+
+  /// Deploys a configuration with the Kairos distributor.
+  Runtime Deploy(const cloud::Config& config) const;
+
+  /// Allowable throughput of a config under the Kairos distributor.
+  serving::EvalResult MeasureThroughput(
+      const cloud::Config& config, const workload::BatchDistribution& mix,
+      const serving::EvalOptions& eval_options) const;
+
+  const workload::QueryMonitor& monitor() const { return monitor_; }
+  const latency::ModelSpec& model_spec() const { return spec_; }
+  const latency::LatencyModel& truth() const { return truth_; }
+  double qos_ms() const { return qos_ms_; }
+  const KairosOptions& options() const { return options_; }
+  const cloud::Catalog& catalog() const { return catalog_; }
+
+ private:
+  const cloud::Catalog& catalog_;
+  const latency::ModelSpec& spec_;
+  latency::LatencyModel truth_;
+  double qos_ms_;
+  KairosOptions options_;
+  workload::QueryMonitor monitor_;
+};
+
+/// Builds one of the paper's distribution schemes by name: "KAIROS",
+/// "RIBBON", "DRS" (uses `drs_threshold`), or "CLKWRK". Throws
+/// std::out_of_range for unknown names.
+serving::PolicyFactory MakePolicyFactory(const std::string& name,
+                                         int drs_threshold = 200);
+
+/// Fills a fresh QueryMonitor with `count` draws from `mix`.
+workload::QueryMonitor MonitorFromMix(const workload::BatchDistribution& mix,
+                                      std::size_t count, std::uint64_t seed);
+
+}  // namespace kairos::core

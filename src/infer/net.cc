@@ -1,0 +1,53 @@
+#include "infer/net.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace kairos::infer {
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out, Activation act,
+                       std::uint64_t seed)
+    : weights_(in, out), bias_(out), act_(act) {
+  Rng rng(seed);
+  const double scale = 1.0 / std::max<std::size_t>(1, in);
+  for (float& v : weights_.data()) {
+    v = static_cast<float>(rng.Normal(0.0, scale));
+  }
+  for (float& v : bias_) v = static_cast<float>(rng.Normal(0.0, 0.01));
+}
+
+void DenseLayer::Forward(const Tensor& x, Tensor& out,
+                         ThreadPool& pool) const {
+  out = Tensor(x.rows(), out_features());
+  Gemm(x, weights_, out, pool);
+  AddBiasActivate(out, bias_, act_);
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& widths, Activation final_act,
+         std::uint64_t seed) {
+  if (widths.size() < 2) throw std::invalid_argument("Mlp: need >= 2 widths");
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    const bool last = (i + 2 == widths.size());
+    layers_.emplace_back(widths[i], widths[i + 1],
+                         last ? final_act : Activation::kRelu,
+                         seed + 0x9E37 * (i + 1));
+  }
+}
+
+std::size_t Mlp::in_features() const { return layers_.front().in_features(); }
+std::size_t Mlp::out_features() const {
+  return layers_.back().out_features();
+}
+
+Tensor Mlp::Forward(const Tensor& x, ThreadPool& pool) const {
+  Tensor cur = x;
+  Tensor next;
+  for (const DenseLayer& layer : layers_) {
+    layer.Forward(cur, next, pool);
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+}  // namespace kairos::infer

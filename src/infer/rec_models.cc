@@ -1,0 +1,154 @@
+#include "infer/rec_models.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace kairos::infer {
+namespace {
+
+// Shared skeleton: sparse features -> pooled embeddings, dense features ->
+// bottom MLP, concat -> one or more top towers. The per-model constants
+// below shape the compute profile (embedding-heavy vs. tower-heavy).
+struct ModelShape {
+  std::size_t dense_features;
+  std::size_t embedding_tables;
+  std::size_t embedding_rows;
+  std::size_t embedding_dim;
+  std::size_t lookups_per_sample;
+  std::vector<std::size_t> bottom_widths;  // excluding input width
+  std::vector<std::size_t> tower_widths;   // excluding input width
+  std::size_t towers;                      // parallel top towers (MT-WND > 1)
+};
+
+class SkeletonModel final : public RecModel {
+ public:
+  SkeletonModel(std::string name, const ModelShape& shape)
+      : name_(std::move(name)), shape_(shape) {
+    std::vector<std::size_t> bottom = {shape.dense_features};
+    bottom.insert(bottom.end(), shape.bottom_widths.begin(),
+                  shape.bottom_widths.end());
+    bottom_ = std::make_unique<Mlp>(bottom, Activation::kRelu, 0xB0770'1);
+
+    const std::size_t concat_width =
+        bottom_->out_features() + shape.embedding_tables * shape.embedding_dim;
+    std::vector<std::size_t> tower = {concat_width};
+    tower.insert(tower.end(), shape.tower_widths.begin(),
+                 shape.tower_widths.end());
+    for (std::size_t t = 0; t < shape.towers; ++t) {
+      towers_.push_back(
+          std::make_unique<Mlp>(tower, Activation::kSigmoid, 0x70B'1 + t));
+    }
+    for (std::size_t e = 0; e < shape.embedding_tables; ++e) {
+      tables_.push_back(std::make_unique<EmbeddingTable>(
+          shape.embedding_rows, shape.embedding_dim, 0xE'B + e));
+    }
+  }
+
+  std::string Name() const override { return name_; }
+
+  Tensor Infer(std::size_t batch, ThreadPool& pool,
+               std::uint64_t seed) const override {
+    if (batch == 0) throw std::invalid_argument("Infer: batch == 0");
+    Rng rng(seed ^ 0xFACADE);
+
+    // Dense inputs.
+    Tensor dense(batch, shape_.dense_features);
+    for (float& v : dense.data()) {
+      v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    }
+    const Tensor bottom_out = bottom_->Forward(dense, pool);
+
+    // Sparse inputs -> pooled embeddings per table.
+    std::vector<Tensor> pooled(tables_.size());
+    std::vector<std::uint32_t> indices(batch * shape_.lookups_per_sample);
+    for (std::size_t e = 0; e < tables_.size(); ++e) {
+      for (std::uint32_t& idx : indices) {
+        idx = static_cast<std::uint32_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(
+                                  shape_.embedding_rows - 1)));
+      }
+      pooled[e] = Tensor(batch, shape_.embedding_dim);
+      tables_[e]->GatherPooled(indices, shape_.lookups_per_sample, pooled[e],
+                               pool);
+    }
+
+    // Concatenate features and run the tower(s); multiple towers average
+    // (multi-task heads, MT-WND style).
+    std::vector<const Tensor*> parts = {&bottom_out};
+    for (const Tensor& p : pooled) parts.push_back(&p);
+    std::size_t width = bottom_out.cols();
+    for (const Tensor& p : pooled) width += p.cols();
+    Tensor features(batch, width);
+    ConcatColumns(parts, features);
+
+    Tensor scores(batch, towers_.front()->out_features(), 0.0f);
+    for (const auto& tower : towers_) {
+      const Tensor out = tower->Forward(features, pool);
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        scores.data()[i] += out.data()[i];
+      }
+    }
+    const float inv = 1.0f / static_cast<float>(towers_.size());
+    for (float& v : scores.data()) v *= inv;
+    return scores;
+  }
+
+ private:
+  std::string name_;
+  ModelShape shape_;
+  std::unique_ptr<Mlp> bottom_;
+  std::vector<std::unique_ptr<Mlp>> towers_;
+  std::vector<std::unique_ptr<EmbeddingTable>> tables_;
+};
+
+}  // namespace
+
+std::unique_ptr<RecModel> BuildRecModel(const std::string& name) {
+  // Shapes are scaled-down analogues of the published architectures: RM2
+  // embedding-dominated, MT-WND tower-dominated, NCF tiny, WND/DIEN between.
+  if (name == "NCF") {
+    return std::make_unique<SkeletonModel>(
+        name, ModelShape{8, 2, 2000, 8, 1, {16, 8}, {16, 1}, 1});
+  }
+  if (name == "RM2") {
+    return std::make_unique<SkeletonModel>(
+        name, ModelShape{32, 8, 20000, 32, 20, {64, 32}, {64, 1}, 1});
+  }
+  if (name == "WND") {
+    return std::make_unique<SkeletonModel>(
+        name, ModelShape{24, 3, 8000, 16, 2, {64, 32}, {64, 32, 1}, 1});
+  }
+  if (name == "MT-WND") {
+    return std::make_unique<SkeletonModel>(
+        name, ModelShape{24, 3, 8000, 16, 2, {64, 32}, {64, 32, 1}, 4});
+  }
+  if (name == "DIEN") {
+    return std::make_unique<SkeletonModel>(
+        name, ModelShape{24, 4, 10000, 24, 8, {64, 48}, {96, 48, 1}, 1});
+  }
+  throw std::out_of_range("BuildRecModel: unknown model " + name);
+}
+
+std::vector<double> MeasureLatencyMs(const RecModel& model,
+                                     const std::vector<std::size_t>& batches,
+                                     ThreadPool& pool, int repeats) {
+  std::vector<double> out;
+  out.reserve(batches.size());
+  for (const std::size_t batch : batches) {
+    double best = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      (void)model.Infer(batch, pool, static_cast<std::uint64_t>(r));
+      const auto end = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(end - start).count();
+      best = (r == 0) ? ms : std::min(best, ms);
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace kairos::infer

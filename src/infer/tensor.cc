@@ -1,0 +1,8 @@
+#include "infer/tensor.h"
+
+namespace kairos::infer {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+}  // namespace kairos::infer

@@ -1,0 +1,41 @@
+// Minimal dense float tensor for the miniature inference engine. The engine
+// exists to demonstrate that the latency surfaces the simulator consumes
+// arise from real recommendation-model computation (embedding gathers +
+// MLP towers) — see DESIGN.md Sec. 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace kairos::infer {
+
+/// Row-major 2-D float tensor (rows = batch, cols = features).
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace kairos::infer

@@ -1,0 +1,44 @@
+// Fixed-size thread pool with a blocking ParallelFor. The paper's CPU
+// serving uses all cores of an instance for one query at a time (Sec. 6);
+// ParallelFor over batch rows is exactly that execution model.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kairos::infer {
+
+/// Simple work-queue thread pool.
+class ThreadPool {
+ public:
+  /// `threads` == 0 uses the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n), splitting contiguous index ranges across
+  /// the pool; blocks until all iterations finish. Executes inline when the
+  /// pool has a single thread or n is tiny.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace kairos::infer

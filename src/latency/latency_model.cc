@@ -1,0 +1,33 @@
+#include "latency/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace kairos::latency {
+
+LatencyModel::LatencyModel(std::vector<AffineLatency> curves)
+    : curves_(std::move(curves)) {
+  for (const AffineLatency& c : curves_) {
+    if (c.base_ms < 0.0 || c.per_item_ms <= 0.0) {
+      throw std::invalid_argument(
+          "LatencyModel: curves need base_ms >= 0 and per_item_ms > 0");
+    }
+  }
+}
+
+double LatencyModel::LatencyMs(cloud::TypeId t, int batch) const {
+  if (batch < 1) throw std::invalid_argument("LatencyMs: batch must be >= 1");
+  const int clamped = std::min(batch, kMaxBatchSize);
+  return curves_.at(t).AtBatch(clamped);
+}
+
+int LatencyModel::MaxQosBatch(cloud::TypeId t, double qos_ms, double xi) const {
+  const AffineLatency& c = curves_.at(t);
+  const double budget = xi * qos_ms - c.base_ms;
+  if (budget < c.per_item_ms) return 0;  // cannot even serve batch 1
+  const int max_batch = static_cast<int>(std::floor(budget / c.per_item_ms));
+  return std::min(max_batch, kMaxBatchSize);
+}
+
+}  // namespace kairos::latency

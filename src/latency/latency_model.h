@@ -1,0 +1,69 @@
+// Latency surfaces: serving latency as a function of (instance type, batch
+// size). The paper observes inference latency is deterministic (<0.5%
+// variance) and almost perfectly linear in batch size (Pearson > 0.99,
+// Sec. 5.1), so the surface is affine per (model, type):
+//
+//     latency_ms(type, b) = base_ms[type] + per_item_ms[type] * b
+//
+// This is the quantity every Kairos decision consumes; it replaces real
+// TensorRT/CPU inference in this reproduction (see DESIGN.md Sec. 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/instance_type.h"
+#include "common/time.h"
+
+namespace kairos::latency {
+
+/// Queries are capped at this many requests per batch (Sec. 5.1: "we limit
+/// the maximum batch size of a query to 1000 because of QoS constraints").
+inline constexpr int kMaxBatchSize = 1000;
+
+/// QoS safeguard factor ξ (Sec. 5.1): a completion time within (ξ..1]·T_qos
+/// is already treated as a violation when planning.
+inline constexpr double kQosSafety = 0.98;
+
+/// Affine latency curve for one instance type.
+struct AffineLatency {
+  double base_ms = 0.0;      ///< fixed per-query overhead
+  double per_item_ms = 0.0;  ///< marginal cost per batched request
+
+  double AtBatch(int batch) const { return base_ms + per_item_ms * batch; }
+};
+
+/// Latency surface of one ML model across a catalog of instance types.
+class LatencyModel {
+ public:
+  /// `curves` must be indexed by TypeId of the catalog used at query time.
+  explicit LatencyModel(std::vector<AffineLatency> curves);
+
+  std::size_t NumTypes() const { return curves_.size(); }
+  const AffineLatency& Curve(cloud::TypeId t) const { return curves_.at(t); }
+
+  /// Serving latency in milliseconds.
+  double LatencyMs(cloud::TypeId t, int batch) const;
+
+  /// Serving latency in simulator seconds.
+  Time Latency(cloud::TypeId t, int batch) const {
+    return MsToSec(LatencyMs(t, batch));
+  }
+
+  /// Largest batch size this type can serve within ξ·qos_ms; 0 when even a
+  /// single-request query violates QoS; capped at kMaxBatchSize.
+  int MaxQosBatch(cloud::TypeId t, double qos_ms,
+                  double xi = kQosSafety) const;
+
+  /// True when the type meets ξ·QoS at the maximum batch size (the paper's
+  /// defining property of a base type).
+  bool MeetsQosAtMaxBatch(cloud::TypeId t, double qos_ms,
+                          double xi = kQosSafety) const {
+    return MaxQosBatch(t, qos_ms, xi) >= kMaxBatchSize;
+  }
+
+ private:
+  std::vector<AffineLatency> curves_;
+};
+
+}  // namespace kairos::latency

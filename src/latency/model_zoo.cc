@@ -1,0 +1,81 @@
+#include "latency/model_zoo.h"
+
+#include <stdexcept>
+
+namespace kairos::latency {
+
+LatencyModel ModelSpec::Instantiate(const cloud::Catalog& catalog) const {
+  std::vector<AffineLatency> by_type(catalog.size());
+  for (cloud::TypeId t = 0; t < catalog.size(); ++t) {
+    bool found = false;
+    for (const auto& [short_name, curve] : curves) {
+      if (short_name == catalog[t].short_name) {
+        by_type[t] = curve;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::out_of_range("ModelSpec: no curve for catalog type " +
+                              catalog[t].short_name);
+    }
+  }
+  return LatencyModel(std::move(by_type));
+}
+
+const std::vector<ModelSpec>& ModelZoo() {
+  // Coefficients are milliseconds: {base_ms, per_item_ms}. See the header
+  // and DESIGN.md for the calibration constraints they satisfy.
+  static const std::vector<ModelSpec> zoo = {
+      {"NCF",
+       "Collaborative Filtering",
+       "Movie recommendation",
+       /*qos_ms=*/5.0,
+       {{"G1", {0.80, 0.0035}},
+        {"C1", {1.00, 0.0110}},
+        {"C2", {1.00, 0.0105}},
+        {"T3", {1.30, 0.0200}}}},
+      {"RM2",
+       "Meta's recommendation model class 2",
+       "High-accuracy social media posts ranking",
+       /*qos_ms=*/350.0,
+       {{"G1", {20.0, 0.28}},
+        {"C1", {25.0, 0.42}},
+        {"C2", {24.0, 0.70}},
+        {"T3", {26.0, 0.45}}}},
+      {"WND",
+       "Google Wide and Deep recommender system",
+       "Google App Store",
+       /*qos_ms=*/25.0,
+       {{"G1", {3.0, 0.018}},
+        {"C1", {4.0, 0.055}},
+        {"C2", {4.0, 0.080}},
+        {"T3", {5.0, 0.095}}}},
+      {"MT-WND",
+       "Multi-Task Wide and Deep, predicts multiple metrics in parallel",
+       "YouTube video recommendation",
+       /*qos_ms=*/25.0,
+       {{"G1", {3.5, 0.018}},
+        {"C1", {5.0, 0.080}},
+        {"C2", {6.0, 0.100}},
+        {"T3", {6.5, 0.160}}}},
+      {"DIEN",
+       "Alibaba Deep Interest Evolution Network",
+       "E-commerce",
+       /*qos_ms=*/35.0,
+       {{"G1", {4.0, 0.026}},
+        {"C1", {6.0, 0.085}},
+        {"C2", {6.0, 0.070}},
+        {"T3", {7.5, 0.150}}}},
+  };
+  return zoo;
+}
+
+const ModelSpec& FindModel(const std::string& name) {
+  for (const ModelSpec& m : ModelZoo()) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("FindModel: unknown model " + name);
+}
+
+}  // namespace kairos::latency

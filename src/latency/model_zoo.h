@@ -1,0 +1,45 @@
+// The model zoo: the five industry recommendation models the paper evaluates
+// (Table 3), each with its QoS target and a calibrated latency surface over
+// the paper's instance pool (Table 4).
+//
+// Calibration rules (asserted by tests, rationale in DESIGN.md Sec. 5):
+//   1. Only the base GPU type (G1) meets QoS at the 1000-request batch cap.
+//   2. Every CPU type has a non-empty QoS-feasible batch region s_j.
+//   3. At least one CPU type serves small queries at a better
+//      queries-per-dollar rate than G1 (otherwise heterogeneity can't pay).
+//   4. The CPU/GPU slowdown reflects each model's compute profile: RM2 is
+//      embedding/memory-bound (mild slowdown, r5n shines), MT-WND is
+//      DNN-compute-bound (steep slowdown), NCF is tiny with a 5 ms QoS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/instance_type.h"
+#include "latency/latency_model.h"
+
+namespace kairos::latency {
+
+/// One deployable model: Table 3 row + latency surface.
+struct ModelSpec {
+  std::string name;         ///< e.g. "RM2"
+  std::string description;  ///< Table 3 "Description"
+  std::string application;  ///< Table 3 "Application"
+  double qos_ms;            ///< 99th-percentile tail latency target
+  /// Latency curves keyed by instance short name ("G1", "C1", "C2", "T3"),
+  /// so the spec can be instantiated over any catalog containing a subset
+  /// of those types (the motivation pool uses only G1/C1/C2).
+  std::vector<std::pair<std::string, AffineLatency>> curves;
+
+  /// Builds the LatencyModel indexed by the catalog's TypeIds. Throws if a
+  /// catalog type has no curve.
+  LatencyModel Instantiate(const cloud::Catalog& catalog) const;
+};
+
+/// All five paper models, in Table 3 order: NCF, RM2, WND, MT-WND, DIEN.
+const std::vector<ModelSpec>& ModelZoo();
+
+/// Looks a model up by name; throws std::out_of_range when absent.
+const ModelSpec& FindModel(const std::string& name);
+
+}  // namespace kairos::latency

@@ -1,0 +1,16 @@
+#include "latency/noise.h"
+
+#include <algorithm>
+
+namespace kairos::latency {
+
+PredictionNoise::PredictionNoise(double sigma, Rng rng)
+    : sigma_(sigma), rng_(rng) {}
+
+double PredictionNoise::Apply(double latency) {
+  if (sigma_ <= 0.0) return latency;
+  const double factor = 1.0 + rng_.Normal(0.0, sigma_);
+  return std::max(0.0, latency * factor);
+}
+
+}  // namespace kairos::latency

@@ -1,0 +1,30 @@
+// Latency-prediction noise injection (Fig. 16b): an additive Gaussian white
+// noise proportional to the predicted latency, emulating cloud performance
+// variability (interference, transient degradation).
+#pragma once
+
+#include "common/rng.h"
+
+namespace kairos::latency {
+
+/// Multiplies a latency prediction by (1 + N(0, sigma)). The paper injects
+/// "additive Gaussian white noise with 5% variance in latency prediction";
+/// we parameterize by relative standard deviation.
+class PredictionNoise {
+ public:
+  /// sigma = relative standard deviation (0.05 reproduces Fig. 16b).
+  /// sigma == 0 disables noise entirely and never draws from the RNG.
+  PredictionNoise(double sigma, Rng rng);
+
+  /// Applies noise to a latency value (seconds or ms — unit agnostic).
+  /// The result is clamped to be non-negative.
+  double Apply(double latency);
+
+  double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+  Rng rng_;
+};
+
+}  // namespace kairos::latency

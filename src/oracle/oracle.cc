@@ -1,0 +1,113 @@
+#include "oracle/oracle.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace kairos::oracle {
+namespace {
+
+struct Slot {
+  Time free_at;
+  std::size_t instance;
+  bool operator>(const Slot& other) const { return free_at > other.free_at; }
+};
+
+}  // namespace
+
+double OracleThroughput(const cloud::Catalog& catalog,
+                        const cloud::Config& config,
+                        const latency::LatencyModel& truth, double qos_ms,
+                        std::vector<int> batches) {
+  if (batches.empty()) return 0.0;
+  std::sort(batches.begin(), batches.end());
+
+  // Instance table: type + QoS-feasible region.
+  struct Node {
+    cloud::TypeId type;
+    bool is_base;
+    int max_batch;  // largest batch servable within QoS
+  };
+  std::vector<Node> nodes;
+  for (cloud::TypeId t = 0; t < catalog.size(); ++t) {
+    const int max_batch = truth.MaxQosBatch(t, qos_ms);
+    for (int k = 0; k < config.Count(t); ++k) {
+      nodes.push_back(Node{t, catalog[t].is_base, max_batch});
+    }
+  }
+  if (nodes.empty()) return 0.0;
+
+  // Earliest-free-instance event loop over the sorted sequence: base nodes
+  // consume from the large end, auxiliaries from the small end (when it
+  // still fits their QoS region). `lo`/`hi` delimit the unserved middle.
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> pq;
+  for (std::size_t i = 0; i < nodes.size(); ++i) pq.push(Slot{0.0, i});
+
+  std::size_t lo = 0;
+  std::size_t hi = batches.size();  // exclusive
+  Time makespan = 0.0;
+  std::size_t served = 0;
+  while (lo < hi && !pq.empty()) {
+    const Slot slot = pq.top();
+    pq.pop();
+    const Node& node = nodes[slot.instance];
+    int batch = 0;
+    if (node.is_base) {
+      batch = batches[--hi];  // largest remaining
+    } else {
+      if (batches[lo] > node.max_batch) continue;  // retire this auxiliary
+      batch = batches[lo++];  // smallest remaining
+    }
+    const Time serve = truth.Latency(node.type, batch);
+    const Time finish = slot.free_at + serve;
+    makespan = std::max(makespan, finish);
+    ++served;
+    pq.push(Slot{finish, slot.instance});
+  }
+  if (makespan <= 0.0 || served == 0) return 0.0;
+  return static_cast<double>(served) / makespan;
+}
+
+double OracleThroughput(const cloud::Catalog& catalog,
+                        const cloud::Config& config,
+                        const latency::LatencyModel& truth, double qos_ms,
+                        const workload::BatchDistribution& mix,
+                        std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> batches(count);
+  for (int& b : batches) b = mix.Sample(rng);
+  return OracleThroughput(catalog, config, truth, qos_ms, std::move(batches));
+}
+
+OracleSearchResult OracleSearch(const cloud::Catalog& catalog,
+                                const std::vector<cloud::Config>& configs,
+                                const latency::LatencyModel& truth,
+                                double qos_ms,
+                                const workload::BatchDistribution& mix,
+                                std::size_t count, std::uint64_t seed) {
+  if (configs.empty()) {
+    throw std::invalid_argument("OracleSearch: no configurations");
+  }
+  // One shared batch sample keeps the comparison apples-to-apples.
+  Rng rng(seed);
+  std::vector<int> batches(count);
+  for (int& b : batches) b = mix.Sample(rng);
+
+  OracleSearchResult result;
+  result.per_config_qps.reserve(configs.size());
+  for (const cloud::Config& c : configs) {
+    const double qps =
+        OracleThroughput(catalog, c, truth, qos_ms, batches);
+    result.per_config_qps.push_back(qps);
+    if (qps > result.best_qps) {
+      result.best_qps = qps;
+      result.best_config = c;
+    }
+  }
+  return result;
+}
+
+}  // namespace kairos::oracle

@@ -1,0 +1,49 @@
+// The ORCL reference scheme (Sec. 7): a practically-infeasible clairvoyant
+// scheduler that knows the whole query mix in advance, sorts it by batch
+// size, feeds base instances the largest remaining query and auxiliary
+// instances the smallest, never queues, and never violates QoS. Its
+// throughput upper-limits every real distribution mechanism and is the
+// dashed reference line in Figs. 3, 9 and 14.
+#pragma once
+
+#include <vector>
+
+#include "cloud/config.h"
+#include "cloud/instance_type.h"
+#include "latency/latency_model.h"
+#include "workload/batch_dist.h"
+
+namespace kairos::oracle {
+
+/// Oracle throughput for one configuration serving the given batch mix.
+/// `batches` is the clairvoyant query sequence (order irrelevant — the
+/// oracle sorts). Returns queries/second with QoS respected by construction.
+double OracleThroughput(const cloud::Catalog& catalog,
+                        const cloud::Config& config,
+                        const latency::LatencyModel& truth, double qos_ms,
+                        std::vector<int> batches);
+
+/// Draws `count` batches from the mix and evaluates OracleThroughput.
+double OracleThroughput(const cloud::Catalog& catalog,
+                        const cloud::Config& config,
+                        const latency::LatencyModel& truth, double qos_ms,
+                        const workload::BatchDistribution& mix,
+                        std::size_t count, std::uint64_t seed);
+
+/// Exhaustive oracle search: the config with the highest oracle throughput
+/// among `configs`. This is how the paper hands the *competing* schemes
+/// their best-possible configuration for free (Sec. 8.2).
+struct OracleSearchResult {
+  cloud::Config best_config;
+  double best_qps = 0.0;
+  /// Oracle QPS per input config, aligned with `configs`.
+  std::vector<double> per_config_qps;
+};
+OracleSearchResult OracleSearch(const cloud::Catalog& catalog,
+                                const std::vector<cloud::Config>& configs,
+                                const latency::LatencyModel& truth,
+                                double qos_ms,
+                                const workload::BatchDistribution& mix,
+                                std::size_t count, std::uint64_t seed);
+
+}  // namespace kairos::oracle

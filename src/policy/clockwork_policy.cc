@@ -1,0 +1,49 @@
+#include "policy/clockwork_policy.h"
+
+#include <limits>
+#include <vector>
+
+namespace kairos::policy {
+
+std::vector<Assignment> ClockworkPolicy::Distribute(const RoundContext& ctx) {
+  std::vector<Assignment> out;
+  // Early binding means assignments stack onto instance queues; track the
+  // availability estimate as we commit within this round.
+  std::vector<Time> avail(ctx.instances.size());
+  for (std::size_t j = 0; j < ctx.instances.size(); ++j) {
+    avail[j] = std::max(ctx.now, ctx.instances[j].available_at);
+  }
+
+  for (std::size_t i = 0; i < ctx.waiting.size(); ++i) {
+    const workload::Query& q = ctx.waiting[i];
+    const Time deadline = q.arrival + ctx.qos_sec;
+
+    double best_meeting = std::numeric_limits<double>::infinity();
+    std::size_t best_meeting_j = ctx.instances.size();
+    double best_any = std::numeric_limits<double>::infinity();
+    std::size_t best_any_j = ctx.instances.size();
+
+    for (std::size_t j = 0; j < ctx.instances.size(); ++j) {
+      const Time serve =
+          ctx.predictor->Predict(ctx.instances[j].type, q.batch_size);
+      const Time finish = avail[j] + serve;
+      if (finish < best_any) {
+        best_any = finish;
+        best_any_j = j;
+      }
+      if (finish <= deadline && finish < best_meeting) {
+        best_meeting = finish;
+        best_meeting_j = j;
+      }
+    }
+    const std::size_t j =
+        best_meeting_j != ctx.instances.size() ? best_meeting_j : best_any_j;
+    const Time serve = ctx.predictor->Predict(ctx.instances[j].type,
+                                              q.batch_size);
+    avail[j] += serve;
+    out.push_back(Assignment{i, j});
+  }
+  return out;
+}
+
+}  // namespace kairos::policy

@@ -1,0 +1,22 @@
+// Clockwork-inspired distribution (CLKWRK, Sec. 7): a central controller
+// with accurate latency prediction and per-instance FCFS queues. Each
+// arriving query is immediately committed (early binding) to the instance
+// whose predicted completion meets the QoS target, choosing the earliest
+// such completion; if no instance can meet QoS, the earliest-completing
+// instance is used anyway. QoS-aware, but heterogeneity-blind: it never
+// reserves fast instances for the queries that need them most.
+#pragma once
+
+#include "policy/policy.h"
+
+namespace kairos::policy {
+
+/// Early-binding QoS-aware earliest-completion policy.
+class ClockworkPolicy final : public Policy {
+ public:
+  std::string Name() const override { return "CLKWRK"; }
+  bool EarlyBinding() const override { return true; }
+  std::vector<Assignment> Distribute(const RoundContext& ctx) override;
+};
+
+}  // namespace kairos::policy

@@ -1,0 +1,47 @@
+#include "policy/drs_policy.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "latency/latency_model.h"
+
+namespace kairos::policy {
+
+DrsPolicy::DrsPolicy(int threshold) : threshold_(threshold) {
+  if (threshold < 0 || threshold > latency::kMaxBatchSize) {
+    throw std::invalid_argument("DrsPolicy: threshold out of range");
+  }
+}
+
+std::vector<Assignment> DrsPolicy::Distribute(const RoundContext& ctx) {
+  std::vector<Assignment> out;
+  std::vector<bool> taken(ctx.instances.size(), false);
+
+  // Detect whether any auxiliary instance exists; without one (homogeneous
+  // configurations) everything flows to the base pool.
+  bool has_aux = false;
+  for (const serving::InstanceView& inst : ctx.instances) {
+    if (!(*ctx.catalog)[inst.type].is_base) has_aux = true;
+  }
+
+  for (std::size_t i = 0; i < ctx.waiting.size(); ++i) {
+    const bool to_base =
+        !has_aux || ctx.waiting[i].batch_size > threshold_;
+    std::size_t chosen = ctx.instances.size();
+    for (std::size_t j = 0; j < ctx.instances.size(); ++j) {
+      const serving::InstanceView& inst = ctx.instances[j];
+      if (!inst.idle || taken[j]) continue;
+      const bool is_base = (*ctx.catalog)[inst.type].is_base;
+      if (is_base == to_base) {
+        chosen = j;
+        break;  // first idle instance of the right pool (FCFS within pool)
+      }
+    }
+    if (chosen == ctx.instances.size()) continue;  // pool busy; query waits
+    taken[chosen] = true;
+    out.push_back(Assignment{i, chosen});
+  }
+  return out;
+}
+
+}  // namespace kairos::policy

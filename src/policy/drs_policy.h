@@ -1,0 +1,27 @@
+// DeepRecSys-style query distribution (DRS, Sec. 7): a static batch-size
+// threshold splits traffic — queries larger than the threshold go to the
+// base (GPU) pool, smaller ones to the auxiliary (CPU) pool; each pool is
+// FCFS. The threshold itself is tuned externally by hill climbing
+// (search/hill_climb.h), which is where DRS pays its exploration overhead.
+#pragma once
+
+#include "policy/policy.h"
+
+namespace kairos::policy {
+
+/// Late-binding threshold-split FCFS.
+class DrsPolicy final : public Policy {
+ public:
+  /// `threshold` in [0, 1000]: batch > threshold → base pool.
+  explicit DrsPolicy(int threshold);
+
+  std::string Name() const override { return "DRS"; }
+  std::vector<Assignment> Distribute(const RoundContext& ctx) override;
+
+  int threshold() const { return threshold_; }
+
+ private:
+  int threshold_;
+};
+
+}  // namespace kairos::policy

@@ -1,0 +1,66 @@
+#include "policy/kairos_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "assign/jv.h"
+#include "latency/latency_model.h"
+
+namespace kairos::policy {
+
+KairosPolicy::KairosPolicy(KairosPolicyOptions options) : options_(options) {}
+
+std::vector<Assignment> KairosPolicy::Distribute(const RoundContext& ctx) {
+  const std::size_t m = ctx.waiting.size();
+  const std::size_t n = ctx.instances.size();
+  if (m == 0 || n == 0) return {};
+
+  // Heterogeneity coefficients (Definition 1): C_j = latency ratio of the
+  // largest servable query between the fastest type and type j, so the base
+  // normalizes to 1 and slower types weigh in (0, 1).
+  std::vector<double> coeff(n, 1.0);
+  if (options_.use_heterogeneity_coefficient) {
+    double best_ms = std::numeric_limits<double>::infinity();
+    std::vector<double> largest_ms(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      largest_ms[j] = ctx.predictor->PredictMsNoiseless(
+          ctx.instances[j].type, latency::kMaxBatchSize);
+      best_ms = std::min(best_ms, largest_ms[j]);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      coeff[j] = largest_ms[j] > 0.0 ? best_ms / largest_ms[j] : 1.0;
+    }
+  }
+
+  // Build the penalized cost matrix (Eq. 2 + Eq. 8).
+  Matrix cost(m, n);
+  const double penalty_sec = options_.penalty_factor * ctx.qos_sec;
+  for (std::size_t i = 0; i < m; ++i) {
+    const workload::Query& q = ctx.waiting[i];
+    const Time wait = ctx.now - q.arrival;  // W_i
+    for (std::size_t j = 0; j < n; ++j) {
+      const serving::InstanceView& inst = ctx.instances[j];
+      const Time busy_remaining = std::max(0.0, inst.available_at - ctx.now);
+      const Time serve =
+          ctx.predictor->Predict(inst.type, q.batch_size);
+      Time l = busy_remaining + serve;  // L_{i,j}
+      if (l + wait > options_.xi * ctx.qos_sec) {
+        l = penalty_sec;  // Eq. 8: fold constraint Eq. 5 into the objective
+      }
+      cost(i, j) = coeff[j] * l;
+    }
+  }
+
+  const assign::AssignmentResult match = assign::SolveJv(cost);
+  std::vector<Assignment> out;
+  out.reserve(static_cast<std::size_t>(match.matched));
+  for (std::size_t i = 0; i < m; ++i) {
+    const int j = match.col_for_row[i];
+    if (j >= 0) {
+      out.push_back(Assignment{i, static_cast<std::size_t>(j)});
+    }
+  }
+  return out;
+}
+
+}  // namespace kairos::policy

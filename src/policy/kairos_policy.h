@@ -1,0 +1,41 @@
+// The Kairos query-distribution mechanism (Sec. 5.1): min-cost bipartite
+// matching between waiting queries and instances with
+//   cost(i, j) = C_j * L~(i, j)
+// where L(i,j) = remaining busy time of instance j + predicted serving
+// latency, C_j is the heterogeneity coefficient (Definition 1), and L~ is
+// the QoS-penalized rewrite (Eq. 8) that folds constraint Eq. 5 into the
+// objective. Solved with the Jonker–Volgenant algorithm each round.
+#pragma once
+
+#include "policy/policy.h"
+
+namespace kairos::policy {
+
+/// Tunables; defaults follow the paper exactly.
+struct KairosPolicyOptions {
+  /// ξ safeguard: completion within ξ..1 of T_qos already counts as a
+  /// violation during planning (Sec. 5.1, ξ = 0.98).
+  double xi = 0.98;
+
+  /// Penalty multiplier for QoS-violating pairs: L becomes
+  /// penalty_factor * T_qos (Eq. 8 uses 10x).
+  double penalty_factor = 10.0;
+
+  /// Use heterogeneity coefficients C_j (Definition 1). Disabling them is
+  /// the ablation studied in bench/ablation_kairos_knobs.
+  bool use_heterogeneity_coefficient = true;
+};
+
+/// Late-binding matching policy.
+class KairosPolicy final : public Policy {
+ public:
+  explicit KairosPolicy(KairosPolicyOptions options = {});
+
+  std::string Name() const override { return "KAIROS"; }
+  std::vector<Assignment> Distribute(const RoundContext& ctx) override;
+
+ private:
+  KairosPolicyOptions options_;
+};
+
+}  // namespace kairos::policy

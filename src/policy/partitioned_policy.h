@@ -1,0 +1,27 @@
+// POP-style partitioned matching (Sec. 6 remark): to scale to very large
+// systems, the pool is split into k sub-systems, each running its own
+// Kairos matcher over a 1/k slice of instances and queries. Matching cost
+// drops by ~k^2 per round at a (small) loss of global optimality — the
+// trade-off quantified by bench/ablation_pop_partition.
+#pragma once
+
+#include "policy/kairos_policy.h"
+
+namespace kairos::policy {
+
+/// KairosPolicy applied independently to k round-robin partitions.
+class PartitionedKairosPolicy final : public Policy {
+ public:
+  /// `partitions` >= 1; 1 degenerates to plain KairosPolicy.
+  explicit PartitionedKairosPolicy(std::size_t partitions,
+                                   KairosPolicyOptions options = {});
+
+  std::string Name() const override;
+  std::vector<Assignment> Distribute(const RoundContext& ctx) override;
+
+ private:
+  std::size_t partitions_;
+  KairosPolicy inner_;
+};
+
+}  // namespace kairos::policy

@@ -1,0 +1,64 @@
+// Query-distribution policy interface. The serving system invokes the
+// policy on every arrival and completion ("round", Sec. 5.1); the policy
+// proposes query→instance assignments over the current central queue.
+//
+// Binding semantics:
+//  * late binding (default): only assignments onto currently *idle*
+//    instances start; the rest of the queue waits and is re-distributed
+//    next round (this is what keeps Kairos's options open);
+//  * early binding (EarlyBinding() == true): assignments onto busy
+//    instances are committed to that instance's FIFO immediately
+//    (Clockwork-style per-instance queues).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cloud/instance_type.h"
+#include "common/time.h"
+#include "serving/instance.h"
+#include "serving/latency_predictor.h"
+#include "workload/query.h"
+
+namespace kairos::policy {
+
+/// Everything a policy may consult when distributing one round.
+struct RoundContext {
+  Time now = 0.0;
+  double qos_sec = 0.0;
+  /// Central queue in FIFO (arrival) order.
+  std::span<const workload::Query> waiting;
+  /// Snapshot of every instance in the configuration.
+  std::span<const serving::InstanceView> instances;
+  /// Latency predictions (shared with the system; observations flow back).
+  serving::LatencyPredictor* predictor = nullptr;
+  const cloud::Catalog* catalog = nullptr;
+};
+
+/// One proposed query→instance pairing, by index into the context spans.
+struct Assignment {
+  std::size_t waiting_idx = 0;
+  std::size_t instance_idx = 0;
+};
+
+/// Base class for all distribution mechanisms.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Scheme name for reports ("KAIROS", "RIBBON", ...).
+  virtual std::string Name() const = 0;
+
+  /// Proposes assignments for this round. Each waiting index and each
+  /// instance index may appear at most once (checked by the system).
+  virtual std::vector<Assignment> Distribute(const RoundContext& ctx) = 0;
+
+  /// See binding semantics above.
+  virtual bool EarlyBinding() const { return false; }
+
+  /// Clears any per-run state; called when a fresh simulation starts.
+  virtual void Reset() {}
+};
+
+}  // namespace kairos::policy

@@ -1,0 +1,35 @@
+#include "policy/ribbon_policy.h"
+
+#include <limits>
+#include <vector>
+
+namespace kairos::policy {
+
+std::vector<Assignment> RibbonPolicy::Distribute(const RoundContext& ctx) {
+  std::vector<Assignment> out;
+  std::vector<bool> taken(ctx.instances.size(), false);
+  // FCFS: oldest waiting query first; stops when no idle instance remains.
+  for (std::size_t i = 0; i < ctx.waiting.size(); ++i) {
+    double best_ms = std::numeric_limits<double>::infinity();
+    std::size_t best_j = ctx.instances.size();
+    for (std::size_t j = 0; j < ctx.instances.size(); ++j) {
+      const serving::InstanceView& inst = ctx.instances[j];
+      if (!inst.idle || taken[j]) continue;
+      const double ms =
+          ctx.predictor->PredictMs(inst.type, ctx.waiting[i].batch_size);
+      // Strictly-better wins; the first instance wins ties, which realizes
+      // the base-type preference since base instances sort first in the
+      // configuration layout.
+      if (ms < best_ms) {
+        best_ms = ms;
+        best_j = j;
+      }
+    }
+    if (best_j == ctx.instances.size()) break;  // no idle instance left
+    taken[best_j] = true;
+    out.push_back(Assignment{i, best_j});
+  }
+  return out;
+}
+
+}  // namespace kairos::policy

@@ -1,0 +1,19 @@
+// Ribbon's query-distribution mechanism (Sec. 7): plain FCFS — the oldest
+// waiting query goes to the best (lowest-predicted-latency) idle instance,
+// preferring base-type instances on ties. Ribbon's contribution is its
+// Bayesian-optimization *allocation* search (see search/bayes_opt.h); its
+// distribution side is deliberately simple, which is what Fig. 3 exposes.
+#pragma once
+
+#include "policy/policy.h"
+
+namespace kairos::policy {
+
+/// Late-binding FCFS onto idle instances.
+class RibbonPolicy final : public Policy {
+ public:
+  std::string Name() const override { return "RIBBON"; }
+  std::vector<Assignment> Distribute(const RoundContext& ctx) override;
+};
+
+}  // namespace kairos::policy

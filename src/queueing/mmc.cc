@@ -1,0 +1,88 @@
+#include "queueing/mmc.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace kairos::queueing {
+
+double ErlangC(int servers, double offered_load) {
+  if (servers <= 0) throw std::invalid_argument("ErlangC: servers <= 0");
+  if (offered_load < 0.0) {
+    throw std::invalid_argument("ErlangC: negative load");
+  }
+  if (offered_load >= servers) return 1.0;  // unstable: certain wait
+  // Iterative Erlang-B, then convert to Erlang-C (numerically stable).
+  double b = 1.0;
+  for (int k = 1; k <= servers; ++k) {
+    b = offered_load * b / (k + offered_load * b);
+  }
+  const double rho = offered_load / servers;
+  return b / (1.0 - rho + rho * b);
+}
+
+double MmcMeanWait(int servers, double lambda, double mu) {
+  if (mu <= 0.0) throw std::invalid_argument("MmcMeanWait: mu <= 0");
+  const double a = lambda / mu;
+  if (a >= servers) return std::numeric_limits<double>::infinity();
+  const double c = ErlangC(servers, a);
+  return c / (servers * mu - lambda);
+}
+
+double MmcSojournTail(int servers, double lambda, double mu, double t) {
+  if (t < 0.0) return 1.0;
+  const double a = lambda / mu;
+  if (a >= servers) return 1.0;
+  const double pc = ErlangC(servers, a);
+  const double r1 = servers * mu - lambda;  // conditional-wait rate
+  const double r2 = mu;                     // service rate
+  // T = Wq + S; P(Wq = 0) = 1 - pc, Wq | Wq>0 ~ Exp(r1), S ~ Exp(r2).
+  const double no_wait = (1.0 - pc) * std::exp(-r2 * t);
+  double with_wait;
+  if (std::abs(r1 - r2) < 1e-12 * r2) {
+    // Equal-rate limit: Gamma(2, r).
+    with_wait = pc * std::exp(-r2 * t) * (1.0 + r2 * t);
+  } else {
+    with_wait =
+        pc * (r2 * std::exp(-r1 * t) - r1 * std::exp(-r2 * t)) / (r2 - r1);
+  }
+  return no_wait + with_wait;
+}
+
+double MmcMaxRateForQos(int servers, double mu, double qos_seconds,
+                        double percentile) {
+  if (servers <= 0 || mu <= 0.0 || qos_seconds <= 0.0) {
+    throw std::invalid_argument("MmcMaxRateForQos: bad parameters");
+  }
+  const double tail_budget = 1.0 - percentile / 100.0;
+  // Even at lambda -> 0 a query's sojourn is Exp(mu): check feasibility.
+  if (std::exp(-mu * qos_seconds) > tail_budget) return 0.0;
+
+  double lo = 0.0;
+  double hi = servers * mu;  // stability bound
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (MmcSojournTail(servers, mid, mu, qos_seconds) <= tail_budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double NaivePooledMmcThroughput(const PoolModel& base,
+                                const PoolModel* aux_pools, int num_aux_pools,
+                                double percentile) {
+  double total = MmcMaxRateForQos(base.servers, base.service_rate,
+                                  base.qos_seconds, percentile);
+  for (int i = 0; i < num_aux_pools; ++i) {
+    const PoolModel& pool = aux_pools[i];
+    if (pool.servers <= 0) continue;
+    total += MmcMaxRateForQos(pool.servers, pool.service_rate,
+                              pool.qos_seconds, percentile);
+  }
+  return total;
+}
+
+}  // namespace kairos::queueing

@@ -1,0 +1,44 @@
+// Classical M/M/c queueing analysis. Sec. 5.2 of the paper explains why
+// Kairos could *not* use this machinery for throughput estimation: service
+// times are far from exponential (they follow the batch-size mixture), the
+// pool is heterogeneous, and the matcher's queue discipline is neither FCFS
+// nor work-conserving per pool. We implement the M/M/c model anyway, as the
+// natural strawman estimator, and quantify its ranking error against
+// Kairos's upper bound in bench/ablation_queueing.
+#pragma once
+
+namespace kairos::queueing {
+
+/// Erlang-C: probability an arrival waits in an M/M/c queue with offered
+/// load a = lambda/mu (in Erlangs). Requires a < c for stability; returns
+/// 1.0 when the queue is unstable.
+double ErlangC(int servers, double offered_load);
+
+/// Mean waiting time (excluding service) in seconds.
+/// lambda/mu in queries/sec; returns +inf when unstable.
+double MmcMeanWait(int servers, double lambda, double mu);
+
+/// P(sojourn time > t): waiting plus one exponential service.
+double MmcSojournTail(int servers, double lambda, double mu, double t);
+
+/// Largest arrival rate lambda such that the `percentile`-th percentile of
+/// the sojourn time stays within `qos_seconds`; found by bisection.
+/// Returns 0 when even a lone query misses the target in expectation.
+double MmcMaxRateForQos(int servers, double mu, double qos_seconds,
+                        double percentile = 99.0);
+
+/// A (deliberately naive) M/M/c-based throughput estimate for a
+/// heterogeneous configuration: the base pool is modeled as an M/M/u queue
+/// over the full mix; each auxiliary pool as an M/M/v queue over the
+/// small-query mass it can legally serve; estimates add up. This ignores
+/// every cross-pool interaction — which is precisely the paper's point.
+struct PoolModel {
+  int servers = 0;
+  double service_rate = 0.0;  ///< mu, queries/sec per server
+  double qos_seconds = 0.0;
+};
+double NaivePooledMmcThroughput(const PoolModel& base,
+                                const PoolModel* aux_pools,
+                                int num_aux_pools, double percentile = 99.0);
+
+}  // namespace kairos::queueing

@@ -1,0 +1,22 @@
+#include "rpc/channel.h"
+
+namespace kairos::rpc {
+
+Channel::Channel(sim::Simulator& sim, NetworkModel network, Rng rng)
+    : sim_(sim), network_(network), rng_(rng) {}
+
+void Channel::Send(sim::EventFn on_deliver) {
+  const Time delay = network_.SampleDelay(rng_);
+  ++stats_.messages;
+  stats_.total_delay += delay;
+  sim_.After(delay, std::move(on_deliver));
+}
+
+void Channel::Call(sim::EventFn server, sim::EventFn on_reply) {
+  Send([this, server = std::move(server), on_reply = std::move(on_reply)]() mutable {
+    server();
+    Send(std::move(on_reply));
+  });
+}
+
+}  // namespace kairos::rpc

@@ -1,0 +1,44 @@
+// In-process message channel over the discrete-event simulator: the
+// controller→instance transport. Provides one-way sends and request/reply
+// calls, each hop delayed by the network model. Replaces gRPC in this
+// reproduction; the Sec. 6 controller-overhead claim (matching + network
+// round trip ≪ 1 ms) is benchmarked on top of it.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "rpc/netem.h"
+#include "sim/simulator.h"
+
+namespace kairos::rpc {
+
+/// Transport statistics.
+struct ChannelStats {
+  std::size_t messages = 0;   ///< one-way deliveries (a Call counts two)
+  Time total_delay = 0.0;     ///< summed network time
+};
+
+/// A bidirectional channel between two simulated endpoints.
+class Channel {
+ public:
+  /// `sim` must outlive the channel.
+  Channel(sim::Simulator& sim, NetworkModel network, Rng rng);
+
+  /// Delivers `on_deliver` at the peer after one network hop.
+  void Send(sim::EventFn on_deliver);
+
+  /// Request/response: runs `server` at the peer after the forward hop,
+  /// then `on_reply` back at the caller after the return hop.
+  void Call(sim::EventFn server, sim::EventFn on_reply);
+
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  sim::Simulator& sim_;
+  NetworkModel network_;
+  Rng rng_;
+  ChannelStats stats_;
+};
+
+}  // namespace kairos::rpc

@@ -1,0 +1,23 @@
+#include "rpc/netem.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kairos::rpc {
+
+NetworkModel::NetworkModel(double base_us, double jitter_sigma)
+    : base_us_(base_us), jitter_sigma_(jitter_sigma) {
+  if (base_us < 0.0 || jitter_sigma < 0.0) {
+    throw std::invalid_argument("NetworkModel: negative parameter");
+  }
+}
+
+Time NetworkModel::SampleDelay(Rng& rng) const {
+  double us = base_us_;
+  if (jitter_sigma_ > 0.0) {
+    us *= rng.LogNormal(0.0, jitter_sigma_);
+  }
+  return us * 1e-6;
+}
+
+}  // namespace kairos::rpc

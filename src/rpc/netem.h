@@ -1,0 +1,28 @@
+// Network delay model for the in-process RPC fabric that stands in for the
+// paper's gRPC transport (Sec. 6). One-way delays are a base latency plus
+// log-normal jitter — the standard shape of intra-region cloud RTTs.
+#pragma once
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace kairos::rpc {
+
+/// Samples one-way network delays.
+class NetworkModel {
+ public:
+  /// `base_us` = deterministic one-way delay; `jitter_sigma` = sigma of the
+  /// log-normal multiplicative jitter (0 = deterministic network).
+  NetworkModel(double base_us = 20.0, double jitter_sigma = 0.0);
+
+  /// One-way delay in simulator seconds.
+  Time SampleDelay(Rng& rng) const;
+
+  double base_us() const { return base_us_; }
+
+ private:
+  double base_us_;
+  double jitter_sigma_;
+};
+
+}  // namespace kairos::rpc

@@ -1,0 +1,24 @@
+// Simulated-annealing exploration (Fig. 2): a Metropolis walk over the
+// configuration lattice (±1 instance on a random type, staying feasible).
+// The paper uses this to demonstrate why *online* heterogeneous exploration
+// is painful: most visited configurations underperform the homogeneous
+// baseline while the walk converges.
+#pragma once
+
+#include "search/search.h"
+
+namespace kairos::search {
+
+/// Annealing knobs.
+struct AnnealingOptions {
+  double initial_temperature = 0.35;  ///< relative to observed QPS scale
+  double cooling = 0.92;              ///< geometric cooling per step
+  std::size_t steps = 40;
+};
+
+SearchResult AnnealingSearch(const std::vector<cloud::Config>& configs,
+                             const EvalFn& eval,
+                             const SearchOptions& options = {},
+                             const AnnealingOptions& sa = {});
+
+}  // namespace kairos::search

@@ -1,0 +1,29 @@
+// Hill climbing over a one-dimensional parameter grid — the threshold sweep
+// DeepRecSys uses to tune its batch-size split (Sec. 7 "DRS"). Each probe
+// is a full allowable-throughput evaluation, which is exactly the tuning
+// overhead the paper charges DRS with.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace kairos::search {
+
+/// Result of a 1-D hill climb.
+struct HillClimbResult {
+  std::size_t best_index = 0;  ///< index into the input grid
+  double best_value = 0.0;
+  std::size_t evals = 0;
+};
+
+/// Maximizes `eval` over `grid` by local ascent from the middle, extending
+/// in the improving direction; falls back to scanning neighbors when flat.
+/// `eval` receives grid values.
+HillClimbResult HillClimb(const std::vector<int>& grid,
+                          const std::function<double(int)>& eval);
+
+/// A default threshold grid over batch sizes (coarse, paper-style sweep).
+std::vector<int> DefaultThresholdGrid();
+
+}  // namespace kairos::search

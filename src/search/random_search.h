@@ -1,0 +1,15 @@
+// Random search baseline (RAND in Fig. 11): evaluates configurations in a
+// uniformly shuffled order, with the same sub-configuration pruning
+// courtesy Kairos+ gets, until the target throughput is reached or the
+// budget is spent.
+#pragma once
+
+#include "search/search.h"
+
+namespace kairos::search {
+
+SearchResult RandomSearch(const std::vector<cloud::Config>& configs,
+                          const EvalFn& eval,
+                          const SearchOptions& options = {});
+
+}  // namespace kairos::search

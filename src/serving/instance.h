@@ -1,0 +1,60 @@
+// Per-instance runtime state inside the serving simulator. Each allocated
+// cloud instance hosts one model copy and serves exactly one query at a
+// time (Sec. 6); queries committed ahead of time (early-binding policies
+// like Clockwork) wait in the instance's FIFO.
+#pragma once
+
+#include <deque>
+
+#include "cloud/instance_type.h"
+#include "common/time.h"
+#include "workload/query.h"
+
+namespace kairos::serving {
+
+/// Mutable state of one instance during a simulation run.
+struct Instance {
+  cloud::TypeId type = 0;
+
+  /// True while a query is executing right now.
+  bool executing = false;
+
+  /// Actual completion time of the executing query (valid when executing).
+  Time current_finish = 0.0;
+
+  /// Queries committed to this instance but not yet started (early binding).
+  std::deque<workload::Query> fifo;
+
+  /// Cumulative busy seconds (for utilization reporting).
+  double busy_time = 0.0;
+
+  /// Number of queries completed on this instance.
+  std::size_t served = 0;
+};
+
+/// Immutable per-round snapshot handed to distribution policies.
+struct InstanceView {
+  cloud::TypeId type = 0;
+  /// Estimated time when the instance has drained all committed work; equals
+  /// `now` for an idle instance.
+  Time available_at = 0.0;
+  /// Idle right now (no executing query and empty FIFO).
+  bool idle = true;
+  /// Queries already committed but not started (FIFO depth).
+  std::size_t backlog = 0;
+};
+
+/// One completed query, for post-run analysis.
+struct ServedRecord {
+  workload::QueryId id = 0;
+  int batch = 0;
+  cloud::TypeId type = 0;
+  std::size_t instance = 0;
+  Time arrival = 0.0;
+  Time start = 0.0;
+  Time finish = 0.0;
+
+  double LatencyMs() const { return SecToMs(finish - arrival); }
+};
+
+}  // namespace kairos::serving

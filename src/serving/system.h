@@ -1,0 +1,114 @@
+// The serving-system simulator: a heterogeneous pool of instances, a
+// central query queue, and a pluggable distribution policy, driven by the
+// discrete-event engine. This is the experimental substrate standing in
+// for the paper's EC2 + gRPC deployment (DESIGN.md Sec. 1).
+//
+// Event flow per run:
+//   arrival  -> enqueue -> policy round -> dispatch/commit
+//   complete -> record latency, observe predictor -> policy round
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cloud/config.h"
+#include "cloud/instance_type.h"
+#include "latency/latency_model.h"
+#include "policy/policy.h"
+#include "serving/instance.h"
+#include "serving/latency_predictor.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace kairos::serving {
+
+/// Immutable description of what is being simulated.
+struct SystemSpec {
+  const cloud::Catalog* catalog = nullptr;
+  cloud::Config config;
+  /// Ground-truth latency surface (actual execution times).
+  const latency::LatencyModel* truth = nullptr;
+  double qos_ms = 0.0;
+};
+
+/// Simulation-run knobs.
+struct RunOptions {
+  /// Abort the run once this fraction of offered queries has violated QoS
+  /// (the run can no longer pass a p99 check; saves time in overload
+  /// trials). 0 disables early abort.
+  double abort_violation_fraction = 0.05;
+
+  /// At most this many waiting queries are handed to the policy per round
+  /// (FIFO prefix). Bounds matcher cost under extreme overload without
+  /// affecting ordering fairness.
+  std::size_t matcher_window = 64;
+
+  /// Keep per-query ServedRecords (costs memory on huge traces).
+  bool keep_records = false;
+};
+
+/// Results of one simulation run.
+struct RunResult {
+  std::size_t offered = 0;      ///< queries in the trace
+  std::size_t served = 0;       ///< completed before the run ended
+  std::size_t violations = 0;   ///< served with latency > QoS
+  bool aborted = false;         ///< early-aborted due to violation overflow
+
+  double p99_ms = 0.0;          ///< 99th-percentile end-to-end latency
+  double mean_ms = 0.0;
+  Time makespan = 0.0;          ///< last completion time
+  double throughput_qps = 0.0;  ///< served / makespan
+
+  /// True when the run can claim "allowable" status: everything served and
+  /// the p99 within QoS.
+  bool QosMet(double qos_ms) const {
+    return !aborted && served == offered && p99_ms <= qos_ms;
+  }
+
+  std::vector<double> latencies_ms;     ///< per served query
+  std::vector<ServedRecord> records;    ///< when RunOptions::keep_records
+  std::vector<double> per_type_busy;    ///< busy seconds per TypeId
+  std::vector<std::size_t> per_type_served;  ///< completions per TypeId
+};
+
+/// One simulated heterogeneous serving deployment.
+class ServingSystem {
+ public:
+  /// The spec's catalog/truth must outlive the system.
+  ServingSystem(SystemSpec spec, std::unique_ptr<policy::Policy> policy,
+                PredictorOptions predictor_options = {},
+                RunOptions run_options = {});
+
+  /// Simulates serving the trace to completion (or early abort). Resets all
+  /// state first, so a system can be reused across runs.
+  RunResult Run(const workload::Trace& trace);
+
+  const policy::Policy& GetPolicy() const { return *policy_; }
+  const SystemSpec& spec() const { return spec_; }
+
+ private:
+  void Reset();
+  void OnArrival(const workload::Query& q);
+  void RunRound();
+  void StartIfIdle(std::size_t instance_idx);
+  void BeginExecution(std::size_t instance_idx, const workload::Query& q);
+  void OnCompletion(std::size_t instance_idx, workload::Query q, Time start);
+  std::vector<InstanceView> SnapshotInstances() const;
+
+  SystemSpec spec_;
+  std::unique_ptr<policy::Policy> policy_;
+  PredictorOptions predictor_options_;
+  RunOptions run_options_;
+
+  // Per-run state.
+  sim::Simulator sim_;
+  std::unique_ptr<LatencyPredictor> predictor_;
+  std::vector<Instance> instances_;
+  std::deque<workload::Query> waiting_;
+  RunResult result_;
+  double qos_sec_ = 0.0;
+  bool abort_requested_ = false;
+};
+
+}  // namespace kairos::serving

@@ -1,0 +1,85 @@
+#include "serving/throughput_eval.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "workload/arrival.h"
+#include "workload/trace.h"
+
+namespace kairos::serving {
+
+EvalResult AllowableThroughput(const SystemFactory& factory,
+                               const workload::BatchDistribution& mix,
+                               double qos_ms, const EvalOptions& options) {
+  Rng rng(options.seed);
+  const workload::PoissonArrivals unit_rate(1.0);
+  const workload::Trace base =
+      workload::Trace::Generate(unit_rate, mix, options.queries, rng);
+
+  EvalResult result;
+  auto passes = [&](double rate) {
+    ++result.trials;
+    const workload::Trace trial = base.Retimed(rate);
+    const RunResult run = factory()->Run(trial);
+    return run.QosMet(qos_ms);
+  };
+
+  // Bracket the failure boundary geometrically from the initial guess.
+  double lo = 0.0;
+  double hi = std::max(1e-3, options.rate_guess);
+  if (passes(hi)) {
+    for (int i = 0; i < 24; ++i) {
+      lo = hi;
+      hi *= 2.0;
+      if (!passes(hi)) break;
+      if (i == 23) return {hi, result.trials};  // absurdly high; give up
+    }
+  } else {
+    bool found_passing = false;
+    for (int i = 0; i < 24; ++i) {
+      hi /= 2.0;
+      if (passes(hi)) {
+        lo = hi;
+        hi *= 2.0;
+        found_passing = true;
+        break;
+      }
+      if (hi < 1e-3) break;
+    }
+    if (!found_passing) return {0.0, result.trials};  // cannot serve at all
+  }
+
+  // Bisect [lo passing, hi failing].
+  for (int i = 0; i < options.bisect_iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (passes(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.qps = lo;
+  return result;
+}
+
+EvalResult EvaluateConfig(const cloud::Catalog& catalog,
+                          const cloud::Config& config,
+                          const latency::LatencyModel& truth, double qos_ms,
+                          const PolicyFactory& policy_factory,
+                          const workload::BatchDistribution& mix,
+                          const EvalOptions& options,
+                          PredictorOptions predictor_options,
+                          RunOptions run_options) {
+  const SystemFactory factory = [&] {
+    SystemSpec spec;
+    spec.catalog = &catalog;
+    spec.config = config;
+    spec.truth = &truth;
+    spec.qos_ms = qos_ms;
+    return std::make_unique<ServingSystem>(spec, policy_factory(),
+                                           predictor_options, run_options);
+  };
+  return AllowableThroughput(factory, mix, qos_ms, options);
+}
+
+}  // namespace kairos::serving

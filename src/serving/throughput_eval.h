@@ -1,0 +1,57 @@
+// Allowable-throughput evaluation (Sec. 3/7): the maximum Poisson arrival
+// rate a deployment sustains with its p99 latency inside the QoS target.
+// Implemented as the paper describes — raise the rate until QoS breaks —
+// via geometric bracketing plus bisection. Every rate trial replays the
+// *same* batch-size sequence (retimed), so scheme comparisons are not
+// polluted by sampling noise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "cloud/config.h"
+#include "serving/system.h"
+#include "workload/batch_dist.h"
+
+namespace kairos::serving {
+
+/// Produces a fresh ServingSystem per rate trial.
+using SystemFactory = std::function<std::unique_ptr<ServingSystem>()>;
+
+/// Produces a fresh distribution policy (systems own their policy).
+using PolicyFactory = std::function<std::unique_ptr<policy::Policy>()>;
+
+/// Evaluator knobs. Defaults target bench-quality fidelity in seconds of
+/// wall time; scale `queries` up for higher precision.
+struct EvalOptions {
+  std::size_t queries = 600;   ///< trace length per rate trial
+  int bisect_iters = 7;        ///< bisection refinement steps
+  double rate_guess = 20.0;    ///< initial bracket guess, queries/sec
+  std::uint64_t seed = 42;     ///< trace generation seed
+};
+
+/// Outcome of a throughput evaluation.
+struct EvalResult {
+  double qps = 0.0;  ///< allowable throughput (max passing rate)
+  int trials = 0;    ///< simulation runs spent (the paper's "evaluations"
+                     ///< correspond to one EvalResult, not one trial)
+};
+
+/// Core evaluator over an arbitrary system factory.
+EvalResult AllowableThroughput(const SystemFactory& factory,
+                               const workload::BatchDistribution& mix,
+                               double qos_ms, const EvalOptions& options);
+
+/// Convenience evaluator for (catalog, config, model, policy) tuples — the
+/// form every search algorithm and bench uses.
+EvalResult EvaluateConfig(const cloud::Catalog& catalog,
+                          const cloud::Config& config,
+                          const latency::LatencyModel& truth, double qos_ms,
+                          const PolicyFactory& policy_factory,
+                          const workload::BatchDistribution& mix,
+                          const EvalOptions& options,
+                          PredictorOptions predictor_options = {},
+                          RunOptions run_options = {});
+
+}  // namespace kairos::serving

@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace kairos::sim {
+
+EventId EventQueue::Schedule(Time at, EventFn fn) {
+  const EventId id = fns_.size();
+  fns_.push_back(std::move(fn));
+  cancelled_.push_back(false);
+  heap_.push(Entry{at, next_seq_++, id});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id >= cancelled_.size() || cancelled_[id] || !fns_[id]) return false;
+  cancelled_[id] = true;
+  assert(live_ > 0);
+  --live_;
+  return true;
+}
+
+void EventQueue::DropCancelledHead() const {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) heap_.pop();
+}
+
+Time EventQueue::NextTime() const {
+  DropCancelledHead();
+  return heap_.empty() ? kTimeInfinity : heap_.top().at;
+}
+
+Time EventQueue::RunNext() {
+  DropCancelledHead();
+  assert(!heap_.empty());
+  const Entry entry = heap_.top();
+  heap_.pop();
+  EventFn fn = std::move(fns_[entry.id]);
+  fns_[entry.id] = nullptr;  // marks as fired
+  --live_;
+  fn();
+  return entry.at;
+}
+
+}  // namespace kairos::sim

@@ -1,0 +1,66 @@
+// Priority event queue for the discrete-event simulator. Ties in time break
+// by insertion sequence so replays are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace kairos::sim {
+
+/// Callback executed when an event fires.
+using EventFn = std::function<void()>;
+
+/// Handle that allows cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+/// Min-heap of timestamped events with stable ordering and O(log n)
+/// cancellation (lazy deletion).
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`. Returns a cancellation handle.
+  EventId Schedule(Time at, EventFn fn);
+
+  /// Cancels a previously scheduled event. Cancelling an already-fired or
+  /// already-cancelled event is a no-op and returns false.
+  bool Cancel(EventId id);
+
+  /// True when no live events remain.
+  bool Empty() const { return live_ == 0; }
+
+  /// Number of live (not cancelled, not fired) events.
+  std::size_t Size() const { return live_; }
+
+  /// Time of the next live event; kTimeInfinity when empty.
+  Time NextTime() const;
+
+  /// Pops and runs the next live event; returns its time. Must not be
+  /// called when Empty().
+  Time RunNext();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void DropCancelledHead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<EventFn> fns_;        // indexed by EventId
+  std::vector<bool> cancelled_;     // indexed by EventId
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace kairos::sim

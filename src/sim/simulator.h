@@ -1,0 +1,42 @@
+// Discrete-event simulator: a clock plus an event queue. The serving system
+// (serving/system.h) drives its instances and controller through this.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/event_queue.h"
+
+namespace kairos::sim {
+
+/// Deterministic single-threaded discrete-event simulator.
+class Simulator {
+ public:
+  /// Current simulation time (seconds).
+  Time Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (clamped at now).
+  EventId After(Time delay, EventFn fn);
+
+  /// Schedules `fn` at the absolute time `at` (clamped at now).
+  EventId At(Time at, EventFn fn);
+
+  /// Cancels a scheduled event; no-op if already fired/cancelled.
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  /// Runs events until the queue is empty or `until` is passed; the clock
+  /// ends at the last fired event (or `until` if the horizon was hit).
+  /// Returns the number of events fired.
+  std::size_t RunUntil(Time until = kTimeInfinity);
+
+  /// Fires exactly one event if any; returns whether one fired.
+  bool Step();
+
+  /// True when no pending events remain.
+  bool Idle() const { return queue_.Empty(); }
+
+ private:
+  Time now_ = 0.0;
+  EventQueue queue_;
+};
+
+}  // namespace kairos::sim

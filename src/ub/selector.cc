@@ -1,0 +1,66 @@
+#include "ub/selector.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace kairos::ub {
+
+std::vector<RankedConfig> RankByUpperBound(
+    const std::vector<cloud::Config>& configs,
+    const std::vector<double>& upper_bounds) {
+  if (configs.size() != upper_bounds.size()) {
+    throw std::invalid_argument("RankByUpperBound: size mismatch");
+  }
+  std::vector<RankedConfig> ranked;
+  ranked.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ranked.push_back(RankedConfig{configs[i], upper_bounds[i]});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedConfig& a, const RankedConfig& b) {
+                     return a.upper_bound > b.upper_bound;
+                   });
+  return ranked;
+}
+
+SelectionResult SelectConfiguration(const std::vector<RankedConfig>& ranked,
+                                    const cloud::Catalog& catalog) {
+  if (ranked.empty()) {
+    throw std::invalid_argument("SelectConfiguration: empty candidate list");
+  }
+  const cloud::TypeId base = catalog.BaseType();
+
+  // Top-3 agreement on the base count → trust the #1 upper bound.
+  const std::size_t top3 = std::min<std::size_t>(3, ranked.size());
+  bool base_agrees = true;
+  for (std::size_t i = 1; i < top3; ++i) {
+    if (ranked[i].config.Count(base) != ranked[0].config.Count(base)) {
+      base_agrees = false;
+      break;
+    }
+  }
+  if (base_agrees) {
+    return SelectionResult{ranked[0].config, 0, false};
+  }
+
+  // Otherwise: min sum of squared distances among the top-10 (the config
+  // closest to the cluster centroid of the promising region).
+  const std::size_t top10 = std::min<std::size_t>(10, ranked.size());
+  double best_sse = std::numeric_limits<double>::infinity();
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < top10; ++i) {
+    double sse = 0.0;
+    for (std::size_t j = 0; j < top10; ++j) {
+      if (i == j) continue;
+      sse += ranked[i].config.SquaredDistance(ranked[j].config);
+    }
+    if (sse < best_sse) {
+      best_sse = sse;
+      best_idx = i;
+    }
+  }
+  return SelectionResult{ranked[best_idx].config, best_idx, true};
+}
+
+}  // namespace kairos::ub

@@ -1,0 +1,43 @@
+// Similarity-based configuration selection (Sec. 5.2, final step): a higher
+// upper bound does not strictly imply higher throughput, so Kairos picks
+// from the *region* of top-ranked candidates:
+//   * if the top-3 upper-bound configs agree on the base-instance count,
+//     take the #1 config;
+//   * otherwise, among the top-10, take the config minimizing the sum of
+//     squared Euclidean distances to the other nine (the cluster-centroid /
+//     min-SSE criterion).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cloud/config.h"
+#include "cloud/instance_type.h"
+
+namespace kairos::ub {
+
+/// A configuration with its estimated upper bound.
+struct RankedConfig {
+  cloud::Config config;
+  double upper_bound = 0.0;
+};
+
+/// Pairs configs with bounds and sorts descending by bound (stable, so
+/// equal bounds keep enumeration order and results stay deterministic).
+std::vector<RankedConfig> RankByUpperBound(
+    const std::vector<cloud::Config>& configs,
+    const std::vector<double>& upper_bounds);
+
+/// Outcome of the similarity rule.
+struct SelectionResult {
+  cloud::Config chosen;
+  std::size_t chosen_rank = 0;       ///< index into the ranked list
+  bool used_distance_rule = false;   ///< false = top-3 agreement shortcut
+};
+
+/// Applies the Sec. 5.2 similarity rule to a (descending) ranked list.
+/// Throws std::invalid_argument when `ranked` is empty.
+SelectionResult SelectConfiguration(const std::vector<RankedConfig>& ranked,
+                                    const cloud::Catalog& catalog);
+
+}  // namespace kairos::ub

@@ -1,0 +1,107 @@
+#include "ub/upper_bound.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kairos::ub {
+
+double UpperBoundGeneral(int u, double q_b, double q_b_splus,
+                         std::span<const std::pair<int, double>> aux,
+                         double f_prime) {
+  if (u <= 0) return 0.0;  // no base: the largest queries can never be QoS-met
+  double aux_rate = 0.0;
+  for (const auto& [v, q] : aux) aux_rate += v * q;
+
+  if (aux_rate <= 0.0 || f_prime <= 0.0) {
+    // No effective auxiliary capacity, or no query small enough for any
+    // auxiliary: the pool degenerates to homogeneous base serving.
+    return u * q_b;
+  }
+  if (f_prime >= 1.0) {
+    // Every query fits the auxiliaries: both tiers run at full rate.
+    return aux_rate + u * q_b;
+  }
+
+  const double base_splus_rate = u * q_b_splus;
+  const double c = aux_rate * (1.0 - f_prime) / f_prime;  // Eq. 14
+  if (base_splus_rate <= c) {
+    return base_splus_rate / (1.0 - f_prime);  // Eq. 12: base bottleneck
+  }
+  const double slack_ratio = (base_splus_rate - c) / base_splus_rate;
+  return aux_rate / f_prime + slack_ratio * u * q_b;  // Eq. 13
+}
+
+UpperBoundEstimator::UpperBoundEstimator(const cloud::Catalog& catalog,
+                                         const latency::LatencyModel& truth,
+                                         double qos_ms)
+    : catalog_(catalog), truth_(truth), qos_ms_(qos_ms) {
+  if (qos_ms <= 0.0) {
+    throw std::invalid_argument("UpperBoundEstimator: qos_ms must be > 0");
+  }
+}
+
+UpperBoundBreakdown UpperBoundEstimator::Estimate(
+    const cloud::Config& config, const workload::QueryMonitor& monitor) const {
+  if (config.NumTypes() != catalog_.size()) {
+    throw std::invalid_argument("UpperBoundEstimator: config arity mismatch");
+  }
+  UpperBoundBreakdown out;
+  const cloud::TypeId base = catalog_.BaseType();
+  const int u = config.Count(base);
+
+  // Largest QoS-feasible region across the auxiliary types present.
+  int s_prime = 0;
+  for (const cloud::TypeId t : catalog_.AuxiliaryTypes()) {
+    if (config.Count(t) <= 0) continue;
+    s_prime = std::max(s_prime, truth_.MaxQosBatch(t, qos_ms_));
+  }
+  out.s_prime = s_prime;
+  out.f_prime = monitor.FractionAtOrBelow(s_prime);
+
+  // Standalone per-node rates from the affine surface and the monitored
+  // batch means: rate = 1000 ms / E[latency_ms].
+  const latency::AffineLatency& base_curve = truth_.Curve(base);
+  const double mean_all = std::max(1.0, monitor.MeanBatch());
+  out.q_b = 1000.0 / (base_curve.base_ms + base_curve.per_item_ms * mean_all);
+  const double mean_large = monitor.MeanBatchAbove(s_prime);
+  out.q_b_splus =
+      mean_large > 0.0
+          ? 1000.0 / (base_curve.base_ms + base_curve.per_item_ms * mean_large)
+          : out.q_b;
+
+  const double mean_small = monitor.MeanBatchAtOrBelow(s_prime);
+  std::vector<std::pair<int, double>> aux;
+  for (const cloud::TypeId t : catalog_.AuxiliaryTypes()) {
+    const int v = config.Count(t);
+    if (v <= 0) continue;
+    if (truth_.MaxQosBatch(t, qos_ms_) <= 0 || mean_small <= 0.0) {
+      aux.emplace_back(v, 0.0);
+      continue;
+    }
+    const latency::AffineLatency& curve = truth_.Curve(t);
+    const double rate =
+        1000.0 / (curve.base_ms + curve.per_item_ms * mean_small);
+    aux.emplace_back(v, rate);
+    out.aux_rate_sum += v * rate;
+  }
+
+  out.c = out.f_prime > 0.0
+              ? out.aux_rate_sum * (1.0 - out.f_prime) / out.f_prime
+              : 0.0;
+  out.base_bottleneck =
+      out.aux_rate_sum > 0.0 && out.f_prime > 0.0 && out.f_prime < 1.0 &&
+      u * out.q_b_splus <= out.c;
+  out.qps_max = UpperBoundGeneral(u, out.q_b, out.q_b_splus, aux, out.f_prime);
+  return out;
+}
+
+std::vector<double> UpperBoundEstimator::EstimateAll(
+    const std::vector<cloud::Config>& configs,
+    const workload::QueryMonitor& monitor) const {
+  std::vector<double> out;
+  out.reserve(configs.size());
+  for (const cloud::Config& c : configs) out.push_back(QpsMax(c, monitor));
+  return out;
+}
+
+}  // namespace kairos::ub

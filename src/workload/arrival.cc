@@ -1,0 +1,19 @@
+#include "workload/arrival.h"
+
+#include <stdexcept>
+
+namespace kairos::workload {
+
+PoissonArrivals::PoissonArrivals(double rate_qps) : rate_(rate_qps) {
+  if (rate_qps <= 0.0) throw std::invalid_argument("PoissonArrivals: rate<=0");
+}
+
+Time PoissonArrivals::NextGap(Rng& rng) const {
+  return rng.Exponential(rate_);
+}
+
+UniformArrivals::UniformArrivals(double rate_qps) : gap_(1.0 / rate_qps) {
+  if (rate_qps <= 0.0) throw std::invalid_argument("UniformArrivals: rate<=0");
+}
+
+}  // namespace kairos::workload

@@ -1,0 +1,53 @@
+// Query arrival processes. The paper drives evaluation with Poisson
+// inter-arrivals at 100s of queries per second (Sec. 7).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace kairos::workload {
+
+/// Interface for inter-arrival-time generators.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Draws the gap (seconds) until the next arrival.
+  virtual Time NextGap(Rng& rng) const = 0;
+
+  /// Mean arrival rate (queries per second).
+  virtual double Rate() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// Poisson process: exponential inter-arrival gaps.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_qps);
+
+  Time NextGap(Rng& rng) const override;
+  double Rate() const override { return rate_; }
+  std::string Name() const override { return "poisson"; }
+
+ private:
+  double rate_;
+};
+
+/// Fixed-gap arrivals; useful for deterministic tests.
+class UniformArrivals final : public ArrivalProcess {
+ public:
+  explicit UniformArrivals(double rate_qps);
+
+  Time NextGap(Rng&) const override { return gap_; }
+  double Rate() const override { return 1.0 / gap_; }
+  std::string Name() const override { return "uniform"; }
+
+ private:
+  Time gap_;
+};
+
+}  // namespace kairos::workload

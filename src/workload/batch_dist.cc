@@ -1,0 +1,92 @@
+#include "workload/batch_dist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "latency/latency_model.h"
+
+namespace kairos::workload {
+namespace {
+
+int Clamp(double raw) {
+  const double rounded = std::round(raw);
+  return static_cast<int>(
+      std::clamp(rounded, 1.0, double{latency::kMaxBatchSize}));
+}
+
+double StdNormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+LogNormalBatches::LogNormalBatches(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  if (sigma <= 0.0) throw std::invalid_argument("LogNormalBatches: sigma<=0");
+}
+
+int LogNormalBatches::Sample(Rng& rng) const {
+  return Clamp(rng.LogNormal(mu_, sigma_));
+}
+
+double LogNormalBatches::Cdf(int b) const {
+  if (b < 1) return 0.0;
+  if (b >= latency::kMaxBatchSize) return 1.0;  // mass above cap clamps down
+  // P(round(clamp(X)) <= b) = P(X < b + 0.5).
+  return StdNormalCdf((std::log(b + 0.5) - mu_) / sigma_);
+}
+
+std::string LogNormalBatches::Name() const { return "lognormal(production)"; }
+
+LogNormalBatches LogNormalBatches::Production() {
+  return LogNormalBatches(std::log(35.0), 1.35);
+}
+
+GaussianBatches::GaussianBatches(double mean, double stddev)
+    : mean_(mean), stddev_(stddev) {
+  if (stddev <= 0.0) throw std::invalid_argument("GaussianBatches: stddev<=0");
+}
+
+int GaussianBatches::Sample(Rng& rng) const {
+  return Clamp(rng.Normal(mean_, stddev_));
+}
+
+double GaussianBatches::Cdf(int b) const {
+  if (b < 1) return 0.0;
+  if (b >= latency::kMaxBatchSize) return 1.0;
+  return StdNormalCdf((b + 0.5 - mean_) / stddev_);
+}
+
+std::string GaussianBatches::Name() const { return "gaussian"; }
+
+GaussianBatches GaussianBatches::Default() {
+  return GaussianBatches(150.0, 80.0);
+}
+
+EmpiricalBatches::EmpiricalBatches(std::vector<int> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("EmpiricalBatches: empty sample set");
+  }
+  sorted_samples_.reserve(samples.size());
+  for (int s : samples) {
+    sorted_samples_.push_back(
+        std::clamp(s, 1, int{latency::kMaxBatchSize}));
+  }
+  std::sort(sorted_samples_.begin(), sorted_samples_.end());
+}
+
+int EmpiricalBatches::Sample(Rng& rng) const {
+  const auto idx = static_cast<std::size_t>(
+      rng.UniformInt(0, static_cast<std::int64_t>(sorted_samples_.size()) - 1));
+  return sorted_samples_[idx];
+}
+
+double EmpiricalBatches::Cdf(int b) const {
+  const auto it =
+      std::upper_bound(sorted_samples_.begin(), sorted_samples_.end(), b);
+  return static_cast<double>(it - sorted_samples_.begin()) /
+         static_cast<double>(sorted_samples_.size());
+}
+
+std::string EmpiricalBatches::Name() const { return "empirical"; }
+
+}  // namespace kairos::workload

@@ -1,0 +1,85 @@
+// Batch-size distributions (Sec. 7): the production-like heavy-tailed
+// log-normal standing in for the Meta query trace, the Gaussian used in the
+// sensitivity studies, and an empirical histogram form for replaying
+// recorded mixes. All draws are clamped to [1, kMaxBatchSize].
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace kairos::workload {
+
+/// Interface for batch-size generators.
+class BatchDistribution {
+ public:
+  virtual ~BatchDistribution() = default;
+
+  /// Draws one batch size in [1, 1000].
+  virtual int Sample(Rng& rng) const = 0;
+
+  /// P(batch <= b), used by the analytic upper-bound machinery in tests.
+  /// Implementations may approximate by sampling if no closed form exists.
+  virtual double Cdf(int b) const = 0;
+
+  /// Short human-readable name for reports.
+  virtual std::string Name() const = 0;
+};
+
+/// Log-normal batch sizes — the synthetic stand-in for the production trace
+/// (heavy right tail, most queries small, occasional near-cap batches).
+class LogNormalBatches final : public BatchDistribution {
+ public:
+  /// mu/sigma are the parameters of the underlying normal.
+  LogNormalBatches(double mu, double sigma);
+
+  int Sample(Rng& rng) const override;
+  double Cdf(int b) const override;
+  std::string Name() const override;
+
+  /// The default "production" mix used throughout the benches:
+  /// median 40 requests, sigma 1.3 (≈95% of queries below ~350).
+  static LogNormalBatches Production();
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Gaussian batch sizes (Fig. 12 / Fig. 16a).
+class GaussianBatches final : public BatchDistribution {
+ public:
+  GaussianBatches(double mean, double stddev);
+
+  int Sample(Rng& rng) const override;
+  double Cdf(int b) const override;
+  std::string Name() const override;
+
+  /// Default Gaussian mix: mean 150, stddev 80.
+  static GaussianBatches Default();
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+/// Empirical histogram over batch sizes; replays any recorded mix.
+class EmpiricalBatches final : public BatchDistribution {
+ public:
+  /// `samples` is a list of observed batch sizes (clamped into range).
+  explicit EmpiricalBatches(std::vector<int> samples);
+
+  int Sample(Rng& rng) const override;
+  double Cdf(int b) const override;
+  std::string Name() const override;
+
+ private:
+  std::vector<int> sorted_samples_;
+};
+
+/// Deep-copyable handle used where ownership must be shared.
+using BatchDistributionPtr = std::shared_ptr<const BatchDistribution>;
+
+}  // namespace kairos::workload

@@ -1,0 +1,77 @@
+#include "workload/mixtures.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "latency/latency_model.h"
+
+namespace kairos::workload {
+
+MixtureBatches::MixtureBatches(std::vector<Component> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) {
+    throw std::invalid_argument("MixtureBatches: no components");
+  }
+  double total = 0.0;
+  for (const Component& c : components_) {
+    if (!c.dist || c.weight <= 0.0) {
+      throw std::invalid_argument("MixtureBatches: bad component");
+    }
+    total += c.weight;
+  }
+  weights_.reserve(components_.size());
+  for (const Component& c : components_) {
+    weights_.push_back(c.weight / total);
+  }
+}
+
+int MixtureBatches::Sample(Rng& rng) const {
+  const std::size_t idx = rng.Categorical(weights_);
+  return components_[idx].dist->Sample(rng);
+}
+
+double MixtureBatches::Cdf(int b) const {
+  double cdf = 0.0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    cdf += weights_[i] * components_[i].dist->Cdf(b);
+  }
+  return cdf;
+}
+
+std::string MixtureBatches::Name() const {
+  return "mixture(" + std::to_string(components_.size()) + ")";
+}
+
+MixtureBatches MixtureBatches::BimodalDefault() {
+  std::vector<Component> components;
+  components.push_back(
+      {std::make_shared<LogNormalBatches>(std::log(20.0), 0.8), 0.8});
+  components.push_back(
+      {std::make_shared<GaussianBatches>(600.0, 80.0), 0.2});
+  return MixtureBatches(std::move(components));
+}
+
+ParetoBatches::ParetoBatches(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0) throw std::invalid_argument("ParetoBatches: alpha <= 0");
+  norm_ = 1.0 - std::pow(1.0 / double{latency::kMaxBatchSize}, alpha_);
+}
+
+int ParetoBatches::Sample(Rng& rng) const {
+  // Inverse-CDF sampling of the bounded Pareto on [1, cap].
+  const double u = rng.Uniform() * norm_;
+  const double x = std::pow(1.0 - u, -1.0 / alpha_);
+  const int b = static_cast<int>(x);
+  return std::min(std::max(b, 1), int{latency::kMaxBatchSize});
+}
+
+double ParetoBatches::Cdf(int b) const {
+  if (b < 1) return 0.0;
+  if (b >= latency::kMaxBatchSize) return 1.0;
+  return (1.0 - std::pow(static_cast<double>(b), -alpha_)) / norm_;
+}
+
+std::string ParetoBatches::Name() const {
+  return "pareto(alpha=" + std::to_string(alpha_) + ")";
+}
+
+}  // namespace kairos::workload

@@ -1,0 +1,53 @@
+// Additional batch-size distributions for robustness studies beyond the
+// paper's log-normal/Gaussian pair: weighted mixtures (bimodal workloads
+// are common in recommendation traffic: interactive singles + batch
+// re-ranking) and a bounded Pareto for extreme-tail stress tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "workload/batch_dist.h"
+
+namespace kairos::workload {
+
+/// Weighted mixture of component distributions.
+class MixtureBatches final : public BatchDistribution {
+ public:
+  struct Component {
+    BatchDistributionPtr dist;
+    double weight = 1.0;
+  };
+
+  /// Weights must be positive; they are normalized internally.
+  explicit MixtureBatches(std::vector<Component> components);
+
+  int Sample(Rng& rng) const override;
+  double Cdf(int b) const override;
+  std::string Name() const override;
+
+  /// A bimodal interactive-plus-batch mix: 80% small interactive queries
+  /// (log-normal around 20), 20% large re-ranking batches (Gaussian 600).
+  static MixtureBatches BimodalDefault();
+
+ private:
+  std::vector<Component> components_;
+  std::vector<double> weights_;  ///< normalized, for Categorical draws
+};
+
+/// Bounded Pareto (power-law) batch sizes on [1, 1000].
+class ParetoBatches final : public BatchDistribution {
+ public:
+  /// `alpha` > 0 is the tail exponent; smaller = heavier tail.
+  explicit ParetoBatches(double alpha);
+
+  int Sample(Rng& rng) const override;
+  double Cdf(int b) const override;
+  std::string Name() const override;
+
+ private:
+  double alpha_;
+  double norm_;  ///< 1 - (lo/hi)^alpha, the truncation mass
+};
+
+}  // namespace kairos::workload

@@ -1,0 +1,79 @@
+#include "workload/monitor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "latency/latency_model.h"
+
+namespace kairos::workload {
+
+QueryMonitor::QueryMonitor(std::size_t window)
+    : window_(window), histogram_(latency::kMaxBatchSize + 1, 0) {
+  if (window == 0) throw std::invalid_argument("QueryMonitor: window == 0");
+}
+
+void QueryMonitor::Observe(int batch_size) {
+  const int b = std::clamp(batch_size, 1, int{latency::kMaxBatchSize});
+  recent_.push_back(b);
+  ++histogram_[static_cast<std::size_t>(b)];
+  ++total_in_window_;
+  sum_in_window_ += b;
+  if (recent_.size() > window_) {
+    const int evicted = recent_.front();
+    recent_.pop_front();
+    --histogram_[static_cast<std::size_t>(evicted)];
+    --total_in_window_;
+    sum_in_window_ -= evicted;
+  }
+}
+
+double QueryMonitor::FractionAtOrBelow(int s) const {
+  if (total_in_window_ == 0) return 0.0;
+  const int cap = std::clamp(s, 0, int{latency::kMaxBatchSize});
+  std::size_t below = 0;
+  for (int b = 1; b <= cap; ++b) below += histogram_[static_cast<std::size_t>(b)];
+  return static_cast<double>(below) / static_cast<double>(total_in_window_);
+}
+
+double QueryMonitor::MeanBatch() const {
+  if (total_in_window_ == 0) return 0.0;
+  return sum_in_window_ / static_cast<double>(total_in_window_);
+}
+
+double QueryMonitor::MeanBatchAtOrBelow(int s) const {
+  const int cap = std::clamp(s, 0, int{latency::kMaxBatchSize});
+  std::size_t count = 0;
+  double sum = 0.0;
+  for (int b = 1; b <= cap; ++b) {
+    count += histogram_[static_cast<std::size_t>(b)];
+    sum += static_cast<double>(histogram_[static_cast<std::size_t>(b)]) * b;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double QueryMonitor::MeanBatchAbove(int s) const {
+  const int floor = std::clamp(s, 0, int{latency::kMaxBatchSize});
+  std::size_t count = 0;
+  double sum = 0.0;
+  for (int b = floor + 1; b <= latency::kMaxBatchSize; ++b) {
+    count += histogram_[static_cast<std::size_t>(b)];
+    sum += static_cast<double>(histogram_[static_cast<std::size_t>(b)]) * b;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+EmpiricalBatches QueryMonitor::Snapshot() const {
+  if (recent_.empty()) {
+    throw std::logic_error("QueryMonitor::Snapshot: empty window");
+  }
+  return EmpiricalBatches(std::vector<int>(recent_.begin(), recent_.end()));
+}
+
+void QueryMonitor::Reset() {
+  recent_.clear();
+  std::fill(histogram_.begin(), histogram_.end(), 0);
+  total_in_window_ = 0;
+  sum_in_window_ = 0.0;
+}
+
+}  // namespace kairos::workload

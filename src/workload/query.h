@@ -1,0 +1,21 @@
+// The unit of work: an inference query carrying a batch of requests.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace kairos::workload {
+
+/// Monotonically increasing query identifier.
+using QueryId = std::uint64_t;
+
+/// One inference query (a batch of requests served by one model copy at a
+/// time, Sec. 6).
+struct Query {
+  QueryId id = 0;
+  int batch_size = 1;       ///< number of batched requests, in [1, 1000]
+  Time arrival = 0.0;       ///< when the query entered the system
+};
+
+}  // namespace kairos::workload

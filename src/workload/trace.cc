@@ -1,0 +1,52 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kairos::workload {
+
+Trace::Trace(std::vector<Query> queries) : queries_(std::move(queries)) {
+  if (!std::is_sorted(queries_.begin(), queries_.end(),
+                      [](const Query& a, const Query& b) {
+                        return a.arrival < b.arrival;
+                      })) {
+    throw std::invalid_argument("Trace: queries must be sorted by arrival");
+  }
+}
+
+Time Trace::Horizon() const {
+  return queries_.empty() ? 0.0 : queries_.back().arrival;
+}
+
+double Trace::OfferedRate() const {
+  const Time horizon = Horizon();
+  if (horizon <= 0.0 || queries_.size() < 2) return 0.0;
+  return static_cast<double>(queries_.size() - 1) / horizon;
+}
+
+Trace Trace::Generate(const ArrivalProcess& arrivals,
+                      const BatchDistribution& batches, std::size_t count,
+                      Rng& rng) {
+  std::vector<Query> queries;
+  queries.reserve(count);
+  Time t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += arrivals.NextGap(rng);
+    queries.push_back(Query{/*id=*/i, batches.Sample(rng), /*arrival=*/t});
+  }
+  return Trace(std::move(queries));
+}
+
+Trace Trace::Retimed(double new_rate_qps) const {
+  if (new_rate_qps <= 0.0) {
+    throw std::invalid_argument("Trace::Retimed: rate must be positive");
+  }
+  const double old_rate = OfferedRate();
+  if (old_rate <= 0.0) return *this;
+  const double scale = old_rate / new_rate_qps;
+  std::vector<Query> retimed = queries_;
+  for (Query& q : retimed) q.arrival *= scale;
+  return Trace(std::move(retimed));
+}
+
+}  // namespace kairos::workload

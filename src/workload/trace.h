@@ -1,0 +1,47 @@
+// Pre-materialized query traces: a fixed sequence of (arrival time, batch
+// size) pairs. Evaluating competing schemes on the *same* trace removes
+// sampling noise from comparisons; the oracle scheme additionally requires
+// the whole trace up front (it "knows the future").
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/arrival.h"
+#include "workload/batch_dist.h"
+#include "workload/query.h"
+
+namespace kairos::workload {
+
+/// An immutable sequence of queries sorted by arrival time.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Query> queries);
+
+  const std::vector<Query>& queries() const { return queries_; }
+  std::size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+
+  /// Duration from time zero to the last arrival.
+  Time Horizon() const;
+
+  /// Mean offered load in queries/second over the horizon.
+  double OfferedRate() const;
+
+  /// Generates a trace of `count` queries from an arrival process and a
+  /// batch distribution.
+  static Trace Generate(const ArrivalProcess& arrivals,
+                        const BatchDistribution& batches, std::size_t count,
+                        Rng& rng);
+
+  /// Re-times this trace's batch sequence to a new mean rate by scaling all
+  /// gaps uniformly; batch sizes and their order are preserved. Used by the
+  /// allowable-throughput evaluator so each rate trial sees the same mix.
+  Trace Retimed(double new_rate_qps) const;
+
+ private:
+  std::vector<Query> queries_;
+};
+
+}  // namespace kairos::workload

@@ -1,0 +1,70 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "latency/latency_model.h"
+
+namespace kairos::workload {
+
+void SaveTraceCsv(const Trace& trace, std::ostream& os) {
+  os << "id,arrival_s,batch\n";
+  os << std::setprecision(12);
+  for (const Query& q : trace.queries()) {
+    os << q.id << ',' << q.arrival << ',' << q.batch_size << '\n';
+  }
+}
+
+void SaveTraceCsv(const Trace& trace, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("SaveTraceCsv: cannot open " + path);
+  }
+  SaveTraceCsv(trace, file);
+  if (!file.good()) {
+    throw std::runtime_error("SaveTraceCsv: write failed for " + path);
+  }
+}
+
+Trace LoadTraceCsv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "id,arrival_s,batch") {
+    throw std::runtime_error("LoadTraceCsv: bad or missing header");
+  }
+  std::vector<Query> queries;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    Query q;
+    char comma1 = 0, comma2 = 0;
+    if (!(row >> q.id >> comma1 >> q.arrival >> comma2 >> q.batch_size) ||
+        comma1 != ',' || comma2 != ',') {
+      throw std::runtime_error("LoadTraceCsv: malformed row at line " +
+                               std::to_string(line_no));
+    }
+    if (q.batch_size < 1 || q.batch_size > latency::kMaxBatchSize) {
+      throw std::runtime_error("LoadTraceCsv: batch out of range at line " +
+                               std::to_string(line_no));
+    }
+    if (!queries.empty() && q.arrival < queries.back().arrival) {
+      throw std::runtime_error("LoadTraceCsv: arrivals not sorted at line " +
+                               std::to_string(line_no));
+    }
+    queries.push_back(q);
+  }
+  return Trace(std::move(queries));
+}
+
+Trace LoadTraceCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("LoadTraceCsv: cannot open " + path);
+  }
+  return LoadTraceCsv(file);
+}
+
+}  // namespace kairos::workload

@@ -1,0 +1,29 @@
+// Trace persistence: save and load query traces as CSV so experiments can
+// be replayed bit-for-bit across runs and shared like the paper's
+// production trace artifact. Format: header "id,arrival_s,batch" then one
+// row per query, sorted by arrival.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace kairos::workload {
+
+/// Writes a trace to a stream (CSV with header).
+void SaveTraceCsv(const Trace& trace, std::ostream& os);
+
+/// Writes a trace to a file; throws std::runtime_error on I/O failure.
+void SaveTraceCsv(const Trace& trace, const std::string& path);
+
+/// Parses a trace from a stream; throws std::runtime_error on malformed
+/// input (bad header, non-numeric fields, unsorted arrivals, batch out of
+/// [1, 1000]).
+Trace LoadTraceCsv(std::istream& is);
+
+/// Reads a trace from a file; throws std::runtime_error when the file
+/// cannot be opened or parsed.
+Trace LoadTraceCsv(const std::string& path);
+
+}  // namespace kairos::workload

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "assign/brute_force.h"
+#include "assign/hungarian.h"
+#include "assign/jv.h"
+#include "common/rng.h"
+
+namespace kairos::assign {
+namespace {
+
+Matrix RandomCost(std::size_t m, std::size_t n, Rng& rng, double lo = 0.0,
+                  double hi = 10.0) {
+  Matrix cost(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) cost(i, j) = rng.Uniform(lo, hi);
+  }
+  return cost;
+}
+
+TEST(JvTest, TrivialOneByOne) {
+  const Matrix cost{{7.0}};
+  const AssignmentResult r = SolveJv(cost);
+  EXPECT_EQ(r.col_for_row, (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(r.total_cost, 7.0);
+}
+
+TEST(JvTest, KnownSquareCase) {
+  // Optimal is the anti-diagonal: 1 + 2 + 3 = 6.
+  const Matrix cost{{9.0, 9.0, 1.0}, {9.0, 2.0, 9.0}, {3.0, 9.0, 9.0}};
+  const AssignmentResult r = SolveJv(cost);
+  EXPECT_DOUBLE_EQ(r.total_cost, 6.0);
+  EXPECT_EQ(r.col_for_row, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(JvTest, MoreColumnsThanRows) {
+  const Matrix cost{{5.0, 1.0, 8.0, 9.0}, {4.0, 6.0, 2.0, 9.0}};
+  const AssignmentResult r = SolveJv(cost);
+  EXPECT_EQ(r.matched, 2);
+  EXPECT_DOUBLE_EQ(r.total_cost, 3.0);
+  EXPECT_TRUE(IsValidMatching(r, 2, 4));
+}
+
+TEST(JvTest, MoreRowsThanColumns) {
+  const Matrix cost{{5.0, 1.0}, {1.0, 6.0}, {9.0, 9.0}};
+  const AssignmentResult r = SolveJv(cost);
+  EXPECT_EQ(r.matched, 2);
+  EXPECT_TRUE(IsValidMatching(r, 3, 2));
+  // Row 2 (all expensive) must be the unmatched one.
+  EXPECT_EQ(r.col_for_row[2], -1);
+  EXPECT_DOUBLE_EQ(r.total_cost, 2.0);
+}
+
+TEST(JvTest, EmptyProblems) {
+  EXPECT_EQ(SolveJv(Matrix(0, 5)).matched, 0);
+  EXPECT_EQ(SolveJv(Matrix(5, 0)).matched, 0);
+}
+
+TEST(JvTest, NonFiniteCostThrows) {
+  Matrix cost(2, 2, 1.0);
+  cost(0, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(SolveJv(cost), std::invalid_argument);
+  cost(0, 0) = std::nan("");
+  EXPECT_THROW(SolveJv(cost), std::invalid_argument);
+}
+
+TEST(JvTest, NegativeCostsHandled) {
+  const Matrix cost{{-5.0, 2.0}, {3.0, -4.0}};
+  const AssignmentResult r = SolveJv(cost);
+  EXPECT_DOUBLE_EQ(r.total_cost, -9.0);
+}
+
+// Property sweep: JV == brute force on random rectangular problems of every
+// small shape, across seeds.
+struct ShapeSeed {
+  std::size_t m, n;
+  std::uint64_t seed;
+};
+
+class JvVsBruteForce : public ::testing::TestWithParam<ShapeSeed> {};
+
+TEST_P(JvVsBruteForce, OptimalCostMatches) {
+  const auto [m, n, seed] = GetParam();
+  Rng rng(seed);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Matrix cost = RandomCost(m, n, rng);
+    const AssignmentResult jv = SolveJv(cost);
+    const AssignmentResult bf = SolveBruteForce(cost);
+    EXPECT_TRUE(IsValidMatching(jv, m, n));
+    EXPECT_NEAR(jv.total_cost, bf.total_cost, 1e-9)
+        << "shape " << m << "x" << n << " rep " << rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallShapes, JvVsBruteForce,
+    ::testing::Values(ShapeSeed{1, 1, 1}, ShapeSeed{2, 2, 2},
+                      ShapeSeed{3, 3, 3}, ShapeSeed{4, 4, 4},
+                      ShapeSeed{5, 5, 5}, ShapeSeed{6, 6, 6},
+                      ShapeSeed{7, 7, 7}, ShapeSeed{2, 5, 8},
+                      ShapeSeed{5, 2, 9}, ShapeSeed{3, 7, 10},
+                      ShapeSeed{7, 3, 11}, ShapeSeed{1, 8, 12},
+                      ShapeSeed{8, 1, 13}, ShapeSeed{6, 4, 14},
+                      ShapeSeed{4, 6, 15}),
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.m) + "n" +
+             std::to_string(info.param.n) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+// Cross-check the two independent polynomial solvers on larger problems.
+class JvVsHungarian : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JvVsHungarian, CostsAgreeOnLargerProblems) {
+  Rng rng(GetParam());
+  for (const auto& [m, n] :
+       {std::pair<std::size_t, std::size_t>{20, 20}, {15, 40}, {40, 15},
+        {30, 33}, {64, 64}}) {
+    const Matrix cost = RandomCost(m, n, rng);
+    const AssignmentResult jv = SolveJv(cost);
+    const AssignmentResult hu = SolveHungarian(cost);
+    EXPECT_TRUE(IsValidMatching(jv, m, n));
+    EXPECT_TRUE(IsValidMatching(hu, m, n));
+    EXPECT_NEAR(jv.total_cost, hu.total_cost, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JvVsHungarian,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(JvTest, DegenerateEqualCosts) {
+  // All-equal costs: any perfect matching is optimal; must still be valid.
+  const Matrix cost(6, 6, 3.0);
+  const AssignmentResult r = SolveJv(cost);
+  EXPECT_TRUE(IsValidMatching(r, 6, 6));
+  EXPECT_DOUBLE_EQ(r.total_cost, 18.0);
+}
+
+TEST(JvTest, PenaltyStructureLikeKairos) {
+  // Shape of the Kairos Eq. 8 matrices: a few huge penalty entries among
+  // normal costs; the solver must route around penalties when possible.
+  Matrix cost{{0.1, 100.0}, {0.2, 0.3}};
+  const AssignmentResult r = SolveJv(cost);
+  EXPECT_EQ(r.col_for_row, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.4);
+}
+
+TEST(BruteForceTest, TooLargeThrows) {
+  EXPECT_THROW(SolveBruteForce(Matrix(10, 10, 1.0)), std::invalid_argument);
+}
+
+TEST(IsValidMatchingTest, DetectsDuplicateColumns) {
+  AssignmentResult r;
+  r.col_for_row = {0, 0};
+  r.matched = 2;
+  EXPECT_FALSE(IsValidMatching(r, 2, 2));
+}
+
+TEST(IsValidMatchingTest, DetectsWrongCardinality) {
+  AssignmentResult r;
+  r.col_for_row = {0, -1};
+  r.matched = 1;
+  EXPECT_FALSE(IsValidMatching(r, 2, 2));  // should match min(2,2)=2
+}
+
+}  // namespace
+}  // namespace kairos::assign

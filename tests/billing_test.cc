@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "cloud/billing.h"
+
+namespace kairos::cloud {
+namespace {
+
+TEST(BillingMeterTest, AccruesPerSecond) {
+  const Catalog catalog = Catalog::PaperPool();
+  BillingMeter meter(catalog);
+  const Config homo({4, 0, 0, 0});  // $2.104/hr
+  meter.Accrue(homo, 3600.0);
+  EXPECT_NEAR(meter.TotalCost(), 2.104, 1e-9);
+  meter.Accrue(homo, 1800.0);
+  EXPECT_NEAR(meter.TotalCost(), 2.104 * 1.5, 1e-9);
+  EXPECT_NEAR(meter.AverageRatePerHour(), 2.104, 1e-9);
+  EXPECT_DOUBLE_EQ(meter.TotalTime(), 5400.0);
+}
+
+TEST(BillingMeterTest, MixedConfigsAverage) {
+  const Catalog catalog = Catalog::PaperPool();
+  BillingMeter meter(catalog);
+  meter.Accrue(Config({1, 0, 0, 0}), 3600.0);  // $0.526
+  meter.Accrue(Config({0, 0, 0, 0}), 3600.0);  // idle, $0
+  EXPECT_NEAR(meter.AverageRatePerHour(), 0.263, 1e-9);
+  meter.Reset();
+  EXPECT_DOUBLE_EQ(meter.TotalCost(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.AverageRatePerHour(), 0.0);
+}
+
+TEST(BillingMeterTest, NegativeDurationThrows) {
+  const Catalog catalog = Catalog::PaperPool();
+  BillingMeter meter(catalog);
+  EXPECT_THROW(meter.Accrue(Config({1, 0, 0, 0}), -1.0),
+               std::invalid_argument);
+}
+
+TEST(PlanReconfigurationTest, GrowthPaysBeforeServing) {
+  const Config from({2, 0, 0, 0});
+  const Config to({2, 0, 5, 0});
+  const auto phases = PlanReconfiguration(from, to, 30.0, 600.0);
+  ASSERT_EQ(phases.size(), 2u);
+  // During launch: serve on the intersection, pay for the target.
+  EXPECT_EQ(phases[0].active, from);
+  EXPECT_EQ(phases[0].billed, to);
+  EXPECT_DOUBLE_EQ(phases[0].duration, 30.0);
+  EXPECT_EQ(phases[1].active, to);
+  EXPECT_DOUBLE_EQ(phases[1].duration, 570.0);
+}
+
+TEST(PlanReconfigurationTest, ShrinkIsImmediate) {
+  const Config from({4, 0, 2, 0});
+  const Config to({2, 0, 2, 0});
+  const auto phases = PlanReconfiguration(from, to, 30.0, 100.0);
+  ASSERT_EQ(phases.size(), 2u);
+  // Nothing to launch: the intersection equals the target.
+  EXPECT_EQ(phases[0].active, to);
+  EXPECT_EQ(phases[0].billed, to);
+}
+
+TEST(PlanReconfigurationTest, SwapHoldsBothSidesDuringLaunch) {
+  const Config from({3, 0, 0, 0});
+  const Config to({1, 0, 9, 0});
+  const auto phases = PlanReconfiguration(from, to, 40.0, 300.0);
+  ASSERT_EQ(phases.size(), 2u);
+  // Serving on the intersection (1 GPU) while paying for 1 GPU + 9 CPUs.
+  EXPECT_EQ(phases[0].active, Config({1, 0, 0, 0}));
+  EXPECT_EQ(phases[0].billed, to);
+}
+
+TEST(PlanReconfigurationTest, HorizonShorterThanLaunch) {
+  const Config from({1, 0, 0, 0});
+  const Config to({1, 0, 3, 0});
+  const auto phases = PlanReconfiguration(from, to, 60.0, 20.0);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].active, from);
+  EXPECT_DOUBLE_EQ(phases[0].duration, 20.0);
+}
+
+TEST(PlanReconfigurationTest, InvalidInputsThrow) {
+  EXPECT_THROW(
+      PlanReconfiguration(Config({1, 0}), Config({1, 0, 0}), 10.0, 100.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      PlanReconfiguration(Config({1, 0}), Config({1, 0}), 10.0, 0.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kairos::cloud

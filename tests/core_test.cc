@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "cloud/config_space.h"
+#include "core/kairos.h"
+#include "core/planner.h"
+#include "core/runtime.h"
+
+namespace kairos::core {
+namespace {
+
+using cloud::Catalog;
+using cloud::Config;
+
+TEST(PlannerTest, ConfigSpaceMatchesEnumeration) {
+  const Catalog catalog = Catalog::PaperPool();
+  const auto spec = latency::FindModel("RM2");
+  const auto truth = spec.Instantiate(catalog);
+  Planner planner(PlannerContext{&catalog, &truth, spec.qos_ms, 2.5});
+  const auto space = planner.ConfigSpace();
+  const auto direct = cloud::EnumerateConfigs(
+      catalog, {.budget_per_hour = 2.5, .min_base_instances = 1});
+  EXPECT_EQ(space.size(), direct.size());
+}
+
+TEST(PlannerTest, PlanIsWithinBudgetAndRankedDescending) {
+  const Catalog catalog = Catalog::PaperPool();
+  const auto spec = latency::FindModel("RM2");
+  const auto truth = spec.Instantiate(catalog);
+  Planner planner(PlannerContext{&catalog, &truth, spec.qos_ms, 2.5});
+  const auto monitor =
+      MonitorFromMix(workload::LogNormalBatches::Production(), 10000, 1);
+  const Plan plan = planner.PlanConfiguration(monitor);
+  EXPECT_LE(plan.config.CostPerHour(catalog), 2.5 + 1e-9);
+  for (std::size_t i = 1; i < plan.ranked.size(); ++i) {
+    EXPECT_GE(plan.ranked[i - 1].upper_bound, plan.ranked[i].upper_bound);
+  }
+  // The chosen config sits within the top-10 upper bounds (Sec. 5.2).
+  EXPECT_LT(plan.selection.chosen_rank, 10u);
+}
+
+TEST(PlannerTest, InvalidContextThrows) {
+  const Catalog catalog = Catalog::PaperPool();
+  const auto spec = latency::FindModel("RM2");
+  const auto truth = spec.Instantiate(catalog);
+  EXPECT_THROW(Planner(PlannerContext{nullptr, &truth, 350.0, 2.5}),
+               std::invalid_argument);
+  EXPECT_THROW(Planner(PlannerContext{&catalog, &truth, 0.0, 2.5}),
+               std::invalid_argument);
+  EXPECT_THROW(Planner(PlannerContext{&catalog, &truth, 350.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(KairosFacadeTest, ObserveMixWarmsMonitor) {
+  const Catalog catalog = Catalog::PaperPool();
+  Kairos kairos(catalog, "RM2");
+  EXPECT_EQ(kairos.monitor().Count(), 0u);
+  kairos.ObserveMix(workload::LogNormalBatches::Production());
+  EXPECT_EQ(kairos.monitor().Count(), kairos.options().monitor_warmup);
+  kairos.ResetMonitor();
+  EXPECT_EQ(kairos.monitor().Count(), 0u);
+}
+
+TEST(KairosFacadeTest, QosScaleMultipliesTable3Target) {
+  const Catalog catalog = Catalog::PaperPool();
+  KairosOptions opt;
+  opt.qos_scale = 1.2;  // Fig. 15b
+  Kairos kairos(catalog, "WND", opt);
+  EXPECT_DOUBLE_EQ(kairos.qos_ms(), 25.0 * 1.2);
+  EXPECT_THROW(Kairos(catalog, "WND", KairosOptions{.qos_scale = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(KairosFacadeTest, UnknownModelThrows) {
+  const Catalog catalog = Catalog::PaperPool();
+  EXPECT_THROW(Kairos(catalog, "LLAMA"), std::out_of_range);
+}
+
+TEST(KairosFacadeTest, PlanWithEvaluationsReturnsBudgetedConfig) {
+  const Catalog catalog = Catalog::PaperPool();
+  KairosOptions opt;
+  opt.monitor_warmup = 4000;
+  Kairos kairos(catalog, "DIEN", opt);
+  kairos.ObserveMix(workload::LogNormalBatches::Production());
+  // Cheap synthetic eval: prefer more total instances (monotone), so the
+  // search machinery can be exercised without simulations.
+  const auto result = kairos.PlanWithEvaluations(
+      [](const Config& c) { return static_cast<double>(c.TotalInstances()); },
+      search::SearchOptions{.max_evals = 25});
+  EXPECT_LE(result.best_config.CostPerHour(catalog), 2.5 + 1e-9);
+  EXPECT_LE(result.evals, 25u);
+  EXPECT_GT(result.best_qps, 0.0);
+}
+
+TEST(MakePolicyFactoryTest, BuildsAllSchemes) {
+  for (const char* name : {"KAIROS", "RIBBON", "DRS", "CLKWRK"}) {
+    const auto factory = MakePolicyFactory(name, 150);
+    const auto policy = factory();
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->Name(), name);
+  }
+  EXPECT_THROW(MakePolicyFactory("FCFS++"), std::out_of_range);
+}
+
+TEST(MonitorFromMixTest, DeterministicForSeed) {
+  const auto mix = workload::LogNormalBatches::Production();
+  const auto a = MonitorFromMix(mix, 2000, 5);
+  const auto b = MonitorFromMix(mix, 2000, 5);
+  EXPECT_DOUBLE_EQ(a.MeanBatch(), b.MeanBatch());
+  EXPECT_EQ(a.Count(), 2000u);
+}
+
+TEST(RuntimeTest, ServeRunsTraceWithKairosPolicy) {
+  const Catalog catalog = Catalog::PaperPool();
+  const auto spec = latency::FindModel("WND");
+  const auto truth = spec.Instantiate(catalog);
+  Runtime runtime(catalog, Config({1, 0, 2, 0}), truth, spec.qos_ms);
+  Rng rng(3);
+  const auto mix = workload::LogNormalBatches::Production();
+  const auto trace = workload::Trace::Generate(
+      workload::PoissonArrivals(50.0), mix, 300, rng);
+  const auto result = runtime.Serve(trace);
+  EXPECT_EQ(result.served, 300u);
+  EXPECT_GT(result.throughput_qps, 0.0);
+}
+
+TEST(RuntimeTest, MeasureThroughputPositiveForFeasibleSetup) {
+  const Catalog catalog = Catalog::PaperPool();
+  const auto spec = latency::FindModel("WND");
+  const auto truth = spec.Instantiate(catalog);
+  Runtime runtime(catalog, Config({2, 0, 0, 0}), truth, spec.qos_ms);
+  serving::EvalOptions opt;
+  opt.queries = 300;
+  opt.rate_guess = 100.0;
+  const auto r =
+      runtime.MeasureThroughput(workload::LogNormalBatches::Production(), opt);
+  EXPECT_GT(r.qps, 0.0);
+}
+
+}  // namespace
+}  // namespace kairos::core

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/stats.h"
+#include "infer/net.h"
+#include "infer/ops.h"
+#include "infer/rec_models.h"
+#include "infer/tensor.h"
+#include "infer/thread_pool.h"
+
+namespace kairos::infer {
+namespace {
+
+TEST(TensorTest, ShapeAndAccess) {
+  Tensor t(3, 4, 1.5f);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  t(2, 3) = 7.0f;
+  EXPECT_FLOAT_EQ(t(2, 3), 7.0f);
+  EXPECT_FLOAT_EQ(t.row(2)[3], 7.0f);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallAndEmpty) {
+  ThreadPool pool(4);
+  int count = 0;
+  pool.ParallelFor(0, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  pool.ParallelFor(2, [&](std::size_t) { ++count; });  // runs inline
+  EXPECT_EQ(count, 2);
+}
+
+TEST(ThreadPoolTest, SingleThreadFallback) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.ParallelFor(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(GemmTest, MatchesManualComputation) {
+  ThreadPool pool(2);
+  Tensor x(2, 3);
+  // x = [[1,2,3],[4,5,6]]
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      x(r, c) = static_cast<float>(r * 3 + c + 1);
+    }
+  }
+  Tensor w(3, 2);
+  // w = [[1,0],[0,1],[1,1]]
+  w(0, 0) = 1;
+  w(1, 1) = 1;
+  w(2, 0) = 1;
+  w(2, 1) = 1;
+  Tensor out(2, 2);
+  Gemm(x, w, out, pool);
+  EXPECT_FLOAT_EQ(out(0, 0), 4.0f);   // 1 + 3
+  EXPECT_FLOAT_EQ(out(0, 1), 5.0f);   // 2 + 3
+  EXPECT_FLOAT_EQ(out(1, 0), 10.0f);  // 4 + 6
+  EXPECT_FLOAT_EQ(out(1, 1), 11.0f);  // 5 + 6
+}
+
+TEST(GemmTest, DimensionMismatchThrows) {
+  ThreadPool pool(1);
+  Tensor x(2, 3), w(4, 2), out(2, 2);
+  EXPECT_THROW(Gemm(x, w, out, pool), std::invalid_argument);
+}
+
+TEST(AddBiasActivateTest, ReluAndSigmoid) {
+  Tensor t(1, 2);
+  t(0, 0) = -1.0f;
+  t(0, 1) = 1.0f;
+  Tensor relu_t = t;
+  AddBiasActivate(relu_t, {0.0f, 0.0f}, Activation::kRelu);
+  EXPECT_FLOAT_EQ(relu_t(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(relu_t(0, 1), 1.0f);
+
+  Tensor sig_t(1, 1);
+  sig_t(0, 0) = 0.0f;
+  AddBiasActivate(sig_t, {0.0f}, Activation::kSigmoid);
+  EXPECT_NEAR(sig_t(0, 0), 0.5f, 1e-6);
+}
+
+TEST(EmbeddingTableTest, GatherPooledSumsRows) {
+  ThreadPool pool(1);
+  EmbeddingTable table(10, 4, /*seed=*/1);
+  Tensor out(1, 4);
+  // Gathering the same row twice doubles it.
+  std::vector<std::uint32_t> idx = {3, 3};
+  table.GatherPooled(idx, 2, out, pool);
+  Tensor single(1, 4);
+  table.GatherPooled({3}, 1, single, pool);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(out(0, c), 2.0f * single(0, c), 1e-6);
+  }
+}
+
+TEST(EmbeddingTableTest, ShapeMismatchThrows) {
+  ThreadPool pool(1);
+  EmbeddingTable table(10, 4, 1);
+  Tensor out(2, 4);
+  EXPECT_THROW(table.GatherPooled({1, 2, 3}, 2, out, pool),
+               std::invalid_argument);
+}
+
+TEST(ConcatColumnsTest, LaysOutPartsInOrder) {
+  Tensor a(1, 2), b(1, 1);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  b(0, 0) = 3;
+  Tensor out(1, 3);
+  ConcatColumns({&a, &b}, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 1);
+  EXPECT_FLOAT_EQ(out(0, 1), 2);
+  EXPECT_FLOAT_EQ(out(0, 2), 3);
+}
+
+TEST(MlpTest, ShapesPropagate) {
+  ThreadPool pool(2);
+  Mlp mlp({8, 16, 4}, Activation::kSigmoid, 7);
+  EXPECT_EQ(mlp.in_features(), 8u);
+  EXPECT_EQ(mlp.out_features(), 4u);
+  Tensor x(5, 8, 0.1f);
+  const Tensor y = mlp.Forward(x, pool);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 4u);
+  // Sigmoid output is in (0, 1).
+  for (float v : y.data()) {
+    EXPECT_GT(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(MlpTest, DeterministicForSameSeed) {
+  ThreadPool pool(1);
+  Mlp a({4, 8, 1}, Activation::kNone, 42);
+  Mlp b({4, 8, 1}, Activation::kNone, 42);
+  Tensor x(3, 4, 0.5f);
+  const Tensor ya = a.Forward(x, pool);
+  const Tensor yb = b.Forward(x, pool);
+  for (std::size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_FLOAT_EQ(ya.data()[i], yb.data()[i]);
+  }
+}
+
+class RecModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RecModelTest, ProducesPerSampleScores) {
+  ThreadPool pool(2);
+  const auto model = BuildRecModel(GetParam());
+  EXPECT_EQ(model->Name(), GetParam());
+  const Tensor scores = model->Infer(17, pool, /*seed=*/3);
+  EXPECT_EQ(scores.rows(), 17u);
+  EXPECT_EQ(scores.cols(), 1u);
+  for (float v : scores.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST_P(RecModelTest, LatencyGrowsRoughlyLinearlyWithBatch) {
+  // The Sec. 5.1 observation this whole reproduction leans on: latency vs.
+  // batch size is near-perfectly linear (paper: Pearson > 0.99). Real
+  // wall-clock measurement is noisy on shared CI machines, so the gate is
+  // slightly relaxed but still demands strong linearity.
+  ThreadPool pool(2);
+  const auto model = BuildRecModel(GetParam());
+  const std::vector<std::size_t> batches = {8, 64, 160, 320, 512};
+  const std::vector<double> lat = MeasureLatencyMs(*model, batches, pool, 3);
+  std::vector<double> xs(batches.begin(), batches.end());
+  EXPECT_GT(PearsonCorrelation(xs, lat), 0.95) << model->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, RecModelTest,
+                         ::testing::Values("NCF", "RM2", "WND", "MT-WND",
+                                           "DIEN"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(RecModelTest, UnknownNameThrows) {
+  EXPECT_THROW(BuildRecModel("BERT"), std::out_of_range);
+}
+
+TEST(RecModelTest, ZeroBatchThrows) {
+  ThreadPool pool(1);
+  const auto model = BuildRecModel("NCF");
+  EXPECT_THROW(model->Infer(0, pool), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kairos::infer

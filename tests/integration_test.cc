@@ -1,0 +1,163 @@
+// End-to-end invariants from the paper's evaluation, at smoke fidelity:
+//  * Kairos's planned heterogeneous config beats the scaled best
+//    homogeneous config (Fig. 8, all models);
+//  * the Kairos distributor beats Ribbon FCFS on the same hardware (Fig. 3);
+//  * upper bounds dominate measured throughput over the top candidates
+//    (Fig. 13/14);
+//  * Kairos+ finds the best throughput among evaluated configs with far
+//    fewer evaluations than the space size (Fig. 10).
+#include <gtest/gtest.h>
+
+#include "cloud/config_space.h"
+#include "core/kairos.h"
+#include "oracle/oracle.h"
+#include "serving/throughput_eval.h"
+
+namespace kairos {
+namespace {
+
+using cloud::Catalog;
+using cloud::Config;
+
+serving::EvalOptions SmokeEval(double guess) {
+  serving::EvalOptions opt;
+  opt.queries = 500;
+  opt.bisect_iters = 6;
+  opt.rate_guess = guess;
+  return opt;
+}
+
+class EndToEnd : public ::testing::TestWithParam<std::string> {
+ protected:
+  const Catalog catalog_ = Catalog::PaperPool();
+  const workload::LogNormalBatches mix_ =
+      workload::LogNormalBatches::Production();
+};
+
+TEST_P(EndToEnd, PlannedHeteroBeatsScaledHomogeneous) {
+  core::Kairos kairos(catalog_, GetParam());
+  kairos.ObserveMix(mix_);
+  const core::Plan plan = kairos.PlanConfiguration();
+
+  const auto hetero = kairos.MeasureThroughput(
+      plan.config, mix_, SmokeEval(plan.ranked.front().upper_bound * 0.5));
+  const Config homo = cloud::BestHomogeneous(catalog_, 2.5);
+  const auto homo_run =
+      kairos.MeasureThroughput(homo, mix_, SmokeEval(hetero.qps));
+  const double homo_scaled =
+      homo_run.qps * 2.5 / homo.CostPerHour(catalog_);
+  // Fig. 8 floor: "more than 1.25x in all cases" — smoke fidelity keeps a
+  // margin below that.
+  EXPECT_GT(hetero.qps, 1.10 * homo_scaled) << GetParam();
+}
+
+TEST_P(EndToEnd, KairosDistributorBeatsRibbonOnSameHardware) {
+  core::Kairos kairos(catalog_, GetParam());
+  kairos.ObserveMix(mix_);
+  const core::Plan plan = kairos.PlanConfiguration();
+  const double qos = kairos.qos_ms();
+
+  const auto eval = SmokeEval(plan.ranked.front().upper_bound * 0.5);
+  const auto with_kairos = serving::EvaluateConfig(
+      catalog_, plan.config, kairos.truth(), qos,
+      core::MakePolicyFactory("KAIROS"), mix_, eval);
+  const auto with_ribbon = serving::EvaluateConfig(
+      catalog_, plan.config, kairos.truth(), qos,
+      core::MakePolicyFactory("RIBBON"), mix_, eval);
+  EXPECT_GE(with_kairos.qps, with_ribbon.qps * 0.98) << GetParam();
+}
+
+TEST_P(EndToEnd, UpperBoundDominatesMeasuredOnTopCandidates) {
+  core::Kairos kairos(catalog_, GetParam());
+  kairos.ObserveMix(mix_);
+  const core::Plan plan = kairos.PlanConfiguration();
+  for (std::size_t rank : {std::size_t{0}, std::size_t{4}, std::size_t{9}}) {
+    if (rank >= plan.ranked.size()) continue;
+    const auto& candidate = plan.ranked[rank];
+    const auto measured = kairos.MeasureThroughput(
+        candidate.config, mix_, SmokeEval(candidate.upper_bound * 0.5));
+    EXPECT_LE(measured.qps, candidate.upper_bound * 1.05)
+        << GetParam() << " rank " << rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, EndToEnd,
+                         ::testing::Values("RM2", "WND", "DIEN"),
+                         [](const auto& info) { return info.param; });
+
+TEST(EndToEndSearch, KairosPlusEvaluatesTinyFractionOfSpace) {
+  const Catalog catalog = Catalog::PaperPool();
+  core::Kairos kairos(catalog, "RM2");
+  kairos.ObserveMix(workload::LogNormalBatches::Production());
+
+  // Real (but cheap) evaluation function with memoization inside the
+  // search; counts unique evaluations.
+  const auto mix = workload::LogNormalBatches::Production();
+  const search::EvalFn eval = [&](const Config& c) {
+    return kairos.MeasureThroughput(c, mix, SmokeEval(30.0)).qps;
+  };
+  const auto result = kairos.PlanWithEvaluations(eval);
+  const std::size_t space = kairos.PlanConfiguration().ranked.size();
+  EXPECT_GT(result.best_qps, 0.0);
+  // Fig. 10: Kairos+ consistently evaluates less than ~1% of the space;
+  // allow smoke-level slack.
+  EXPECT_LT(result.evals, space / 10);
+}
+
+TEST(EndToEndOracle, OracleDominatesKairosOnPlannedConfig) {
+  const Catalog catalog = Catalog::PaperPool();
+  core::Kairos kairos(catalog, "RM2");
+  const auto mix = workload::LogNormalBatches::Production();
+  kairos.ObserveMix(mix);
+  const core::Plan plan = kairos.PlanConfiguration();
+  const auto measured = kairos.MeasureThroughput(
+      plan.config, mix, SmokeEval(plan.ranked.front().upper_bound * 0.5));
+  const double oracle = oracle::OracleThroughput(
+      catalog, plan.config, kairos.truth(), kairos.qos_ms(), mix, 4000, 17);
+  EXPECT_LE(measured.qps, oracle * 1.05);
+  // And Kairos should not be hopelessly far from the oracle (Sec. 8.4
+  // reports within ~15%; smoke fidelity allows 45%).
+  EXPECT_GT(measured.qps, 0.55 * oracle);
+}
+
+TEST(EndToEndNoise, FivePercentPredictionNoiseDoesNotCollapseThroughput) {
+  // Fig. 16b: Kairos is robust to 5% latency-prediction noise.
+  const Catalog catalog = Catalog::PaperPool();
+  core::Kairos kairos(catalog, "RM2");
+  const auto mix = workload::LogNormalBatches::Production();
+  kairos.ObserveMix(mix);
+  const core::Plan plan = kairos.PlanConfiguration();
+
+  serving::PredictorOptions noisy;
+  noisy.noise_sigma = 0.05;
+  const auto eval = SmokeEval(plan.ranked.front().upper_bound * 0.5);
+  const auto clean_run = serving::EvaluateConfig(
+      catalog, plan.config, kairos.truth(), kairos.qos_ms(),
+      core::MakePolicyFactory("KAIROS"), mix, eval);
+  const auto noisy_run = serving::EvaluateConfig(
+      catalog, plan.config, kairos.truth(), kairos.qos_ms(),
+      core::MakePolicyFactory("KAIROS"), mix, eval, noisy);
+  EXPECT_GT(noisy_run.qps, 0.7 * clean_run.qps);
+}
+
+TEST(EndToEndRegimeChange, MonitorShiftChangesThePlan) {
+  // Fig. 12's premise: when the batch-size regime changes, the planned
+  // configuration (or at least its upper-bound ranking) follows without
+  // any online evaluation.
+  const Catalog catalog = Catalog::PaperPool();
+  core::Kairos kairos(catalog, "RM2");
+  kairos.ObserveMix(workload::LogNormalBatches::Production());
+  const core::Plan before = kairos.PlanConfiguration();
+
+  kairos.ResetMonitor();
+  // All-large Gaussian mix: auxiliaries lose their QoS region.
+  const workload::GaussianBatches big(850.0, 60.0);
+  kairos.ObserveMix(big);
+  const core::Plan after = kairos.PlanConfiguration();
+  // With (almost) no aux-feasible queries, the plan must lean on base
+  // instances much harder than before.
+  EXPECT_GT(after.config.Count(0), before.config.Count(0));
+}
+
+}  // namespace
+}  // namespace kairos

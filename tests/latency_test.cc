@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "cloud/instance_type.h"
+#include "latency/latency_model.h"
+#include "latency/model_zoo.h"
+#include "latency/noise.h"
+
+namespace kairos::latency {
+namespace {
+
+TEST(AffineLatencyTest, EvaluatesAffine) {
+  const AffineLatency curve{10.0, 0.5};
+  EXPECT_DOUBLE_EQ(curve.AtBatch(100), 60.0);
+}
+
+TEST(LatencyModelTest, RejectsInvalidCurves) {
+  EXPECT_THROW(LatencyModel({{-1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(LatencyModel({{1.0, 0.0}}), std::invalid_argument);
+}
+
+TEST(LatencyModelTest, BatchClampedToCap) {
+  const LatencyModel m({{1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(m.LatencyMs(0, 5000), m.LatencyMs(0, kMaxBatchSize));
+  EXPECT_THROW(m.LatencyMs(0, 0), std::invalid_argument);
+}
+
+TEST(LatencyModelTest, MaxQosBatchInverse) {
+  // lat(b) = 10 + 0.5 b; with QoS 100ms and xi=1: s = 180.
+  const LatencyModel m({{10.0, 0.5}});
+  EXPECT_EQ(m.MaxQosBatch(0, 100.0, 1.0), 180);
+  // With the paper's xi = 0.98: s = (98 - 10) / 0.5 = 176.
+  EXPECT_EQ(m.MaxQosBatch(0, 100.0), 176);
+}
+
+TEST(LatencyModelTest, MaxQosBatchZeroWhenInfeasible) {
+  const LatencyModel m({{200.0, 1.0}});
+  EXPECT_EQ(m.MaxQosBatch(0, 100.0), 0);
+  EXPECT_FALSE(m.MeetsQosAtMaxBatch(0, 100.0));
+}
+
+TEST(ModelZooTest, HasAllFiveTable3Models) {
+  const auto& zoo = ModelZoo();
+  ASSERT_EQ(zoo.size(), 5u);
+  EXPECT_EQ(zoo[0].name, "NCF");
+  EXPECT_DOUBLE_EQ(zoo[0].qos_ms, 5.0);
+  EXPECT_EQ(zoo[1].name, "RM2");
+  EXPECT_DOUBLE_EQ(zoo[1].qos_ms, 350.0);
+  EXPECT_EQ(zoo[2].name, "WND");
+  EXPECT_DOUBLE_EQ(zoo[2].qos_ms, 25.0);
+  EXPECT_EQ(zoo[3].name, "MT-WND");
+  EXPECT_DOUBLE_EQ(zoo[3].qos_ms, 25.0);
+  EXPECT_EQ(zoo[4].name, "DIEN");
+  EXPECT_DOUBLE_EQ(zoo[4].qos_ms, 35.0);
+}
+
+TEST(ModelZooTest, FindModelByName) {
+  EXPECT_EQ(FindModel("DIEN").application, "E-commerce");
+  EXPECT_THROW(FindModel("GPT"), std::out_of_range);
+}
+
+// Calibration property tests: the structural constraints every model's
+// latency surface must satisfy (DESIGN.md Sec. 5).
+class ZooCalibration : public ::testing::TestWithParam<std::string> {
+ protected:
+  const cloud::Catalog catalog_ = cloud::Catalog::PaperPool();
+};
+
+TEST_P(ZooCalibration, OnlyBaseTypeMeetsQosAtMaxBatch) {
+  const ModelSpec& spec = FindModel(GetParam());
+  const LatencyModel m = spec.Instantiate(catalog_);
+  EXPECT_TRUE(m.MeetsQosAtMaxBatch(catalog_.BaseType(), spec.qos_ms));
+  for (cloud::TypeId t : catalog_.AuxiliaryTypes()) {
+    EXPECT_FALSE(m.MeetsQosAtMaxBatch(t, spec.qos_ms))
+        << catalog_[t].short_name;
+  }
+}
+
+TEST_P(ZooCalibration, EveryAuxiliaryHasNonEmptyQosRegion) {
+  const ModelSpec& spec = FindModel(GetParam());
+  const LatencyModel m = spec.Instantiate(catalog_);
+  for (cloud::TypeId t : catalog_.AuxiliaryTypes()) {
+    const int s = m.MaxQosBatch(t, spec.qos_ms);
+    EXPECT_GT(s, 0) << catalog_[t].short_name;
+    EXPECT_LT(s, kMaxBatchSize) << catalog_[t].short_name;
+  }
+}
+
+TEST_P(ZooCalibration, SomeAuxiliaryBeatsBaseOnQueriesPerDollar) {
+  // Heterogeneity can only pay if a CPU type serves small queries at a
+  // better rate per dollar than the GPU (Sec. 4's motivation).
+  const ModelSpec& spec = FindModel(GetParam());
+  const LatencyModel m = spec.Instantiate(catalog_);
+  const cloud::TypeId base = catalog_.BaseType();
+  const int small_batch = 50;
+  const double base_qps_per_dollar =
+      (1000.0 / m.LatencyMs(base, small_batch)) /
+      catalog_[base].price_per_hour;
+  bool some_aux_better = false;
+  for (cloud::TypeId t : catalog_.AuxiliaryTypes()) {
+    const double aux_qps_per_dollar =
+        (1000.0 / m.LatencyMs(t, small_batch)) / catalog_[t].price_per_hour;
+    if (aux_qps_per_dollar > base_qps_per_dollar) some_aux_better = true;
+  }
+  EXPECT_TRUE(some_aux_better);
+}
+
+TEST_P(ZooCalibration, BaseIsFastestAtEveryBatchSize) {
+  const ModelSpec& spec = FindModel(GetParam());
+  const LatencyModel m = spec.Instantiate(catalog_);
+  const cloud::TypeId base = catalog_.BaseType();
+  for (int b : {1, 10, 100, 500, 1000}) {
+    for (cloud::TypeId t : catalog_.AuxiliaryTypes()) {
+      EXPECT_LT(m.LatencyMs(base, b), m.LatencyMs(t, b))
+          << "batch " << b << " type " << catalog_[t].short_name;
+    }
+  }
+}
+
+TEST_P(ZooCalibration, InstantiatesOverMotivationPool) {
+  const ModelSpec& spec = FindModel(GetParam());
+  const cloud::Catalog pool3 = cloud::Catalog::MotivationPool();
+  const LatencyModel m = spec.Instantiate(pool3);
+  EXPECT_EQ(m.NumTypes(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooCalibration,
+                         ::testing::Values("NCF", "RM2", "WND", "MT-WND",
+                                           "DIEN"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(ModelSpecTest, InstantiateMissingTypeThrows) {
+  cloud::Catalog odd;
+  odd.Add({"exotic", "X9", cloud::InstanceClass::kGpuAccelerated, 1.0, true});
+  EXPECT_THROW(FindModel("RM2").Instantiate(odd), std::out_of_range);
+}
+
+TEST(PredictionNoiseTest, ZeroSigmaIsIdentity) {
+  PredictionNoise noise(0.0, Rng(1));
+  EXPECT_DOUBLE_EQ(noise.Apply(123.0), 123.0);
+}
+
+TEST(PredictionNoiseTest, NoisyButUnbiasedAndNonNegative) {
+  PredictionNoise noise(0.05, Rng(2));
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = noise.Apply(100.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 100.0, 0.5);
+}
+
+}  // namespace
+}  // namespace kairos::latency

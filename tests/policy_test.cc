@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "policy/clockwork_policy.h"
+#include "policy/drs_policy.h"
+#include "policy/kairos_policy.h"
+#include "policy/partitioned_policy.h"
+#include "policy/ribbon_policy.h"
+#include "serving/system.h"
+#include "workload/trace.h"
+
+namespace kairos::policy {
+namespace {
+
+using cloud::Catalog;
+using cloud::Config;
+using latency::LatencyModel;
+using serving::InstanceView;
+using serving::LatencyPredictor;
+using workload::Query;
+using workload::Trace;
+
+Catalog TinyCatalog() {
+  Catalog c;
+  c.Add({"base", "B", cloud::InstanceClass::kGpuAccelerated, 1.0, true});
+  c.Add({"aux", "A", cloud::InstanceClass::kGeneralPurposeCpu, 0.25, false});
+  return c;
+}
+
+LatencyModel TinyModel() { return LatencyModel({{10.0, 0.1}, {20.0, 0.4}}); }
+
+struct Fixture {
+  Catalog catalog = TinyCatalog();
+  LatencyModel truth = TinyModel();
+  LatencyPredictor predictor{catalog, truth, serving::PredictorOptions{}};
+
+  RoundContext Ctx(std::vector<Query>& waiting,
+                   std::vector<InstanceView>& instances, double qos_ms,
+                   Time now = 0.0) {
+    RoundContext ctx;
+    ctx.now = now;
+    ctx.qos_sec = MsToSec(qos_ms);
+    ctx.waiting = waiting;
+    ctx.instances = instances;
+    ctx.predictor = &predictor;
+    ctx.catalog = &catalog;
+    return ctx;
+  }
+};
+
+TEST(KairosPolicyTest, PrefersHighSpeedupQueryOnFastInstance) {
+  // One large and one small query, one base and one aux instance, both
+  // idle. The large query has the higher base/aux speedup, so Kairos must
+  // put the large one on the base and the small one on the aux.
+  Fixture f;
+  std::vector<Query> waiting = {Query{0, 600, 0.0}, Query{1, 20, 0.0}};
+  std::vector<InstanceView> instances = {{0, 0.0, true, 0}, {1, 0.0, true, 0}};
+  KairosPolicy policy;
+  auto ctx = f.Ctx(waiting, instances, 300.0);
+  const auto out = policy.Distribute(ctx);
+  ASSERT_EQ(out.size(), 2u);
+  for (const Assignment& a : out) {
+    if (a.waiting_idx == 0) {
+      EXPECT_EQ(a.instance_idx, 0u);  // large -> base
+    }
+    if (a.waiting_idx == 1) {
+      EXPECT_EQ(a.instance_idx, 1u);  // small -> aux
+    }
+  }
+}
+
+TEST(KairosPolicyTest, AvoidsQosViolatingPairWhenAlternativeExists) {
+  // A batch-600 query violates QoS=100ms on the aux (20+240=260ms) but not
+  // on the base (70ms). Even with the base busy for a short while, the
+  // penalized cost must route it to the base.
+  Fixture f;
+  std::vector<Query> waiting = {Query{0, 600, 0.0}};
+  std::vector<InstanceView> instances = {{0, 0.010, false, 0},
+                                         {1, 0.0, true, 0}};
+  KairosPolicy policy;
+  auto ctx = f.Ctx(waiting, instances, 100.0);
+  const auto out = policy.Distribute(ctx);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].instance_idx, 0u);
+}
+
+TEST(KairosPolicyTest, WaitTimeTightensTheDeadline) {
+  // Same query, but it has already waited 95 of its 100ms budget: now even
+  // the base (70ms serve) violates, everything is penalized, and the
+  // matching still returns an assignment (min-cost among penalties).
+  Fixture f;
+  std::vector<Query> waiting = {Query{0, 600, 0.0}};
+  std::vector<InstanceView> instances = {{0, 0.095, false, 0},
+                                         {1, 0.095, true, 0}};
+  KairosPolicy policy;
+  auto ctx = f.Ctx(waiting, instances, 100.0, /*now=*/0.095);
+  const auto out = policy.Distribute(ctx);
+  ASSERT_EQ(out.size(), 1u);  // Eq. 7: min(m, n) pairs always matched
+}
+
+TEST(KairosPolicyTest, HeterogeneityCoefficientSteersTies) {
+  // Two identical small queries, one base + one aux, both idle, both meet
+  // QoS. With C_j enabled the aux instance second of cost C_aux*L is
+  // cheaper, so the pair (query, aux) participates in the min-cost
+  // matching; with one query the solver must pick the aux.
+  Fixture f;
+  std::vector<Query> waiting = {Query{0, 10, 0.0}};
+  std::vector<InstanceView> instances = {{0, 0.0, true, 0}, {1, 0.0, true, 0}};
+  KairosPolicy with_coeff{KairosPolicyOptions{}};
+  auto ctx = f.Ctx(waiting, instances, 300.0);
+  const auto out = with_coeff.Distribute(ctx);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].instance_idx, 1u);  // aux time is cheap; keep base free
+
+  KairosPolicyOptions no_coeff;
+  no_coeff.use_heterogeneity_coefficient = false;
+  KairosPolicy without(no_coeff);
+  const auto out2 = without.Distribute(ctx);
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(out2[0].instance_idx, 0u);  // raw latency: base is faster
+}
+
+TEST(KairosPolicyTest, MatchesMinOfQueriesAndInstances) {
+  Fixture f;
+  std::vector<Query> waiting;
+  for (int i = 0; i < 5; ++i) {
+    waiting.push_back(Query{static_cast<workload::QueryId>(i), 50, 0.0});
+  }
+  std::vector<InstanceView> instances = {{0, 0.0, true, 0}, {1, 0.0, true, 0}};
+  KairosPolicy policy;
+  auto ctx = f.Ctx(waiting, instances, 300.0);
+  EXPECT_EQ(policy.Distribute(ctx).size(), 2u);  // Eq. 7
+
+  std::vector<Query> one = {Query{0, 50, 0.0}};
+  auto ctx2 = f.Ctx(one, instances, 300.0);
+  EXPECT_EQ(policy.Distribute(ctx2).size(), 1u);
+}
+
+TEST(KairosPolicyTest, EmptyInputsYieldNoAssignments) {
+  Fixture f;
+  std::vector<Query> none;
+  std::vector<InstanceView> instances = {{0, 0.0, true, 0}};
+  KairosPolicy policy;
+  auto ctx = f.Ctx(none, instances, 300.0);
+  EXPECT_TRUE(policy.Distribute(ctx).empty());
+}
+
+TEST(RibbonPolicyTest, FcfsPrefersBaseOnIdlePool) {
+  Fixture f;
+  std::vector<Query> waiting = {Query{0, 50, 0.0}};
+  std::vector<InstanceView> instances = {{0, 0.0, true, 0}, {1, 0.0, true, 0}};
+  RibbonPolicy policy;
+  auto ctx = f.Ctx(waiting, instances, 300.0);
+  const auto out = policy.Distribute(ctx);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].instance_idx, 0u);  // base preferred
+}
+
+TEST(RibbonPolicyTest, SpillsLargeQueryToAuxWhenBaseBusy) {
+  // This is Ribbon's weakness the paper exploits: a large query lands on a
+  // slow aux instance simply because the base is busy.
+  Fixture f;
+  std::vector<Query> waiting = {Query{0, 900, 0.0}};
+  std::vector<InstanceView> instances = {{0, 1.0, false, 0},
+                                         {1, 0.0, true, 0}};
+  RibbonPolicy policy;
+  auto ctx = f.Ctx(waiting, instances, 300.0);
+  const auto out = policy.Distribute(ctx);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].instance_idx, 1u);
+}
+
+TEST(RibbonPolicyTest, StopsWhenNoIdleInstance) {
+  Fixture f;
+  std::vector<Query> waiting = {Query{0, 50, 0.0}, Query{1, 50, 0.0}};
+  std::vector<InstanceView> instances = {{0, 1.0, false, 0},
+                                         {1, 1.0, false, 0}};
+  RibbonPolicy policy;
+  auto ctx = f.Ctx(waiting, instances, 300.0);
+  EXPECT_TRUE(policy.Distribute(ctx).empty());
+}
+
+TEST(DrsPolicyTest, ThresholdSplitsPools) {
+  Fixture f;
+  std::vector<Query> waiting = {Query{0, 500, 0.0}, Query{1, 50, 0.0}};
+  std::vector<InstanceView> instances = {{0, 0.0, true, 0}, {1, 0.0, true, 0}};
+  DrsPolicy policy(200);
+  auto ctx = f.Ctx(waiting, instances, 300.0);
+  const auto out = policy.Distribute(ctx);
+  ASSERT_EQ(out.size(), 2u);
+  for (const Assignment& a : out) {
+    if (a.waiting_idx == 0) {
+      EXPECT_EQ(a.instance_idx, 0u);  // large -> base
+    }
+    if (a.waiting_idx == 1) {
+      EXPECT_EQ(a.instance_idx, 1u);  // small -> aux
+    }
+  }
+}
+
+TEST(DrsPolicyTest, QueryWaitsWhenItsPoolIsBusy) {
+  // Small query, aux pool busy, base idle: strict DRS keeps it waiting —
+  // the missed opportunity the paper calls out.
+  Fixture f;
+  std::vector<Query> waiting = {Query{0, 50, 0.0}};
+  std::vector<InstanceView> instances = {{0, 0.0, true, 0},
+                                         {1, 1.0, false, 0}};
+  DrsPolicy policy(200);
+  auto ctx = f.Ctx(waiting, instances, 300.0);
+  EXPECT_TRUE(policy.Distribute(ctx).empty());
+}
+
+TEST(DrsPolicyTest, HomogeneousPoolTakesEverything) {
+  Fixture f;
+  std::vector<Query> waiting = {Query{0, 50, 0.0}};
+  std::vector<InstanceView> instances = {{0, 0.0, true, 0}};
+  DrsPolicy policy(200);
+  auto ctx = f.Ctx(waiting, instances, 300.0);
+  EXPECT_EQ(policy.Distribute(ctx).size(), 1u);
+}
+
+TEST(DrsPolicyTest, InvalidThresholdThrows) {
+  EXPECT_THROW(DrsPolicy(-1), std::invalid_argument);
+  EXPECT_THROW(DrsPolicy(1001), std::invalid_argument);
+}
+
+TEST(ClockworkPolicyTest, PicksEarliestCompletionMeetingQos) {
+  // Base is backlogged 50ms; aux idle. A small query meets QoS on both but
+  // completes earlier on the aux: CLKWRK must pick the aux.
+  Fixture f;
+  std::vector<Query> waiting = {Query{0, 10, 0.0}};
+  std::vector<InstanceView> instances = {{0, 0.050, false, 1},
+                                         {1, 0.0, true, 0}};
+  ClockworkPolicy policy;
+  EXPECT_TRUE(policy.EarlyBinding());
+  auto ctx = f.Ctx(waiting, instances, 300.0);
+  const auto out = policy.Distribute(ctx);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].instance_idx, 1u);
+}
+
+TEST(ClockworkPolicyTest, FallsBackToEarliestWhenNoneMeetsQos) {
+  Fixture f;
+  // Both instances deeply backlogged; nothing meets QoS=50ms.
+  std::vector<Query> waiting = {Query{0, 10, 0.0}};
+  std::vector<InstanceView> instances = {{0, 5.0, false, 3},
+                                         {1, 4.0, false, 3}};
+  ClockworkPolicy policy;
+  auto ctx = f.Ctx(waiting, instances, 50.0);
+  const auto out = policy.Distribute(ctx);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].instance_idx, 1u);  // earlier completion overall
+}
+
+TEST(ClockworkPolicyTest, AssignsEveryWaitingQuery) {
+  // Early binding: all queries are committed each round.
+  Fixture f;
+  std::vector<Query> waiting;
+  for (int i = 0; i < 6; ++i) {
+    waiting.push_back(Query{static_cast<workload::QueryId>(i), 30, 0.0});
+  }
+  std::vector<InstanceView> instances = {{0, 0.0, true, 0}};
+  ClockworkPolicy policy;
+  auto ctx = f.Ctx(waiting, instances, 300.0);
+  // One instance but early binding commits at most one query per instance
+  // per round (the system enforces unique instance indices).
+  const auto out = policy.Distribute(ctx);
+  EXPECT_EQ(out.size(), 6u);  // Clockwork stacks its per-instance queue
+}
+
+TEST(PartitionedPolicyTest, SinglePartitionMatchesPlainKairos) {
+  Fixture f;
+  std::vector<Query> waiting = {Query{0, 600, 0.0}, Query{1, 20, 0.0}};
+  std::vector<InstanceView> instances = {{0, 0.0, true, 0}, {1, 0.0, true, 0}};
+  PartitionedKairosPolicy partitioned(1);
+  KairosPolicy plain;
+  auto ctx = f.Ctx(waiting, instances, 300.0);
+  const auto a = partitioned.Distribute(ctx);
+  const auto b = plain.Distribute(ctx);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].waiting_idx, b[i].waiting_idx);
+    EXPECT_EQ(a[i].instance_idx, b[i].instance_idx);
+  }
+}
+
+TEST(PartitionedPolicyTest, AssignmentsStayWithinPartitions) {
+  Fixture f;
+  std::vector<Query> waiting;
+  for (int i = 0; i < 8; ++i) {
+    waiting.push_back(Query{static_cast<workload::QueryId>(i), 40, 0.0});
+  }
+  std::vector<InstanceView> instances(6, InstanceView{0, 0.0, true, 0});
+  PartitionedKairosPolicy policy(2);
+  auto ctx = f.Ctx(waiting, instances, 300.0);
+  const auto out = policy.Distribute(ctx);
+  EXPECT_FALSE(out.empty());
+  for (const Assignment& a : out) {
+    // Query id parity must match instance index parity (round-robin split).
+    EXPECT_EQ(waiting[a.waiting_idx].id % 2, a.instance_idx % 2);
+  }
+}
+
+TEST(PartitionedPolicyTest, ZeroPartitionsThrows) {
+  EXPECT_THROW(PartitionedKairosPolicy(0), std::invalid_argument);
+}
+
+// Fig. 5 reproduction: with 2 instances and 4 staggered queries, Kairos's
+// speedup-aware placement serves all four within QoS while naive FCFS
+// (Ribbon) violates on one.
+TEST(Fig5SlackScenario, KairosServesAllFourFcfsDoesNot) {
+  Catalog catalog = TinyCatalog();
+  // base: 40 + 0.26 b ms ; aux: 55 + 0.95 b ms, QoS 350 ms.
+  const LatencyModel truth({{40.0, 0.26}, {55.0, 0.95}});
+  serving::SystemSpec spec;
+  spec.catalog = &catalog;
+  spec.config = Config({1, 1});
+  spec.truth = &truth;
+  spec.qos_ms = 350.0;
+
+  // A small query arrives first, then a large one, then two more small
+  // ones. Naive FCFS burns the base on the small leader; when the large
+  // query arrives only the aux is idle, and the aux cannot serve it within
+  // QoS (55 + 0.95*900 = 910 ms). Kairos parks the small leader on the aux
+  // (its weighted time is cheap), keeping the base free for the query with
+  // the high speedup.
+  const Trace trace({Query{0, 100, 0.000}, Query{1, 900, 0.010},
+                     Query{2, 100, 0.020}, Query{3, 100, 0.030}});
+
+  serving::RunOptions keep;
+  keep.abort_violation_fraction = 0.0;
+  serving::ServingSystem kairos_sys(spec, std::make_unique<KairosPolicy>(),
+                                    serving::PredictorOptions{}, keep);
+  serving::ServingSystem fcfs_sys(spec, std::make_unique<RibbonPolicy>(),
+                                  serving::PredictorOptions{}, keep);
+  const auto kairos_run = kairos_sys.Run(trace);
+  const auto fcfs_run = fcfs_sys.Run(trace);
+  EXPECT_EQ(kairos_run.violations, 0u)
+      << "Kairos should serve all 4 queries within QoS";
+  EXPECT_GT(fcfs_run.violations, 0u)
+      << "naive FCFS should lose at least one query to QoS";
+}
+
+}  // namespace
+}  // namespace kairos::policy

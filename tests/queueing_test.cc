@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "queueing/mmc.h"
+
+namespace kairos::queueing {
+namespace {
+
+TEST(ErlangCTest, KnownValues) {
+  // M/M/1: ErlangC == rho.
+  EXPECT_NEAR(ErlangC(1, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(ErlangC(1, 0.9), 0.9, 1e-12);
+  // M/M/2 at a=1 (rho=0.5): C = 1/3 (textbook value).
+  EXPECT_NEAR(ErlangC(2, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ErlangCTest, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(ErlangC(4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ErlangC(4, 4.0), 1.0);   // unstable
+  EXPECT_DOUBLE_EQ(ErlangC(4, 10.0), 1.0);  // far past stability
+  EXPECT_THROW(ErlangC(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ErlangC(2, -1.0), std::invalid_argument);
+}
+
+TEST(ErlangCTest, MonotoneInLoadAndServers) {
+  double prev = 0.0;
+  for (double a = 0.5; a < 4.0; a += 0.5) {
+    const double c = ErlangC(4, a);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  // More servers at the same offered load wait less.
+  EXPECT_LT(ErlangC(8, 3.0), ErlangC(4, 3.0));
+}
+
+TEST(MmcMeanWaitTest, MatchesMm1ClosedForm) {
+  // M/M/1: Wq = rho / (mu - lambda).
+  const double mu = 10.0, lambda = 7.0;
+  EXPECT_NEAR(MmcMeanWait(1, lambda, mu), 0.7 / (mu - lambda), 1e-12);
+  EXPECT_TRUE(std::isinf(MmcMeanWait(1, 10.0, 10.0)));
+}
+
+TEST(MmcSojournTailTest, Mm1IsExponentialSojourn) {
+  // M/M/1 sojourn ~ Exp(mu - lambda).
+  const double mu = 10.0, lambda = 6.0, t = 0.3;
+  EXPECT_NEAR(MmcSojournTail(1, lambda, mu, t),
+              std::exp(-(mu - lambda) * t), 1e-9);
+}
+
+TEST(MmcSojournTailTest, BasicProperties) {
+  EXPECT_DOUBLE_EQ(MmcSojournTail(2, 5.0, 10.0, -1.0), 1.0);
+  EXPECT_NEAR(MmcSojournTail(2, 5.0, 10.0, 0.0), 1.0, 1e-12);
+  // Tail decreases in t.
+  double prev = 1.0;
+  for (double t = 0.0; t < 2.0; t += 0.1) {
+    const double tail = MmcSojournTail(3, 20.0, 10.0, t);
+    EXPECT_LE(tail, prev + 1e-12);
+    prev = tail;
+  }
+  // Unstable: always waiting.
+  EXPECT_DOUBLE_EQ(MmcSojournTail(1, 20.0, 10.0, 5.0), 1.0);
+}
+
+TEST(MmcSojournTailTest, EqualRateLimitContinuous) {
+  // r1 == r2 exactly when c*mu - lambda == mu; check continuity there.
+  const double mu = 10.0;
+  const int c = 2;
+  const double lambda = c * mu - mu;  // 10 -> r1 == r2
+  const double at = MmcSojournTail(c, lambda, mu, 0.2);
+  const double near = MmcSojournTail(c, lambda + 1e-7, mu, 0.2);
+  EXPECT_NEAR(at, near, 1e-5);
+}
+
+TEST(MmcMaxRateForQosTest, RespectsQosAndScalesWithServers) {
+  const double mu = 20.0;          // 50 ms mean service
+  const double qos = 0.5;          // 500 ms p99 target
+  const double one = MmcMaxRateForQos(1, mu, qos);
+  const double four = MmcMaxRateForQos(4, mu, qos);
+  EXPECT_GT(one, 0.0);
+  EXPECT_LT(one, mu);              // below saturation
+  EXPECT_GT(four, 3.0 * one);      // near-linear scaling plus pooling gain
+  // At the returned rate the p99 target holds.
+  EXPECT_LE(MmcSojournTail(1, one, mu, qos), 0.01 + 1e-6);
+}
+
+TEST(MmcMaxRateForQosTest, InfeasibleQosIsZero) {
+  // Mean service 100 ms but p99 target 10 ms: even an idle server misses.
+  EXPECT_DOUBLE_EQ(MmcMaxRateForQos(4, 10.0, 0.010), 0.0);
+  EXPECT_THROW(MmcMaxRateForQos(0, 10.0, 0.1), std::invalid_argument);
+}
+
+TEST(NaivePooledMmcThroughputTest, AddsPools) {
+  const PoolModel base{2, 20.0, 0.5};
+  const PoolModel aux[] = {{3, 12.0, 0.5}, {0, 12.0, 0.5}};
+  const double base_only = NaivePooledMmcThroughput(base, nullptr, 0);
+  const double with_aux = NaivePooledMmcThroughput(base, aux, 2);
+  EXPECT_GT(base_only, 0.0);
+  EXPECT_GT(with_aux, base_only);
+  EXPECT_NEAR(with_aux - base_only, MmcMaxRateForQos(3, 12.0, 0.5), 1e-9);
+  // A pool whose lone-service p99 already misses QoS contributes nothing.
+  const PoolModel hopeless[] = {{5, 8.0, 0.5}};
+  EXPECT_NEAR(NaivePooledMmcThroughput(base, hopeless, 1), base_only, 1e-9);
+}
+
+}  // namespace
+}  // namespace kairos::queueing

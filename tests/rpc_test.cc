@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "rpc/channel.h"
+#include "rpc/netem.h"
+#include "sim/simulator.h"
+
+namespace kairos::rpc {
+namespace {
+
+TEST(NetworkModelTest, DeterministicWithoutJitter) {
+  const NetworkModel net(50.0, 0.0);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(net.SampleDelay(rng), 50e-6);
+  EXPECT_DOUBLE_EQ(net.SampleDelay(rng), 50e-6);
+}
+
+TEST(NetworkModelTest, JitterIsMultiplicativeAndPositive) {
+  const NetworkModel net(50.0, 0.3);
+  Rng rng(2);
+  double sum = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const Time d = net.SampleDelay(rng);
+    EXPECT_GT(d, 0.0);
+    sum += d;
+  }
+  // Log-normal multiplicative jitter has mean exp(sigma^2/2) ~ 1.046.
+  EXPECT_NEAR(sum / 5000.0, 50e-6 * 1.046, 5e-6);
+}
+
+TEST(NetworkModelTest, NegativeParametersThrow) {
+  EXPECT_THROW(NetworkModel(-1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(NetworkModel(1.0, -0.5), std::invalid_argument);
+}
+
+TEST(ChannelTest, SendDeliversAfterOneHop) {
+  sim::Simulator sim;
+  Channel ch(sim, NetworkModel(100.0, 0.0), Rng(3));
+  Time delivered_at = -1.0;
+  ch.Send([&] { delivered_at = sim.Now(); });
+  sim.RunUntil();
+  EXPECT_DOUBLE_EQ(delivered_at, 100e-6);
+  EXPECT_EQ(ch.stats().messages, 1u);
+}
+
+TEST(ChannelTest, CallIsTwoHopsInOrder) {
+  sim::Simulator sim;
+  Channel ch(sim, NetworkModel(100.0, 0.0), Rng(4));
+  Time server_at = -1.0, reply_at = -1.0;
+  ch.Call([&] { server_at = sim.Now(); }, [&] { reply_at = sim.Now(); });
+  sim.RunUntil();
+  EXPECT_DOUBLE_EQ(server_at, 100e-6);
+  EXPECT_DOUBLE_EQ(reply_at, 200e-6);
+  EXPECT_EQ(ch.stats().messages, 2u);
+  EXPECT_NEAR(ch.stats().total_delay, 200e-6, 1e-12);
+}
+
+TEST(ChannelTest, ConcurrentCallsInterleaveByDelay) {
+  sim::Simulator sim;
+  Channel fast(sim, NetworkModel(10.0, 0.0), Rng(5));
+  Channel slow(sim, NetworkModel(500.0, 0.0), Rng(6));
+  std::vector<int> order;
+  slow.Send([&] { order.push_back(2); });
+  fast.Send([&] { order.push_back(1); });
+  sim.RunUntil();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace kairos::rpc

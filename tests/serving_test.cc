@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/kairos.h"
+#include "latency/model_zoo.h"
+#include "policy/kairos_policy.h"
+#include "policy/ribbon_policy.h"
+#include "serving/latency_predictor.h"
+#include "serving/system.h"
+#include "serving/throughput_eval.h"
+#include "workload/trace.h"
+
+namespace kairos::serving {
+namespace {
+
+using cloud::Catalog;
+using cloud::Config;
+using latency::LatencyModel;
+using workload::Query;
+using workload::Trace;
+
+// A tiny two-type catalog: fast base "B", slow aux "A".
+Catalog TinyCatalog() {
+  Catalog c;
+  c.Add({"base", "B", cloud::InstanceClass::kGpuAccelerated, 1.0, true});
+  c.Add({"aux", "A", cloud::InstanceClass::kGeneralPurposeCpu, 0.25, false});
+  return c;
+}
+
+// Base: 10ms + 0.1ms/item; aux: 20ms + 0.4ms/item.
+LatencyModel TinyModel() {
+  return LatencyModel({{10.0, 0.1}, {20.0, 0.4}});
+}
+
+SystemSpec TinySpec(const Catalog& catalog, const LatencyModel& model,
+                    std::vector<int> counts, double qos_ms = 200.0) {
+  SystemSpec spec;
+  spec.catalog = &catalog;
+  spec.config = Config(std::move(counts));
+  spec.truth = &model;
+  spec.qos_ms = qos_ms;
+  return spec;
+}
+
+// --- LatencyPredictor. ---
+
+TEST(LatencyPredictorTest, PretrainedIsExactForAffineTruth) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  LatencyPredictor pred(catalog, truth, PredictorOptions{});
+  for (int b : {1, 7, 50, 333, 1000}) {
+    EXPECT_NEAR(pred.PredictMs(0, b), truth.LatencyMs(0, b), 1e-9);
+    EXPECT_NEAR(pred.PredictMs(1, b), truth.LatencyMs(1, b), 1e-9);
+  }
+}
+
+TEST(LatencyPredictorTest, OnlineLearningConvergesAfterHandfulOfQueries) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  LatencyPredictor pred(catalog, truth, PredictorOptions{.pretrained = false});
+  EXPECT_FALSE(pred.HasLinearFit(0));
+  // Observe a handful of queries, as the paper describes (Sec. 5.1).
+  for (int b : {10, 100, 400}) {
+    pred.Observe(0, b, truth.LatencyMs(0, b));
+  }
+  EXPECT_TRUE(pred.HasLinearFit(0));
+  EXPECT_NEAR(pred.PredictMs(0, 777), truth.LatencyMs(0, 777), 1e-6);
+}
+
+TEST(LatencyPredictorTest, LookupOverridesRegression) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  LatencyPredictor pred(catalog, truth, PredictorOptions{.pretrained = false});
+  // Feed non-affine observations at one batch; exact repeats must be
+  // served from the lookup table (mean), not a linear fit.
+  pred.Observe(0, 50, 100.0);
+  pred.Observe(0, 50, 110.0);
+  EXPECT_NEAR(pred.PredictMs(0, 50), 105.0, 1e-9);
+  EXPECT_EQ(pred.ObservationCount(0), 2u);
+}
+
+TEST(LatencyPredictorTest, NoiseIsAppliedOnlyToPredict) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  LatencyPredictor pred(catalog, truth,
+                        PredictorOptions{.noise_sigma = 0.05});
+  const double noiseless = pred.PredictMsNoiseless(0, 100);
+  EXPECT_NEAR(noiseless, truth.LatencyMs(0, 100), 1e-9);
+  bool differs = false;
+  for (int i = 0; i < 32; ++i) {
+    if (std::abs(pred.PredictMs(0, 100) - noiseless) > 1e-9) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// --- ServingSystem basics. ---
+
+TEST(ServingSystemTest, SingleQuerySingleInstance) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  ServingSystem sys(TinySpec(catalog, truth, {1, 0}),
+                    std::make_unique<policy::RibbonPolicy>());
+  const Trace trace({Query{0, 100, 0.0}});
+  const RunResult r = sys.Run(trace);
+  EXPECT_EQ(r.served, 1u);
+  EXPECT_EQ(r.violations, 0u);
+  // Latency = serving latency (no queueing): 10 + 0.1*100 = 20 ms.
+  EXPECT_NEAR(r.latencies_ms[0], 20.0, 1e-9);
+  EXPECT_NEAR(r.makespan, 0.020, 1e-9);
+}
+
+TEST(ServingSystemTest, QueueingDelaysAreAccounted) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  ServingSystem sys(TinySpec(catalog, truth, {1, 0}),
+                    std::make_unique<policy::RibbonPolicy>());
+  // Two simultaneous queries on one instance: second waits for the first.
+  const Trace trace({Query{0, 100, 0.0}, Query{1, 100, 0.0}});
+  const RunResult r = sys.Run(trace);
+  ASSERT_EQ(r.served, 2u);
+  EXPECT_NEAR(r.latencies_ms[0], 20.0, 1e-9);
+  EXPECT_NEAR(r.latencies_ms[1], 40.0, 1e-9);  // 20 wait + 20 serve
+}
+
+TEST(ServingSystemTest, ViolationsCounted) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  // QoS 25 ms: a batch-100 query is fine alone (20ms) but queued is not.
+  ServingSystem sys(TinySpec(catalog, truth, {1, 0}, 25.0),
+                    std::make_unique<policy::RibbonPolicy>(),
+                    PredictorOptions{},
+                    RunOptions{.abort_violation_fraction = 0.0});
+  const Trace trace({Query{0, 100, 0.0}, Query{1, 100, 0.0}});
+  const RunResult r = sys.Run(trace);
+  EXPECT_EQ(r.violations, 1u);
+  EXPECT_FALSE(r.QosMet(25.0));
+}
+
+TEST(ServingSystemTest, EarlyAbortOnViolationOverflow) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  ServingSystem sys(TinySpec(catalog, truth, {1, 0}, 25.0),
+                    std::make_unique<policy::RibbonPolicy>(),
+                    PredictorOptions{},
+                    RunOptions{.abort_violation_fraction = 0.05});
+  std::vector<Query> qs;
+  for (int i = 0; i < 200; ++i) {
+    qs.push_back(Query{static_cast<workload::QueryId>(i), 100, 0.0});
+  }
+  const RunResult r = sys.Run(Trace(qs));
+  EXPECT_TRUE(r.aborted);
+  EXPECT_LT(r.served, 200u);
+}
+
+TEST(ServingSystemTest, PerTypeStatsSumToTotals) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  ServingSystem sys(TinySpec(catalog, truth, {1, 2}),
+                    std::make_unique<policy::KairosPolicy>());
+  Rng rng(3);
+  const auto mix = workload::LogNormalBatches::Production();
+  const Trace trace =
+      Trace::Generate(workload::PoissonArrivals(40.0), mix, 300, rng);
+  const RunResult r = sys.Run(trace);
+  std::size_t total = 0;
+  for (std::size_t s : r.per_type_served) total += s;
+  EXPECT_EQ(total, r.served);
+}
+
+TEST(ServingSystemTest, RecordsKeptWhenRequested) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  ServingSystem sys(TinySpec(catalog, truth, {1, 1}),
+                    std::make_unique<policy::KairosPolicy>(),
+                    PredictorOptions{}, RunOptions{.keep_records = true});
+  const Trace trace({Query{0, 10, 0.0}, Query{1, 600, 0.001}});
+  const RunResult r = sys.Run(trace);
+  ASSERT_EQ(r.records.size(), 2u);
+  for (const ServedRecord& rec : r.records) {
+    EXPECT_GE(rec.start, rec.arrival);
+    EXPECT_GT(rec.finish, rec.start);
+    EXPECT_NEAR(rec.LatencyMs(), SecToMs(rec.finish - rec.arrival), 1e-12);
+  }
+}
+
+TEST(ServingSystemTest, RunIsRepeatable) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  ServingSystem sys(TinySpec(catalog, truth, {1, 1}),
+                    std::make_unique<policy::KairosPolicy>());
+  Rng rng(4);
+  const auto mix = workload::LogNormalBatches::Production();
+  const Trace trace =
+      Trace::Generate(workload::PoissonArrivals(30.0), mix, 200, rng);
+  const RunResult a = sys.Run(trace);
+  const RunResult b = sys.Run(trace);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
+}
+
+TEST(ServingSystemTest, MissingPiecesThrow) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  SystemSpec bad = TinySpec(catalog, truth, {1, 0});
+  bad.catalog = nullptr;
+  EXPECT_THROW(ServingSystem(bad, std::make_unique<policy::RibbonPolicy>()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ServingSystem(TinySpec(catalog, truth, {1, 0}), nullptr),
+      std::invalid_argument);
+  // Empty configuration must be rejected at run time.
+  ServingSystem empty(TinySpec(catalog, truth, {0, 0}),
+                      std::make_unique<policy::RibbonPolicy>());
+  EXPECT_THROW(empty.Run(Trace({Query{0, 1, 0.0}})), std::logic_error);
+}
+
+// --- Allowable-throughput evaluation. ---
+
+TEST(ThroughputEvalTest, SingleServerMatchesLittleLaw) {
+  // One base instance, tiny batches (lat ~ 10.1ms): the allowable rate must
+  // land below the 1/E[service] saturation point but clearly above half.
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  const workload::EmpiricalBatches mix({1});
+  EvalOptions opt;
+  opt.queries = 400;
+  opt.rate_guess = 50.0;
+  const auto r = EvaluateConfig(
+      catalog, Config({1, 0}), truth, /*qos_ms=*/60.0,
+      [] { return std::make_unique<policy::RibbonPolicy>(); }, mix, opt);
+  const double saturation = 1000.0 / truth.LatencyMs(0, 1);
+  EXPECT_LT(r.qps, saturation);
+  EXPECT_GT(r.qps, 0.4 * saturation);
+}
+
+TEST(ThroughputEvalTest, MoreInstancesMoreThroughput) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  const auto mix = workload::LogNormalBatches::Production();
+  EvalOptions opt;
+  opt.queries = 400;
+  opt.rate_guess = 20.0;
+  const auto policy = [] { return std::make_unique<policy::KairosPolicy>(); };
+  const auto one =
+      EvaluateConfig(catalog, Config({1, 0}), truth, 200.0, policy, mix, opt);
+  const auto two =
+      EvaluateConfig(catalog, Config({2, 0}), truth, 200.0, policy, mix, opt);
+  EXPECT_GT(two.qps, 1.5 * one.qps);
+}
+
+TEST(ThroughputEvalTest, ImpossibleQosYieldsZero) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  const workload::EmpiricalBatches mix({1000});  // 110 ms on base
+  EvalOptions opt;
+  opt.queries = 100;
+  const auto r = EvaluateConfig(
+      catalog, Config({1, 0}), truth, /*qos_ms=*/50.0,
+      [] { return std::make_unique<policy::RibbonPolicy>(); }, mix, opt);
+  EXPECT_DOUBLE_EQ(r.qps, 0.0);
+}
+
+TEST(ThroughputEvalTest, TrialsAreBounded) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  const auto mix = workload::LogNormalBatches::Production();
+  EvalOptions opt;
+  opt.queries = 200;
+  opt.bisect_iters = 5;
+  opt.rate_guess = 25.0;
+  const auto r = EvaluateConfig(
+      catalog, Config({2, 1}), truth, 200.0,
+      [] { return std::make_unique<policy::KairosPolicy>(); }, mix, opt);
+  EXPECT_LE(r.trials, 40);
+  EXPECT_GT(r.qps, 0.0);
+}
+
+}  // namespace
+}  // namespace kairos::serving

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace kairos::sim {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(3.0, [&] { fired.push_back(3); });
+  q.Schedule(1.0, [&] { fired.push_back(1); });
+  q.Schedule(2.0, [&] { fired.push_back(2); });
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TieBreaksByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(1.0, [&] { fired.push_back(10); });
+  q.Schedule(1.0, [&] { fired.push_back(20); });
+  q.Schedule(1.0, [&] { fired.push_back(30); });
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(fired, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.Schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(fired);
+  // Double-cancel is a no-op.
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId id = q.Schedule(1.0, [] {});
+  q.Schedule(2.0, [] {});
+  q.Cancel(id);
+  EXPECT_DOUBLE_EQ(q.NextTime(), 2.0);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(EventQueueTest, EmptyQueueNextTimeIsInfinity) {
+  EventQueue q;
+  EXPECT_GE(q.NextTime(), kTimeInfinity);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<Time> seen;
+  sim.At(5.0, [&] { seen.push_back(sim.Now()); });
+  sim.At(2.0, [&] { seen.push_back(sim.Now()); });
+  sim.RunUntil();
+  EXPECT_EQ(seen, (std::vector<Time>{2.0, 5.0}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+TEST(SimulatorTest, AfterIsRelativeToNow) {
+  Simulator sim;
+  Time fired_at = -1.0;
+  sim.At(3.0, [&] { sim.After(2.0, [&] { fired_at = sim.Now(); }); });
+  sim.RunUntil();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(SimulatorTest, RunUntilHonorsHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(1.0, [&] { ++fired; });
+  sim.At(10.0, [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.Idle());
+  sim.RunUntil();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulatorTest, EventsScheduledInPastClampToNow) {
+  Simulator sim;
+  Time fired_at = -1.0;
+  sim.At(4.0, [&] { sim.At(1.0, [&] { fired_at = sim.Now(); }); });
+  sim.RunUntil();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);  // not time travel
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.At(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunUntil();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(1.0, [&] { ++fired; });
+  sim.At(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CascadedSchedulingIsDeterministic) {
+  // Events spawning events at the same timestamp preserve FIFO order.
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(1.0, [&] {
+    order.push_back(1);
+    sim.After(0.0, [&] { order.push_back(3); });
+  });
+  sim.At(1.0, [&] { order.push_back(2); });
+  sim.RunUntil();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace kairos::sim

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "workload/arrival.h"
+#include "workload/mixtures.h"
+#include "workload/trace_io.h"
+
+namespace kairos::workload {
+namespace {
+
+TEST(TraceIoTest, RoundTripsThroughStream) {
+  Rng rng(1);
+  const auto mix = LogNormalBatches::Production();
+  const Trace original =
+      Trace::Generate(PoissonArrivals(50.0), mix, 200, rng);
+  std::stringstream buffer;
+  SaveTraceCsv(original, buffer);
+  const Trace loaded = LoadTraceCsv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.queries()[i].id, original.queries()[i].id);
+    EXPECT_EQ(loaded.queries()[i].batch_size,
+              original.queries()[i].batch_size);
+    EXPECT_NEAR(loaded.queries()[i].arrival, original.queries()[i].arrival,
+                1e-9);
+  }
+}
+
+TEST(TraceIoTest, RoundTripsThroughFile) {
+  Rng rng(2);
+  const auto mix = GaussianBatches::Default();
+  const Trace original =
+      Trace::Generate(PoissonArrivals(20.0), mix, 50, rng);
+  const std::string path = ::testing::TempDir() + "/kairos_trace_test.csv";
+  SaveTraceCsv(original, path);
+  const Trace loaded = LoadTraceCsv(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RejectsBadHeader) {
+  std::stringstream buffer("wrong,header,here\n1,0.5,10\n");
+  EXPECT_THROW(LoadTraceCsv(buffer), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsMalformedRow) {
+  std::stringstream buffer("id,arrival_s,batch\n1,abc,10\n");
+  EXPECT_THROW(LoadTraceCsv(buffer), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsOutOfRangeBatch) {
+  std::stringstream buffer("id,arrival_s,batch\n1,0.5,5000\n");
+  EXPECT_THROW(LoadTraceCsv(buffer), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsUnsortedArrivals) {
+  std::stringstream buffer("id,arrival_s,batch\n1,2.0,10\n2,1.0,10\n");
+  EXPECT_THROW(LoadTraceCsv(buffer), std::runtime_error);
+}
+
+TEST(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(LoadTraceCsv(std::string("/nonexistent/path/trace.csv")),
+               std::runtime_error);
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  std::stringstream buffer;
+  SaveTraceCsv(Trace(), buffer);
+  EXPECT_EQ(LoadTraceCsv(buffer).size(), 0u);
+}
+
+TEST(MixtureBatchesTest, WeightsRespected) {
+  auto mix = MixtureBatches::BimodalDefault();
+  Rng rng(3);
+  int large = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (mix.Sample(rng) > 400) ++large;
+  }
+  // The 20%-weight Gaussian(600, 80) component dominates above 400.
+  EXPECT_NEAR(static_cast<double>(large) / n, 0.2, 0.02);
+}
+
+TEST(MixtureBatchesTest, CdfIsWeightedAverage) {
+  auto mix = MixtureBatches::BimodalDefault();
+  // Between the modes the CDF must sit at the small-component weight.
+  EXPECT_NEAR(mix.Cdf(350), 0.8, 0.01);
+  EXPECT_DOUBLE_EQ(mix.Cdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(mix.Cdf(1000), 1.0);
+}
+
+TEST(MixtureBatchesTest, InvalidComponentsThrow) {
+  EXPECT_THROW(MixtureBatches({}), std::invalid_argument);
+  std::vector<MixtureBatches::Component> bad;
+  bad.push_back({nullptr, 1.0});
+  EXPECT_THROW(MixtureBatches(std::move(bad)), std::invalid_argument);
+  std::vector<MixtureBatches::Component> neg;
+  neg.push_back(
+      {std::make_shared<GaussianBatches>(100.0, 10.0), -1.0});
+  EXPECT_THROW(MixtureBatches(std::move(neg)), std::invalid_argument);
+}
+
+TEST(ParetoBatchesTest, SamplesMatchCdfAndTailOrder) {
+  const ParetoBatches heavy(0.8);
+  const ParetoBatches light(2.5);
+  Rng rng(4);
+  int heavy_large = 0, light_large = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (heavy.Sample(rng) > 200) ++heavy_large;
+    if (light.Sample(rng) > 200) ++light_large;
+  }
+  EXPECT_GT(heavy_large, 4 * light_large);  // heavier tail
+  EXPECT_NEAR(static_cast<double>(heavy_large) / n, 1.0 - heavy.Cdf(200),
+              0.02);
+  EXPECT_THROW(ParetoBatches(0.0), std::invalid_argument);
+}
+
+TEST(KendallTauTest, PerfectAndInvertedRankings) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> up = {10, 20, 30, 40, 50};
+  const std::vector<double> down = {5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(KendallTau(xs, up), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau(xs, down), -1.0);
+  EXPECT_DOUBLE_EQ(KendallTau(xs, {}), 0.0);
+}
+
+TEST(KendallTauTest, PartialAgreement) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {1, 3, 2, 4};  // one swapped pair of 6
+  EXPECT_NEAR(KendallTau(xs, ys), (5.0 - 1.0) / 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace kairos::workload
