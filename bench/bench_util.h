@@ -3,6 +3,7 @@
 // paper's comparisons repeat across figures.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
@@ -10,13 +11,27 @@
 
 #include "cloud/config_space.h"
 #include "common/env.h"
+#include "common/status.h"
 #include "common/table.h"
 #include "core/kairos.h"
+#include "core/planner_backend.h"
 #include "oracle/oracle.h"
+#include "policy/registry.h"
 #include "search/hill_climb.h"
 #include "serving/throughput_eval.h"
 
 namespace kairos::bench {
+
+/// Unwraps a StatusOr in bench context: bench inputs are compiled-in, so
+/// a registry miss is a programming error worth dying loudly over.
+template <typename T>
+T OrDie(StatusOr<T> result) {
+  if (!result.ok()) {
+    std::cerr << "bench: " << result.status().ToString() << "\n";
+    std::abort();
+  }
+  return *std::move(result);
+}
 
 /// Table-3 model order used by every multi-model figure.
 inline const std::vector<std::string>& Models() {
@@ -53,17 +68,39 @@ struct ModelBench {
                    .min_base_instances = 1});
   }
 
-  /// Allowable throughput of `config` under a named scheme. DRS thresholds
-  /// are tuned separately (see TuneDrsThreshold) and passed in.
+  /// Allowable throughput of `config` under a registry-resolved scheme.
+  /// DRS thresholds are tuned separately (see TuneDrsThreshold) and
+  /// passed in as the scheme's "threshold" knob.
   double Throughput(const cloud::Config& config, const std::string& scheme,
                     const workload::BatchDistribution& mix, double rate_guess,
                     int drs_threshold = 200,
                     serving::PredictorOptions predictor = {}) const {
-    return serving::EvaluateConfig(catalog_, config, truth, qos_ms,
-                                   core::MakePolicyFactory(scheme,
-                                                           drs_threshold),
+    policy::KnobMap knobs;
+    if (policy::CanonicalSchemeName(scheme) == "DRS") {
+      knobs["threshold"] = static_cast<double>(drs_threshold);
+    }
+    const auto factory =
+        OrDie(PolicyRegistry::Global().MakeFactory(scheme, knobs));
+    return serving::EvaluateConfig(catalog_, config, truth, qos_ms, factory,
                                    mix, StdEval(rate_guess), predictor)
         .qps;
+  }
+
+  /// Plans one configuration with a registry-selected backend — the one
+  /// entry point all planner comparisons share. Evaluation-driven
+  /// backends get `eval`; one-shot backends ignore it.
+  core::PlannerOutcome PlanWith(const std::string& planner,
+                                const workload::QueryMonitor& monitor,
+                                const search::EvalFn& eval = nullptr,
+                                const search::SearchOptions& search = {}) const {
+    const auto backend = OrDie(core::PlannerRegistry::Global().Build(planner));
+    core::PlanRequest request;
+    request.monitor = &monitor;
+    request.eval = eval;
+    request.search = search;
+    return OrDie(backend->Plan(
+        core::PlannerContext{&catalog_, &truth, qos_ms, budget_per_hour},
+        request));
   }
 
   /// Hill-climbs the DRS batch-size threshold for one config; returns the

@@ -5,8 +5,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "policy/kairos_policy.h"
-#include "policy/ribbon_policy.h"
+#include "policy/registry.h"
 #include "serving/system.h"
 
 int main() {
@@ -36,7 +35,8 @@ int main() {
   for (const auto& [label, scheme] :
        {std::pair<std::string, std::string>{"Naive FCFS", "RIBBON"},
         {"KAIROS", "KAIROS"}}) {
-    serving::ServingSystem sys(spec, core::MakePolicyFactory(scheme)(),
+    serving::ServingSystem sys(spec,
+                               bench::OrDie(PolicyRegistry::Global().Build(scheme)),
                                serving::PredictorOptions{}, keep);
     const serving::RunResult run = sys.Run(trace);
     TextTable table({"query", "batch", "served on", "latency (ms)",

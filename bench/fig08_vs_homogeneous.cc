@@ -17,14 +17,15 @@ int main() {
                    "homogeneous QPS (scaled)", "ratio", "paper"});
   std::size_t i = 0;
   for (const std::string& model : bench::Models()) {
-    core::Kairos kairos(catalog, model);
-    kairos.ObserveMix(mix);
-    const core::Plan plan = kairos.PlanConfiguration();
     const bench::ModelBench mb(catalog, model);
-    const double guess = plan.ranked.front().upper_bound * 0.5;
-    const double hetero = mb.Throughput(plan.config, "KAIROS", mix, guess);
+    // One-shot planning through the registry-selected backend — the same
+    // entry point the examples and the Fleet facade use.
+    const auto monitor = core::MonitorFromMix(mix, 10000, 7);
+    const core::PlannerOutcome outcome = mb.PlanWith("KAIROS", monitor);
+    const double guess = outcome.plan->ranked.front().upper_bound * 0.5;
+    const double hetero = mb.Throughput(outcome.config, "KAIROS", mix, guess);
     const double homo = mb.ScaledHomogeneous(mix, guess);
-    table.AddRow({model, plan.config.ToString(), TextTable::Num(hetero),
+    table.AddRow({model, outcome.config.ToString(), TextTable::Num(hetero),
                   TextTable::Num(homo), TextTable::Num(hetero / homo, 2) + "x",
                   TextTable::Num(paper_ratio[i], 2) + "x"});
     ++i;

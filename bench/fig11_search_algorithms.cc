@@ -10,9 +10,7 @@
 #include "bench/bench_util.h"
 #include "search/bayes_opt.h"
 #include "search/genetic.h"
-#include "search/kairos_plus.h"
 #include "search/random_search.h"
-#include "ub/selector.h"
 #include "ub/upper_bound.h"
 
 int main() {
@@ -65,15 +63,17 @@ int main() {
     gene_evals /= reps;
     bo_evals /= reps;
 
-    const auto ranked = ub::RankByUpperBound(space, bounds);
-    const auto kp = search::KairosPlusSearch(ranked, eval, opt);
+    // Kairos+ through the registry-selected planner backend — the same
+    // entry point examples and the Fleet facade use (ranks the identical
+    // upper-bound list internally).
+    const core::PlannerOutcome kp = mb.PlanWith("KAIROS+", monitor, eval, opt);
 
     auto pct = [&](double evals) {
       return TextTable::Num(100.0 * evals / n, 2);
     };
     table.AddRow({model, std::to_string(space.size()), pct(rand_evals),
                   pct(gene_evals), pct(bo_evals),
-                  pct(static_cast<double>(kp.evals))});
+                  pct(static_cast<double>(kp.evaluations))});
   }
   table.Print(std::cout,
               "Fig. 11: evaluations to find the optimum — Kairos+ vs "

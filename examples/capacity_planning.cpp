@@ -1,46 +1,145 @@
-// Capacity planning: sweep the hourly cost budget and show, for each
-// budget, the configuration Kairos plans, its estimated upper bound, its
-// measured allowable throughput, and the queries-per-dollar efficiency.
-// This is the "what do I rent?" workflow a service operator runs before
-// launching or rescaling an inference service.
+// Capacity planning, the "what do I rent?" workflow an inference-service
+// operator runs before launching or rescaling:
 //
-//   ./capacity_planning [MODEL]
+//   1. single-model budget sweep — for each hourly budget, the config a
+//      registry-selected planner backend picks, its estimated upper
+//      bound, measured allowable throughput, and queries-per-dollar;
+//   2. multi-model fleet — several Table-3 models co-planned under ONE
+//      global budget by kairos::Fleet, which splits the budget by weight,
+//      plans each model, and measures the aggregate (the paper's Fig. 14
+//      co-design scenario generalized to multi-tenant serving).
+//
+//   ./capacity_planning [MODEL] [PLANNER]
 #include <iostream>
 #include <string>
 
 #include "cloud/config_space.h"
 #include "common/table.h"
+#include "core/fleet.h"
 #include "core/kairos.h"
+#include "core/planner_backend.h"
 
 int main(int argc, char** argv) {
   const std::string model = argc > 1 ? argv[1] : "DIEN";
+  const std::string planner = argc > 2 ? argv[2] : "KAIROS";
   const kairos::cloud::Catalog catalog = kairos::cloud::Catalog::PaperPool();
   const auto mix = kairos::workload::LogNormalBatches::Production();
 
+  auto backend = kairos::PlannerRegistry::Global().Build(planner);
+  if (!backend.ok()) {
+    std::cerr << backend.status().ToString() << "\n";
+    return 1;
+  }
+
+  // -------------------------------------------------------------------
+  // Part 1: single-model budget sweep.
+  // -------------------------------------------------------------------
   kairos::TextTable table({"budget ($/hr)", "planned config", "cost ($/hr)",
-                           "upper bound (QPS)", "measured (QPS)",
+                           "expected (QPS)", "measured (QPS)",
                            "QPS per $/hr"});
   for (const double budget : {1.0, 1.5, 2.0, 2.5, 4.0, 6.0, 10.0}) {
     kairos::core::KairosOptions options;
     options.budget_per_hour = budget;
-    kairos::core::Kairos kairos(catalog, model, options);
-    kairos.ObserveMix(mix);
+    auto kairos = kairos::core::Kairos::Create(catalog, model, options);
+    if (!kairos.ok()) {
+      std::cerr << kairos.status().ToString() << "\n";
+      return 1;
+    }
+    kairos->ObserveMix(mix);
 
-    const kairos::core::Plan plan = kairos.PlanConfiguration();
+    kairos::core::PlanRequest request;
+    request.monitor = &kairos->monitor();
+    if ((*backend)->NeedsEvaluations()) {
+      // KAIROS+ / BRUTE-FORCE measure real throughput per candidate.
+      request.eval = [&](const kairos::cloud::Config& config) {
+        kairos::serving::EvalOptions eval;
+        eval.queries = 400;
+        return kairos->MeasureThroughput(config, mix, eval).qps;
+      };
+      request.search.max_evals = 20;
+    }
+    const auto outcome = (*backend)->Plan(
+        kairos::core::PlannerContext{&catalog, &kairos->truth(),
+                                     kairos->qos_ms(), budget},
+        request);
+    if (!outcome.ok()) {
+      // An infeasible budget is an answer too, not a crash.
+      table.AddRow({kairos::TextTable::Num(budget, 2),
+                    outcome.status().ToString(), "-", "-", "-", "-"});
+      continue;
+    }
     kairos::serving::EvalOptions eval;
     eval.queries = 1000;
-    eval.rate_guess = plan.ranked.front().upper_bound * 0.5;
-    const auto measured = kairos.MeasureThroughput(plan.config, mix, eval);
-    const double cost = plan.config.CostPerHour(catalog);
-    table.AddRow({kairos::TextTable::Num(budget, 2), plan.config.ToString(),
+    eval.rate_guess =
+        outcome->expected_qps > 0.0 ? outcome->expected_qps * 0.5 : 20.0;
+    const auto measured =
+        kairos->MeasureThroughput(outcome->config, mix, eval);
+    const double cost = outcome->config.CostPerHour(catalog);
+    table.AddRow({kairos::TextTable::Num(budget, 2),
+                  outcome->config.ToString(),
                   kairos::TextTable::Num(cost, 3),
-                  kairos::TextTable::Num(plan.ranked.front().upper_bound),
+                  kairos::TextTable::Num(outcome->expected_qps),
                   kairos::TextTable::Num(measured.qps),
                   kairos::TextTable::Num(measured.qps / cost, 1)});
   }
-  table.Print(std::cout, "capacity planning for " + model +
-                             " (production batch mix, Table-3 QoS)");
-  std::cout << "Each row is a one-shot plan: no configuration was evaluated "
-               "online before the chosen one.\n";
+  table.Print(std::cout, "capacity planning for " + model + " (planner " +
+                             planner + ", production batch mix)");
+
+  // -------------------------------------------------------------------
+  // Part 2: a fleet of models under one shared budget.
+  // -------------------------------------------------------------------
+  kairos::core::FleetModelOptions rm2;
+  rm2.model = "RM2";
+  rm2.weight = 2.0;  // the flagship model earns twice the budget share
+  kairos::core::FleetModelOptions wnd;
+  wnd.model = "WND";
+  wnd.weight = 1.0;
+  kairos::core::FleetModelOptions dien;
+  dien.model = "DIEN";
+  dien.weight = 1.0;
+
+  kairos::core::FleetOptions fleet_options;
+  fleet_options.budget_per_hour = 7.5;  // one global $/hr envelope
+  auto fleet = kairos::Fleet::Create(catalog, {rm2, wnd, dien}, fleet_options);
+  if (!fleet.ok()) {
+    std::cerr << fleet.status().ToString() << "\n";
+    return 1;
+  }
+  fleet->ObserveMixAll(mix);
+
+  const auto plan = fleet->PlanAll();
+  if (!plan.ok()) {
+    std::cerr << plan.status().ToString() << "\n";
+    return 1;
+  }
+  kairos::serving::EvalOptions eval;
+  eval.queries = 800;
+  const auto measured = fleet->MeasureAll(*plan, mix, eval);
+  if (!measured.ok()) {
+    std::cerr << measured.status().ToString() << "\n";
+    return 1;
+  }
+
+  kairos::TextTable fleet_table({"model", "share ($/hr)", "planned config",
+                                 "cost ($/hr)", "qos (ms)", "measured (QPS)"});
+  for (std::size_t i = 0; i < plan->models.size(); ++i) {
+    const auto& m = plan->models[i];
+    fleet_table.AddRow({m.model, kairos::TextTable::Num(m.budget_per_hour, 3),
+                        m.outcome.config.ToString(),
+                        kairos::TextTable::Num(m.cost_per_hour, 3),
+                        kairos::TextTable::Num(m.qos_ms, 1),
+                        kairos::TextTable::Num(measured->models[i].result.qps)});
+  }
+  fleet_table.Print(
+      std::cout,
+      "fleet of " + std::to_string(plan->models.size()) +
+          " models under one $" +
+          kairos::TextTable::Num(fleet_options.budget_per_hour, 2) +
+          "/hr budget (total cost $" +
+          kairos::TextTable::Num(plan->total_cost_per_hour, 3) +
+          "/hr, aggregate " + kairos::TextTable::Num(measured->total_qps) +
+          " QPS)");
+  std::cout << "Each model was planned one-shot inside its weight share; "
+               "the fleet never exceeds the global budget.\n";
   return 0;
 }

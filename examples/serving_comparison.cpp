@@ -4,12 +4,16 @@
 // utilization — then show how Kairos re-plans when the workload shifts
 // from the production mix to a Gaussian mix (the Fig. 12 situation).
 //
+// Every scheme registered in the PolicyRegistry is exercised — adding a
+// new policy .cc with a registrar automatically adds a row here.
+//
 //   ./serving_comparison [MODEL] [RATE_QPS]
 #include <iostream>
 #include <string>
 
 #include "common/table.h"
 #include "core/kairos.h"
+#include "policy/registry.h"
 #include "serving/system.h"
 #include "workload/trace.h"
 
@@ -19,7 +23,12 @@ int main(int argc, char** argv) {
   const cloud::Catalog catalog = cloud::Catalog::PaperPool();
   const auto mix = workload::LogNormalBatches::Production();
 
-  core::Kairos kairos(catalog, model);
+  auto created = core::Kairos::Create(catalog, model);
+  if (!created.ok()) {
+    std::cerr << created.status().ToString() << "\n";
+    return 1;
+  }
+  core::Kairos& kairos = *created;
   kairos.ObserveMix(mix);
   const core::Plan plan = kairos.PlanConfiguration();
   const double rate =
@@ -44,7 +53,14 @@ int main(int argc, char** argv) {
 
   TextTable table({"scheme", "served", "violations", "p99 (ms)", "mean (ms)",
                    "GPU busy (%)", "CPU busy (%)"});
-  for (const std::string& scheme : {"RIBBON", "DRS", "CLKWRK", "KAIROS"}) {
+  for (const std::string& scheme : PolicyRegistry::Global().ListNames()) {
+    policy::KnobMap knobs;
+    if (scheme == "DRS") knobs["threshold"] = drs_threshold;
+    auto policy = PolicyRegistry::Global().Build(scheme, knobs);
+    if (!policy.ok()) {
+      std::cerr << policy.status().ToString() << "\n";
+      return 1;
+    }
     serving::SystemSpec spec;
     spec.catalog = &catalog;
     spec.config = plan.config;
@@ -52,9 +68,8 @@ int main(int argc, char** argv) {
     spec.qos_ms = kairos.qos_ms();
     serving::RunOptions run_options;
     run_options.abort_violation_fraction = 0.0;  // serve everything
-    serving::ServingSystem system(
-        spec, core::MakePolicyFactory(scheme, drs_threshold)(),
-        serving::PredictorOptions{}, run_options);
+    serving::ServingSystem system(spec, *std::move(policy),
+                                  serving::PredictorOptions{}, run_options);
     const serving::RunResult run = system.Run(trace);
 
     double gpu_busy = 0.0, cpu_busy = 0.0;
@@ -81,7 +96,7 @@ int main(int argc, char** argv) {
                   TextTable::Num(run.p99_ms, 1), TextTable::Num(run.mean_ms, 1),
                   pct(gpu_busy, gpu_count), pct(cpu_busy, cpu_count)});
   }
-  table.Print(std::cout, "one trace, four distribution mechanisms");
+  table.Print(std::cout, "one trace, every registered distribution scheme");
 
   // Workload shift: re-plan on the new mix without any online evaluation.
   const workload::GaussianBatches shifted(850.0, 60.0);

@@ -1,0 +1,31 @@
+// Tiny string-formatting helpers shared by the error messages the public
+// API surfaces (registries, planner backends, the Fleet facade).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace kairos {
+
+/// "KAIROS, RIBBON, DRS" — the alternatives list every lookup error ends
+/// with.
+inline std::string JoinComma(const std::vector<std::string>& items) {
+  std::string joined;
+  for (const std::string& item : items) {
+    if (!joined.empty()) joined += ", ";
+    joined += item;
+  }
+  return joined;
+}
+
+/// "$2.49/hr" with 3 significant digits, the budget formatting used in
+/// infeasibility messages.
+inline std::string FormatDollarsPerHour(double dollars) {
+  std::ostringstream out;
+  out.precision(3);
+  out << "$" << dollars << "/hr";
+  return out.str();
+}
+
+}  // namespace kairos

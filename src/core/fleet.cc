@@ -1,0 +1,214 @@
+#include "core/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+#include "latency/model_zoo.h"
+
+namespace kairos::core {
+namespace {
+
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+/// Cheapest way to rent one base instance, the floor for a feasible share.
+StatusOr<double> MinBasePrice(const cloud::Catalog& catalog) {
+  double min_price = std::numeric_limits<double>::infinity();
+  for (cloud::TypeId t = 0; t < catalog.size(); ++t) {
+    if (catalog[t].is_base) min_price = std::min(min_price, catalog[t].price_per_hour);
+  }
+  if (!std::isfinite(min_price)) {
+    return Status::InvalidArgument("catalog has no base instance type");
+  }
+  return min_price;
+}
+
+}  // namespace
+
+Fleet::Fleet(const cloud::Catalog& catalog, FleetOptions options)
+    : catalog_(catalog), options_(std::move(options)) {}
+
+StatusOr<Fleet> Fleet::Create(const cloud::Catalog& catalog,
+                              std::vector<FleetModelOptions> models,
+                              FleetOptions options) {
+  if (models.empty()) {
+    return Status::InvalidArgument("fleet needs at least one model");
+  }
+  if (options.budget_per_hour <= 0.0) {
+    return Status::InvalidArgument("fleet budget must be positive, got " +
+                                   FormatDollarsPerHour(options.budget_per_hour));
+  }
+  if (!PlannerRegistry::Global().Contains(options.planner)) {
+    // Reuse the registry's error so the message lists the alternatives.
+    return PlannerRegistry::Global().Build(options.planner).status();
+  }
+
+  double total_weight = 0.0;
+  for (const FleetModelOptions& m : models) {
+    if (latency::TryFindModel(m.model) == nullptr) {
+      return Status::NotFound("unknown model \"" + m.model +
+                              "\"; Table-3 models: " +
+                              latency::ModelZooNames());
+    }
+    if (m.weight <= 0.0) {
+      return Status::InvalidArgument("model " + m.model +
+                                     ": weight must be positive");
+    }
+    if (m.qos_scale <= 0.0) {
+      return Status::InvalidArgument("model " + m.model +
+                                     ": qos_scale must be positive");
+    }
+    const auto dup = std::count_if(
+        models.begin(), models.end(),
+        [&](const FleetModelOptions& other) { return other.model == m.model; });
+    if (dup > 1) {
+      return Status::InvalidArgument("model " + m.model +
+                                     " listed more than once");
+    }
+    total_weight += m.weight;
+  }
+
+  const auto min_base = MinBasePrice(catalog);
+  if (!min_base.ok()) return min_base.status();
+
+  Fleet fleet(catalog, options);
+  for (const FleetModelOptions& m : models) {
+    const double share =
+        options.budget_per_hour * m.weight / total_weight;
+    if (share < *min_base) {
+      return Status::Infeasible(
+          "model " + m.model + ": budget share " + FormatDollarsPerHour(share) +
+          " cannot rent one base instance (cheapest base " +
+          FormatDollarsPerHour(*min_base) + "); raise the global budget or its weight");
+    }
+    KairosOptions session_options;
+    session_options.budget_per_hour = share;
+    session_options.qos_scale = m.qos_scale;
+    session_options.monitor_warmup = m.monitor_warmup;
+    session_options.seed = options.seed;
+    session_options.runtime = options.runtime;
+    fleet.names_.push_back(m.model);
+    fleet.budgets_.push_back(share);
+    fleet.sessions_.emplace_back(catalog, m.model, session_options);
+  }
+  return fleet;
+}
+
+std::size_t Fleet::IndexOf(const std::string& model) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == model) return i;
+  }
+  return kNpos;
+}
+
+StatusOr<const Kairos*> Fleet::Session(const std::string& model) const {
+  const std::size_t i = IndexOf(model);
+  if (i == kNpos) {
+    return Status::NotFound("model " + model + " is not in this fleet");
+  }
+  return &sessions_[i];
+}
+
+StatusOr<double> Fleet::BudgetFor(const std::string& model) const {
+  const std::size_t i = IndexOf(model);
+  if (i == kNpos) {
+    return Status::NotFound("model " + model + " is not in this fleet");
+  }
+  return budgets_[i];
+}
+
+Status Fleet::ObserveMix(const std::string& model,
+                         const workload::BatchDistribution& mix) {
+  const std::size_t i = IndexOf(model);
+  if (i == kNpos) {
+    return Status::NotFound("model " + model + " is not in this fleet");
+  }
+  sessions_[i].ObserveMix(mix);
+  return Status::Ok();
+}
+
+void Fleet::ObserveMixAll(const workload::BatchDistribution& mix) {
+  for (Kairos& session : sessions_) session.ObserveMix(mix);
+}
+
+StatusOr<FleetPlan> Fleet::PlanAll(const search::SearchOptions& search) const {
+  auto backend = PlannerRegistry::Global().Build(options_.planner);
+  if (!backend.ok()) return backend.status();
+
+  FleetPlan plan;
+  plan.budget_per_hour = options_.budget_per_hour;
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    const Kairos& session = sessions_[i];
+    if (session.monitor().Count() == 0) {
+      return Status::FailedPrecondition(
+          "model " + names_[i] +
+          ": monitor is empty; call ObserveMix before PlanAll");
+    }
+
+    PlannerContext ctx{&catalog_, &session.truth(), session.qos_ms(),
+                       budgets_[i]};
+    PlanRequest request;
+    request.monitor = &session.monitor();
+    request.search = search;
+    if ((*backend)->NeedsEvaluations()) {
+      // Evaluate against the model's own monitored workload.
+      const workload::EmpiricalBatches mix = session.monitor().Snapshot();
+      request.eval = [&session, mix](const cloud::Config& config) {
+        serving::EvalOptions eval_options;
+        return session.MeasureThroughput(config, mix, eval_options).qps;
+      };
+    }
+
+    auto outcome = (*backend)->Plan(ctx, request);
+    if (!outcome.ok()) {
+      return Status(outcome.status().code(),
+                    "model " + names_[i] + ": " + outcome.status().message());
+    }
+
+    FleetModelPlan model_plan;
+    model_plan.model = names_[i];
+    model_plan.budget_per_hour = budgets_[i];
+    model_plan.qos_ms = session.qos_ms();
+    model_plan.outcome = *std::move(outcome);
+    model_plan.cost_per_hour = model_plan.outcome.config.CostPerHour(catalog_);
+    plan.total_cost_per_hour += model_plan.cost_per_hour;
+    plan.models.push_back(std::move(model_plan));
+  }
+  return plan;
+}
+
+StatusOr<Runtime> Fleet::Deploy(const std::string& model,
+                                const cloud::Config& config) const {
+  const std::size_t i = IndexOf(model);
+  if (i == kNpos) {
+    return Status::NotFound("model " + model + " is not in this fleet");
+  }
+  return sessions_[i].Deploy(config);
+}
+
+StatusOr<FleetMeasurement> Fleet::MeasureAll(
+    const FleetPlan& plan, const workload::BatchDistribution& mix,
+    serving::EvalOptions eval_options) const {
+  FleetMeasurement measurement;
+  for (const FleetModelPlan& model_plan : plan.models) {
+    const std::size_t i = IndexOf(model_plan.model);
+    if (i == kNpos) {
+      return Status::NotFound("model " + model_plan.model +
+                              " is not in this fleet");
+    }
+    serving::EvalOptions per_model = eval_options;
+    if (model_plan.outcome.expected_qps > 0.0) {
+      per_model.rate_guess = 0.5 * model_plan.outcome.expected_qps;
+    }
+    FleetModelMeasurement m;
+    m.model = model_plan.model;
+    m.result = sessions_[i].MeasureThroughput(model_plan.outcome.config, mix,
+                                              per_model);
+    measurement.total_qps += m.result.qps;
+    measurement.models.push_back(std::move(m));
+  }
+  return measurement;
+}
+
+}  // namespace kairos::core

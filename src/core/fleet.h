@@ -1,0 +1,140 @@
+// Multi-model fleet facade: several Kairos sessions — one per served
+// model — under a single global $/hr budget. The fleet splits the budget
+// across models by weight, plans each model's heterogeneous configuration
+// with a registry-selected planner backend, and offers aggregate deploy /
+// measure entry points. This generalizes the paper's co-design scenario
+// (Fig. 14) to multi-tenant serving: the operator states one budget and a
+// model mix, the fleet answers "what do I rent for each model?".
+//
+// All fallible entry points return Status / StatusOr (unknown model or
+// planner names, infeasible budget shares) — nothing here throws.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/kairos.h"
+#include "core/planner_backend.h"
+
+namespace kairos::core {
+
+/// One model served by the fleet.
+struct FleetModelOptions {
+  std::string model;   ///< Table-3 name ("RM2", "DIEN", ...)
+  /// Relative budget share; the model receives weight / sum(weights) of
+  /// the global budget. Must be positive.
+  double weight = 1.0;
+  /// Multiplier on the model's Table-3 QoS target.
+  double qos_scale = 1.0;
+  /// Sliding window of the model's query monitor.
+  std::size_t monitor_warmup = 10000;
+};
+
+/// Fleet-wide knobs.
+struct FleetOptions {
+  /// Global hourly budget shared by every model.
+  double budget_per_hour = 5.0;
+  /// Planner backend (PlannerRegistry name) used by PlanAll().
+  std::string planner = "KAIROS";
+  std::uint64_t seed = 7;
+  /// Deploy-time runtime knobs, shared by all sessions.
+  RuntimeOptions runtime;
+};
+
+/// One model's slice of a fleet plan.
+struct FleetModelPlan {
+  std::string model;
+  double budget_per_hour = 0.0;  ///< this model's share of the budget
+  double qos_ms = 0.0;           ///< effective QoS target
+  PlannerOutcome outcome;        ///< what the backend chose
+  double cost_per_hour = 0.0;    ///< actual cost of the chosen config
+};
+
+/// The fleet-wide answer. Invariants (asserted by tests/api_test.cc):
+/// sum of per-model budget shares <= global budget, and every chosen
+/// configuration costs at most its model's share.
+struct FleetPlan {
+  std::vector<FleetModelPlan> models;
+  double budget_per_hour = 0.0;     ///< the global budget
+  double total_cost_per_hour = 0.0; ///< sum of chosen-config costs
+};
+
+/// One model's measured allowable throughput.
+struct FleetModelMeasurement {
+  std::string model;
+  serving::EvalResult result;
+};
+
+/// Aggregate measurement over a FleetPlan.
+struct FleetMeasurement {
+  std::vector<FleetModelMeasurement> models;
+  double total_qps = 0.0;  ///< sum of per-model allowable throughputs
+};
+
+/// A set of Kairos sessions planned and measured together.
+class Fleet {
+ public:
+  /// Validates the request and builds one Kairos session per model with
+  /// its weight-proportional budget share. Errors: kInvalidArgument
+  /// (empty model list, duplicate model, weight <= 0, budget <= 0),
+  /// kNotFound (unknown model or planner name, listing alternatives),
+  /// kInfeasible (a share too small to rent one base instance).
+  static StatusOr<Fleet> Create(const cloud::Catalog& catalog,
+                                std::vector<FleetModelOptions> models,
+                                FleetOptions options = {});
+
+  std::size_t size() const { return sessions_.size(); }
+  const std::vector<std::string>& model_names() const { return names_; }
+  const FleetOptions& options() const { return options_; }
+
+  /// The session serving `model`, or kNotFound.
+  StatusOr<const Kairos*> Session(const std::string& model) const;
+
+  /// This model's budget share in $/hr, or kNotFound.
+  StatusOr<double> BudgetFor(const std::string& model) const;
+
+  /// Warms one model's monitor from a batch distribution.
+  Status ObserveMix(const std::string& model,
+                    const workload::BatchDistribution& mix);
+
+  /// Warms every model's monitor from the same distribution.
+  void ObserveMixAll(const workload::BatchDistribution& mix);
+
+  /// Plans every model under its budget share with the configured planner
+  /// backend. Evaluation-driven backends (KAIROS+, BRUTE-FORCE) measure
+  /// real throughput against each model's monitored empirical mix.
+  /// kFailedPrecondition when a monitor is empty.
+  StatusOr<FleetPlan> PlanAll(
+      const search::SearchOptions& search = {}) const;
+
+  /// Deploys one model's chosen configuration with the Kairos distributor.
+  StatusOr<Runtime> Deploy(const std::string& model,
+                           const cloud::Config& config) const;
+
+  /// Measures allowable throughput of every planned model under `mix`.
+  /// Each model's rate bracketing starts from half its planned
+  /// expected_qps when available (otherwise `eval_options.rate_guess`).
+  StatusOr<FleetMeasurement> MeasureAll(
+      const FleetPlan& plan, const workload::BatchDistribution& mix,
+      serving::EvalOptions eval_options = {}) const;
+
+ private:
+  Fleet(const cloud::Catalog& catalog, FleetOptions options);
+
+  /// Index of `model` in names_, or npos.
+  std::size_t IndexOf(const std::string& model) const;
+
+  const cloud::Catalog& catalog_;
+  FleetOptions options_;
+  std::vector<std::string> names_;    ///< canonical model names
+  std::vector<double> budgets_;       ///< per-model $/hr shares
+  std::vector<Kairos> sessions_;      ///< one per model, same order
+};
+
+}  // namespace kairos::core
+
+namespace kairos {
+using core::Fleet;
+}  // namespace kairos

@@ -2,10 +2,7 @@
 
 #include <stdexcept>
 
-#include "policy/clockwork_policy.h"
-#include "policy/drs_policy.h"
-#include "policy/kairos_policy.h"
-#include "policy/ribbon_policy.h"
+#include "policy/registry.h"
 
 namespace kairos::core {
 
@@ -50,23 +47,31 @@ serving::EvalResult Kairos::MeasureThroughput(
   return Deploy(config).MeasureThroughput(mix, eval_options);
 }
 
+StatusOr<Kairos> Kairos::Create(const cloud::Catalog& catalog,
+                                const std::string& model,
+                                KairosOptions options) {
+  if (latency::TryFindModel(model) == nullptr) {
+    return Status::NotFound("unknown model \"" + model +
+                            "\"; Table-3 models: " + latency::ModelZooNames());
+  }
+  if (options.qos_scale <= 0.0) {
+    return Status::InvalidArgument("qos_scale must be positive");
+  }
+  return Kairos(catalog, model, options);
+}
+
 serving::PolicyFactory MakePolicyFactory(const std::string& name,
                                          int drs_threshold) {
-  if (name == "KAIROS") {
-    return [] { return std::make_unique<policy::KairosPolicy>(); };
+  policy::KnobMap knobs;
+  if (policy::CanonicalSchemeName(name) == "DRS") {
+    knobs["threshold"] = static_cast<double>(drs_threshold);
   }
-  if (name == "RIBBON") {
-    return [] { return std::make_unique<policy::RibbonPolicy>(); };
+  auto factory = PolicyRegistry::Global().MakeFactory(name, knobs);
+  if (!factory.ok()) {
+    // Pre-registry callers expect the throwing contract.
+    throw std::out_of_range("MakePolicyFactory: " + factory.status().message());
   }
-  if (name == "DRS") {
-    return [drs_threshold] {
-      return std::make_unique<policy::DrsPolicy>(drs_threshold);
-    };
-  }
-  if (name == "CLKWRK") {
-    return [] { return std::make_unique<policy::ClockworkPolicy>(); };
-  }
-  throw std::out_of_range("MakePolicyFactory: unknown scheme " + name);
+  return *std::move(factory);
 }
 
 workload::QueryMonitor MonitorFromMix(const workload::BatchDistribution& mix,

@@ -3,15 +3,22 @@
 //
 //   * Kairos        — plan a heterogeneous configuration under a budget and
 //                     deploy it with the Kairos query distributor;
-//   * MakePolicyFactory — build any of the paper's distribution schemes by
-//                     name (KAIROS / RIBBON / DRS / CLKWRK) for comparisons;
+//   * Kairos::Create — the Status-returning construction path (unknown
+//                     model names come back as kNotFound, not exceptions);
 //   * MonitorFromMix — warm a QueryMonitor from a batch distribution, the
 //                     paper's query-monitoring warmup.
+//
+// Distribution schemes are built by name through kairos::PolicyRegistry
+// (policy/registry.h), planning strategies through kairos::PlannerRegistry
+// (core/planner_backend.h), and multi-model serving under one budget
+// through kairos::Fleet (core/fleet.h). MakePolicyFactory below survives
+// as a deprecated shim over the policy registry.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "common/status.h"
 #include "core/planner.h"
 #include "core/runtime.h"
 #include "latency/model_zoo.h"
@@ -36,8 +43,16 @@ struct KairosOptions {
 class Kairos {
  public:
   /// `catalog` must outlive the facade. `model` is a Table-3 name.
+  /// Throws std::out_of_range for an unknown model; prefer Create() in
+  /// code that wants Status-based errors.
   Kairos(const cloud::Catalog& catalog, const std::string& model,
          KairosOptions options = {});
+
+  /// Status-returning construction: kNotFound (listing the Table-3 names)
+  /// for an unknown model, kInvalidArgument for bad options.
+  static StatusOr<Kairos> Create(const cloud::Catalog& catalog,
+                                 const std::string& model,
+                                 KairosOptions options = {});
 
   /// Observes workload (warms the monitor) from a batch distribution.
   void ObserveMix(const workload::BatchDistribution& mix);
@@ -80,9 +95,12 @@ class Kairos {
   workload::QueryMonitor monitor_;
 };
 
-/// Builds one of the paper's distribution schemes by name: "KAIROS",
-/// "RIBBON", "DRS" (uses `drs_threshold`), or "CLKWRK". Throws
-/// std::out_of_range for unknown names.
+/// Deprecated shim over PolicyRegistry::MakeFactory: builds a registered
+/// distribution scheme by (case-insensitive) name; `drs_threshold` is
+/// forwarded as DRS's "threshold" knob. Kept source-compatible with the
+/// pre-registry API: throws std::out_of_range for unknown names, with a
+/// message listing the registered schemes. New code should call
+/// PolicyRegistry::Global().MakeFactory() and handle the Status.
 serving::PolicyFactory MakePolicyFactory(const std::string& name,
                                          int drs_threshold = 200);
 

@@ -21,7 +21,12 @@ std::vector<cloud::Config> Planner::ConfigSpace() const {
 }
 
 Plan Planner::PlanConfiguration(const workload::QueryMonitor& monitor) const {
-  const std::vector<cloud::Config> space = ConfigSpace();
+  return PlanConfiguration(monitor, ConfigSpace());
+}
+
+Plan Planner::PlanConfiguration(
+    const workload::QueryMonitor& monitor,
+    const std::vector<cloud::Config>& space) const {
   const ub::UpperBoundEstimator estimator(*ctx_.catalog, *ctx_.truth,
                                           ctx_.qos_ms);
   const std::vector<double> bounds = estimator.EstimateAll(space, monitor);
@@ -36,7 +41,13 @@ Plan Planner::PlanConfiguration(const workload::QueryMonitor& monitor) const {
 search::SearchResult Planner::PlanWithEvaluations(
     const workload::QueryMonitor& monitor, const search::EvalFn& eval,
     const search::SearchOptions& options) const {
-  const std::vector<cloud::Config> space = ConfigSpace();
+  return PlanWithEvaluations(monitor, eval, options, ConfigSpace());
+}
+
+search::SearchResult Planner::PlanWithEvaluations(
+    const workload::QueryMonitor& monitor, const search::EvalFn& eval,
+    const search::SearchOptions& options,
+    const std::vector<cloud::Config>& space) const {
   const ub::UpperBoundEstimator estimator(*ctx_.catalog, *ctx_.truth,
                                           ctx_.qos_ms);
   const std::vector<double> bounds = estimator.EstimateAll(space, monitor);

@@ -42,11 +42,22 @@ class Planner {
   /// One-shot Kairos planning from monitored workload statistics.
   Plan PlanConfiguration(const workload::QueryMonitor& monitor) const;
 
+  /// Same, over a pre-enumerated candidate space (callers that already
+  /// hold ConfigSpace() avoid re-enumerating). `space` must be non-empty.
+  Plan PlanConfiguration(const workload::QueryMonitor& monitor,
+                         const std::vector<cloud::Config>& space) const;
+
   /// Kairos+: upper-bound-guided online search using `eval` for real
   /// throughput measurements (Algorithm 1).
   search::SearchResult PlanWithEvaluations(
       const workload::QueryMonitor& monitor, const search::EvalFn& eval,
       const search::SearchOptions& options = {}) const;
+
+  /// Same, over a pre-enumerated candidate space.
+  search::SearchResult PlanWithEvaluations(
+      const workload::QueryMonitor& monitor, const search::EvalFn& eval,
+      const search::SearchOptions& options,
+      const std::vector<cloud::Config>& space) const;
 
   const PlannerContext& context() const { return ctx_; }
 

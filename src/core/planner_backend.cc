@@ -1,0 +1,221 @@
+#include "core/planner_backend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cloud/config_space.h"
+#include "common/strings.h"
+#include "policy/registry.h"
+
+namespace kairos::core {
+namespace {
+
+/// Shared validation: every backend needs a well-formed context and a
+/// warmed monitor.
+Status ValidateRequest(const PlannerContext& ctx, const PlanRequest& request) {
+  if (ctx.catalog == nullptr || ctx.truth == nullptr) {
+    return Status::InvalidArgument("planner context needs catalog and truth");
+  }
+  if (ctx.qos_ms <= 0.0) {
+    return Status::InvalidArgument("planner context needs a positive QoS");
+  }
+  if (ctx.budget_per_hour <= 0.0) {
+    return Status::InvalidArgument("planner context needs a positive budget");
+  }
+  if (request.monitor == nullptr) {
+    return Status::InvalidArgument("plan request needs a query monitor");
+  }
+  return Status::Ok();
+}
+
+/// The budgeted space (enumerated once, reused by the planner), or
+/// kInfeasible when not even one base instance fits.
+StatusOr<std::vector<cloud::Config>> BudgetedSpace(const PlannerContext& ctx) {
+  std::vector<cloud::Config> space = Planner(ctx).ConfigSpace();
+  if (space.empty()) {
+    return Status::Infeasible("no configuration with a base instance fits " +
+                              FormatDollarsPerHour(ctx.budget_per_hour));
+  }
+  return space;
+}
+
+/// One-shot Kairos: rank upper bounds, apply the similarity rule, spend
+/// zero evaluations (Sec. 5.2).
+class KairosBackend final : public PlannerBackend {
+ public:
+  std::string Name() const override { return "KAIROS"; }
+
+  StatusOr<PlannerOutcome> Plan(const PlannerContext& ctx,
+                                const PlanRequest& request) const override {
+    if (Status s = ValidateRequest(ctx, request); !s.ok()) return s;
+    auto space = BudgetedSpace(ctx);
+    if (!space.ok()) return space.status();
+    PlannerOutcome outcome;
+    outcome.plan = Planner(ctx).PlanConfiguration(*request.monitor, *space);
+    outcome.config = outcome.plan->config;
+    outcome.expected_qps =
+        outcome.plan->ranked[outcome.plan->selection.chosen_rank].upper_bound;
+    return outcome;
+  }
+};
+
+/// Kairos+ (Algorithm 1): upper-bound-guided online search over real
+/// throughput evaluations.
+class KairosPlusBackend final : public PlannerBackend {
+ public:
+  std::string Name() const override { return "KAIROS+"; }
+  bool NeedsEvaluations() const override { return true; }
+
+  StatusOr<PlannerOutcome> Plan(const PlannerContext& ctx,
+                                const PlanRequest& request) const override {
+    if (Status s = ValidateRequest(ctx, request); !s.ok()) return s;
+    if (request.eval == nullptr) {
+      return Status::FailedPrecondition(
+          "backend KAIROS+ needs PlanRequest::eval");
+    }
+    auto space = BudgetedSpace(ctx);
+    if (!space.ok()) return space.status();
+    const search::SearchResult result = Planner(ctx).PlanWithEvaluations(
+        *request.monitor, request.eval, request.search, *space);
+    PlannerOutcome outcome;
+    outcome.config = result.best_config;
+    outcome.expected_qps = result.best_qps;
+    outcome.evaluations = result.evals;
+    return outcome;
+  }
+};
+
+/// The paper's Sec. 4 baseline: as many base instances as the budget buys.
+class HomogeneousBackend final : public PlannerBackend {
+ public:
+  std::string Name() const override { return "HOMOGENEOUS"; }
+
+  StatusOr<PlannerOutcome> Plan(const PlannerContext& ctx,
+                                const PlanRequest& request) const override {
+    if (Status s = ValidateRequest(ctx, request); !s.ok()) return s;
+    const cloud::Config config =
+        cloud::BestHomogeneous(*ctx.catalog, ctx.budget_per_hour);
+    if (config.TotalInstances() == 0) {
+      return Status::Infeasible("budget " +
+                                FormatDollarsPerHour(ctx.budget_per_hour) +
+                                " does not buy one base instance");
+    }
+    PlannerOutcome outcome;
+    outcome.config = config;
+    if (request.eval != nullptr) {
+      outcome.expected_qps = request.eval(config);
+      outcome.evaluations = 1;
+    }
+    return outcome;
+  }
+};
+
+/// Exhaustive baseline: really evaluate every budgeted configuration
+/// (bounded by SearchOptions::max_evals) and keep the best.
+class BruteForceBackend final : public PlannerBackend {
+ public:
+  std::string Name() const override { return "BRUTE-FORCE"; }
+  bool NeedsEvaluations() const override { return true; }
+
+  StatusOr<PlannerOutcome> Plan(const PlannerContext& ctx,
+                                const PlanRequest& request) const override {
+    if (Status s = ValidateRequest(ctx, request); !s.ok()) return s;
+    if (request.eval == nullptr) {
+      return Status::FailedPrecondition(
+          "backend BRUTE-FORCE needs PlanRequest::eval");
+    }
+    auto space = BudgetedSpace(ctx);
+    if (!space.ok()) return space.status();
+    PlannerOutcome outcome;
+    double best = -1.0;
+    for (const cloud::Config& config : *space) {
+      if (outcome.evaluations >= request.search.max_evals) break;
+      const double qps = request.eval(config);
+      ++outcome.evaluations;
+      if (qps > best) {
+        best = qps;
+        outcome.config = config;
+        outcome.expected_qps = qps;
+      }
+      if (request.search.target_qps > 0.0 &&
+          best >= request.search.target_qps) {
+        break;
+      }
+    }
+    return outcome;
+  }
+};
+
+const PlannerRegistrar kKairos(
+    "KAIROS", "one-shot upper-bound ranking + similarity rule (Sec. 5.2)",
+    [] { return std::make_unique<KairosBackend>(); });
+const PlannerRegistrar kKairosPlus(
+    "KAIROS+", "upper-bound-guided online search, Algorithm 1",
+    [] { return std::make_unique<KairosPlusBackend>(); });
+const PlannerRegistrar kHomogeneous(
+    "HOMOGENEOUS", "max base instances within budget (Sec. 4 baseline)",
+    [] { return std::make_unique<HomogeneousBackend>(); });
+const PlannerRegistrar kBruteForce(
+    "BRUTE-FORCE", "evaluate every budgeted configuration, keep the best",
+    [] { return std::make_unique<BruteForceBackend>(); });
+
+}  // namespace
+
+PlannerRegistry& PlannerRegistry::Global() {
+  static PlannerRegistry* registry = new PlannerRegistry();
+  return *registry;
+}
+
+Status PlannerRegistry::Register(
+    std::string name, std::string summary,
+    std::function<std::unique_ptr<PlannerBackend>()> make) {
+  const std::string canonical = policy::CanonicalSchemeName(name);
+  if (canonical.empty()) {
+    return Status::InvalidArgument("planner registration with empty name");
+  }
+  if (make == nullptr) {
+    return Status::InvalidArgument("planner " + canonical +
+                                   " registered without a factory");
+  }
+  const auto [it, inserted] = entries_.emplace(
+      canonical, Entry{std::move(summary), std::move(make)});
+  if (!inserted) {
+    return Status::InvalidArgument("planner " + it->first +
+                                   " registered twice");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> PlannerRegistry::ListNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+bool PlannerRegistry::Contains(const std::string& name) const {
+  return entries_.count(policy::CanonicalSchemeName(name)) > 0;
+}
+
+StatusOr<std::string> PlannerRegistry::Summary(const std::string& name) const {
+  const auto it = entries_.find(policy::CanonicalSchemeName(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown planner \"" + name +
+                            "\"; registered planners: " +
+                            JoinComma(ListNames()));
+  }
+  return it->second.summary;
+}
+
+StatusOr<std::unique_ptr<PlannerBackend>> PlannerRegistry::Build(
+    const std::string& name) const {
+  const auto it = entries_.find(policy::CanonicalSchemeName(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown planner \"" + name +
+                            "\"; registered planners: " +
+                            JoinComma(ListNames()));
+  }
+  return it->second.make();
+}
+
+}  // namespace kairos::core

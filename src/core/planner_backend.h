@@ -1,0 +1,113 @@
+// Planner strategy interface: one-shot Kairos, evaluation-driven Kairos+,
+// and the homogeneous / brute-force baselines are interchangeable objects
+// selected by name from the PlannerRegistry, so benches, examples, and the
+// Fleet facade drive "pick a configuration under this budget" through one
+// surface regardless of which algorithm does the picking.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/planner.h"
+#include "search/search.h"
+#include "workload/monitor.h"
+
+namespace kairos::core {
+
+/// One planning request. Every backend needs the monitored workload; the
+/// evaluation-driven backends additionally need `eval` (and honor
+/// `search.max_evals` / `search.target_qps`).
+struct PlanRequest {
+  const workload::QueryMonitor* monitor = nullptr;
+  /// Real throughput measurement of a configuration (queries/sec). Only
+  /// consulted when the backend's NeedsEvaluations() is true.
+  search::EvalFn eval;
+  search::SearchOptions search;
+};
+
+/// What a backend decided, in a shape all backends share.
+struct PlannerOutcome {
+  cloud::Config config;        ///< the chosen configuration
+  double expected_qps = 0.0;   ///< UB estimate or measured qps
+  std::size_t evaluations = 0; ///< real evaluations spent (0 for one-shot)
+  /// Full one-shot diagnostics (ranking, selection rule) when the backend
+  /// produced them; empty for baselines that do not rank upper bounds.
+  std::optional<Plan> plan;
+};
+
+/// A configuration-planning strategy bound to nothing: all problem state
+/// arrives through (PlannerContext, PlanRequest).
+class PlannerBackend {
+ public:
+  virtual ~PlannerBackend() = default;
+
+  /// Canonical backend name ("KAIROS", "KAIROS+", ...).
+  virtual std::string Name() const = 0;
+
+  /// True when Plan() consults PlanRequest::eval.
+  virtual bool NeedsEvaluations() const { return false; }
+
+  /// Plans one configuration. Returns kInvalidArgument for a malformed
+  /// context, kFailedPrecondition when a required eval fn is missing, and
+  /// kInfeasible when no configuration fits the budget.
+  virtual StatusOr<PlannerOutcome> Plan(const PlannerContext& ctx,
+                                        const PlanRequest& request) const = 0;
+};
+
+/// Process-wide name -> backend table, mirroring PolicyRegistry: static
+/// registrars populate it, lookup is case-insensitive, unknown names come
+/// back as kNotFound listing the alternatives.
+class PlannerRegistry {
+ public:
+  static PlannerRegistry& Global();
+
+  Status Register(std::string name, std::string summary,
+                  std::function<std::unique_ptr<PlannerBackend>()> make);
+
+  /// Canonical backend names, sorted alphabetically.
+  std::vector<std::string> ListNames() const;
+
+  bool Contains(const std::string& name) const;
+
+  /// One-line description of a backend.
+  StatusOr<std::string> Summary(const std::string& name) const;
+
+  /// Builds a backend by (case-insensitive) name.
+  StatusOr<std::unique_ptr<PlannerBackend>> Build(
+      const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string summary;
+    std::function<std::unique_ptr<PlannerBackend>()> make;
+  };
+  std::map<std::string, Entry> entries_;  ///< keyed by canonical name
+};
+
+/// Static-initialization helper, same pattern as PolicyRegistrar.
+class PlannerRegistrar {
+ public:
+  PlannerRegistrar(std::string name, std::string summary,
+                   std::function<std::unique_ptr<PlannerBackend>()> make) {
+    const Status status = PlannerRegistry::Global().Register(
+        std::move(name), std::move(summary), std::move(make));
+    if (!status.ok()) {
+      std::fprintf(stderr, "PlannerRegistrar: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+  }
+};
+
+}  // namespace kairos::core
+
+namespace kairos {
+using core::PlannerBackend;
+using core::PlannerRegistry;
+}  // namespace kairos

@@ -72,10 +72,24 @@ const std::vector<ModelSpec>& ModelZoo() {
 }
 
 const ModelSpec& FindModel(const std::string& name) {
-  for (const ModelSpec& m : ModelZoo()) {
-    if (m.name == name) return m;
-  }
+  if (const ModelSpec* m = TryFindModel(name)) return *m;
   throw std::out_of_range("FindModel: unknown model " + name);
+}
+
+const ModelSpec* TryFindModel(const std::string& name) {
+  for (const ModelSpec& m : ModelZoo()) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::string ModelZooNames() {
+  std::string joined;
+  for (const ModelSpec& m : ModelZoo()) {
+    if (!joined.empty()) joined += ", ";
+    joined += m.name;
+  }
+  return joined;
 }
 
 }  // namespace kairos::latency

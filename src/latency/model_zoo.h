@@ -42,4 +42,10 @@ const std::vector<ModelSpec>& ModelZoo();
 /// Looks a model up by name; throws std::out_of_range when absent.
 const ModelSpec& FindModel(const std::string& name);
 
+/// Non-throwing lookup: nullptr when absent.
+const ModelSpec* TryFindModel(const std::string& name);
+
+/// "NCF, RM2, WND, MT-WND, DIEN" — for unknown-model error messages.
+std::string ModelZooNames();
+
 }  // namespace kairos::latency

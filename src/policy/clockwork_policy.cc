@@ -3,7 +3,21 @@
 #include <limits>
 #include <vector>
 
+#include "policy/registry.h"
+
 namespace kairos::policy {
+namespace {
+
+const PolicyRegistrar kRegistrar(
+    PolicyInfo{"CLKWRK",
+               "Clockwork-style early binding to the earliest QoS-meeting "
+               "per-instance FIFO (Sec. 7)",
+               {}},
+    [](const KnobMap&) -> StatusOr<std::unique_ptr<Policy>> {
+      return std::unique_ptr<Policy>(std::make_unique<ClockworkPolicy>());
+    });
+
+}  // namespace
 
 std::vector<Assignment> ClockworkPolicy::Distribute(const RoundContext& ctx) {
   std::vector<Assignment> out;

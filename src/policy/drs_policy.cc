@@ -4,8 +4,28 @@
 #include <vector>
 
 #include "latency/latency_model.h"
+#include "policy/registry.h"
 
 namespace kairos::policy {
+namespace {
+
+const PolicyRegistrar kRegistrar(
+    PolicyInfo{"DRS",
+               "DeepRecSys-style static batch-size threshold split between "
+               "base and auxiliary pools (Sec. 7)",
+               {{"threshold", 200.0}}},
+    [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<Policy>> {
+      const double threshold = knobs.at("threshold");
+      if (threshold < 0.0 || threshold > latency::kMaxBatchSize) {
+        return Status::InvalidArgument(
+            "DRS threshold " + std::to_string(threshold) +
+            " outside [0, " + std::to_string(latency::kMaxBatchSize) + "]");
+      }
+      return std::unique_ptr<Policy>(
+          std::make_unique<DrsPolicy>(static_cast<int>(threshold)));
+    });
+
+}  // namespace
 
 DrsPolicy::DrsPolicy(int threshold) : threshold_(threshold) {
   if (threshold < 0 || threshold > latency::kMaxBatchSize) {

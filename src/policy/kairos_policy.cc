@@ -5,8 +5,27 @@
 
 #include "assign/jv.h"
 #include "latency/latency_model.h"
+#include "policy/registry.h"
 
 namespace kairos::policy {
+namespace {
+
+const PolicyRegistrar kRegistrar(
+    PolicyInfo{"KAIROS",
+               "min-cost bipartite matching with QoS-penalized costs and "
+               "heterogeneity coefficients (Sec. 5.1)",
+               {{"xi", 0.98},
+                {"penalty_factor", 10.0},
+                {"heterogeneity", 1.0}}},
+    [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<Policy>> {
+      KairosPolicyOptions options;
+      options.xi = knobs.at("xi");
+      options.penalty_factor = knobs.at("penalty_factor");
+      options.use_heterogeneity_coefficient = knobs.at("heterogeneity") != 0.0;
+      return std::unique_ptr<Policy>(std::make_unique<KairosPolicy>(options));
+    });
+
+}  // namespace
 
 KairosPolicy::KairosPolicy(KairosPolicyOptions options) : options_(options) {}
 

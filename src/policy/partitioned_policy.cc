@@ -2,7 +2,34 @@
 
 #include <stdexcept>
 
+#include "policy/registry.h"
+
 namespace kairos::policy {
+namespace {
+
+const PolicyRegistrar kRegistrar(
+    PolicyInfo{"PARTITIONED",
+               "POP-style round-robin partitioning, each slice matched by "
+               "an independent Kairos matcher (Sec. 6 remark)",
+               {{"partitions", 4.0},
+                {"xi", 0.98},
+                {"penalty_factor", 10.0},
+                {"heterogeneity", 1.0}}},
+    [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<Policy>> {
+      KairosPolicyOptions options;
+      options.xi = knobs.at("xi");
+      options.penalty_factor = knobs.at("penalty_factor");
+      options.use_heterogeneity_coefficient = knobs.at("heterogeneity") != 0.0;
+      const double partitions = knobs.at("partitions");
+      if (partitions < 1.0) {
+        return Status::InvalidArgument("PARTITIONED needs partitions >= 1, got " +
+                                       std::to_string(partitions));
+      }
+      return std::unique_ptr<Policy>(std::make_unique<PartitionedKairosPolicy>(
+          static_cast<std::size_t>(partitions), options));
+    });
+
+}  // namespace
 
 PartitionedKairosPolicy::PartitionedKairosPolicy(std::size_t partitions,
                                                  KairosPolicyOptions options)

@@ -1,0 +1,116 @@
+#include "policy/registry.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace kairos::policy {
+
+std::string CanonicalSchemeName(const std::string& name) {
+  std::string canonical = name;
+  std::transform(canonical.begin(), canonical.end(), canonical.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return canonical;
+}
+
+PolicyRegistry& PolicyRegistry::Global() {
+  static PolicyRegistry* registry = new PolicyRegistry();
+  return *registry;
+}
+
+Status PolicyRegistry::Register(PolicyInfo info, PolicyBuilder builder) {
+  info.name = CanonicalSchemeName(info.name);
+  if (info.name.empty()) {
+    return Status::InvalidArgument("policy registration with empty name");
+  }
+  if (builder == nullptr) {
+    return Status::InvalidArgument("policy " + info.name +
+                                   " registered without a builder");
+  }
+  std::string key = info.name;  // read before info is moved from
+  const auto [it, inserted] = entries_.emplace(
+      std::move(key), Entry{std::move(info), std::move(builder)});
+  if (!inserted) {
+    return Status::InvalidArgument("policy " + it->first +
+                                   " registered twice");
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> PolicyRegistry::ListNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;  // std::map iterates in sorted key order
+}
+
+bool PolicyRegistry::Contains(const std::string& name) const {
+  return entries_.count(CanonicalSchemeName(name)) > 0;
+}
+
+StatusOr<PolicyRegistry::Entry> PolicyRegistry::Find(
+    const std::string& name) const {
+  const auto it = entries_.find(CanonicalSchemeName(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown scheme \"" + name +
+                            "\"; registered schemes: " +
+                            JoinComma(ListNames()));
+  }
+  return it->second;
+}
+
+StatusOr<PolicyInfo> PolicyRegistry::Info(const std::string& name) const {
+  auto entry = Find(name);
+  if (!entry.ok()) return entry.status();
+  return entry->info;
+}
+
+StatusOr<KnobMap> PolicyRegistry::MergeKnobs(const Entry& entry,
+                                             const KnobMap& overrides) {
+  KnobMap knobs = entry.info.knobs;  // defaults
+  for (const auto& [knob, value] : overrides) {
+    const auto it = knobs.find(knob);
+    if (it == knobs.end()) {
+      std::vector<std::string> supported;
+      for (const auto& [k, v] : entry.info.knobs) supported.push_back(k);
+      return Status::InvalidArgument(
+          "scheme " + entry.info.name + " has no knob \"" + knob + "\"" +
+          (supported.empty() ? " (it takes none)"
+                             : "; supported knobs: " + JoinComma(supported)));
+    }
+    it->second = value;
+  }
+  return knobs;
+}
+
+StatusOr<std::unique_ptr<Policy>> PolicyRegistry::Build(
+    const std::string& name, const KnobMap& overrides) const {
+  auto entry = Find(name);
+  if (!entry.ok()) return entry.status();
+  auto knobs = MergeKnobs(*entry, overrides);
+  if (!knobs.ok()) return knobs.status();
+  return entry->builder(*knobs);
+}
+
+StatusOr<PolicyFactory> PolicyRegistry::MakeFactory(
+    const std::string& name, const KnobMap& overrides) const {
+  auto entry = Find(name);
+  if (!entry.ok()) return entry.status();
+  auto knobs = MergeKnobs(*entry, overrides);
+  if (!knobs.ok()) return knobs.status();
+
+  // Trial build so knob-value errors surface here, not per rate trial.
+  auto trial = entry->builder(*knobs);
+  if (!trial.ok()) return trial.status();
+
+  PolicyBuilder builder = entry->builder;
+  return PolicyFactory(
+      [builder = std::move(builder), knobs = *std::move(knobs)] {
+        // Knobs were validated by the trial build above; a builder that
+        // is non-deterministic in its validation aborts via value().
+        return builder(knobs).value();
+      });
+}
+
+}  // namespace kairos::policy

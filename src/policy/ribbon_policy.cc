@@ -3,7 +3,21 @@
 #include <limits>
 #include <vector>
 
+#include "policy/registry.h"
+
 namespace kairos::policy {
+namespace {
+
+const PolicyRegistrar kRegistrar(
+    PolicyInfo{"RIBBON",
+               "FCFS onto the best idle instance (Ribbon's distribution "
+               "side, Sec. 7)",
+               {}},
+    [](const KnobMap&) -> StatusOr<std::unique_ptr<Policy>> {
+      return std::unique_ptr<Policy>(std::make_unique<RibbonPolicy>());
+    });
+
+}  // namespace
 
 std::vector<Assignment> RibbonPolicy::Distribute(const RoundContext& ctx) {
   std::vector<Assignment> out;
