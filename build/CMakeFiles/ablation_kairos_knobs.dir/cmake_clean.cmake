@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kairos_knobs.dir/bench/ablation_kairos_knobs.cc.o"
+  "CMakeFiles/ablation_kairos_knobs.dir/bench/ablation_kairos_knobs.cc.o.d"
+  "ablation_kairos_knobs"
+  "ablation_kairos_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kairos_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

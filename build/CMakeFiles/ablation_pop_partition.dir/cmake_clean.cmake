@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pop_partition.dir/bench/ablation_pop_partition.cc.o"
+  "CMakeFiles/ablation_pop_partition.dir/bench/ablation_pop_partition.cc.o.d"
+  "ablation_pop_partition"
+  "ablation_pop_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pop_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

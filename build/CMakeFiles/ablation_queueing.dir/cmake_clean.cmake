@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queueing.dir/bench/ablation_queueing.cc.o"
+  "CMakeFiles/ablation_queueing.dir/bench/ablation_queueing.cc.o.d"
+  "ablation_queueing"
+  "ablation_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

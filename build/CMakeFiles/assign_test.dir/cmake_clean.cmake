@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assign_test.dir/tests/assign_test.cc.o"
+  "CMakeFiles/assign_test.dir/tests/assign_test.cc.o.d"
+  "assign_test"
+  "assign_test.pdb"
+  "assign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billing_test.dir/tests/billing_test.cc.o"
+  "CMakeFiles/billing_test.dir/tests/billing_test.cc.o.d"
+  "billing_test"
+  "billing_test.pdb"
+  "billing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_hetero_vs_homo.dir/bench/fig01_hetero_vs_homo.cc.o"
+  "CMakeFiles/fig01_hetero_vs_homo.dir/bench/fig01_hetero_vs_homo.cc.o.d"
+  "fig01_hetero_vs_homo"
+  "fig01_hetero_vs_homo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_hetero_vs_homo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

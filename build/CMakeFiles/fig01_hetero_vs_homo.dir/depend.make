@@ -1,0 +1,2 @@
+# Empty dependencies file for fig01_hetero_vs_homo.
+# This may be replaced when dependencies are built.

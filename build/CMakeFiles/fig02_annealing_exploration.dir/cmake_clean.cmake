@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_annealing_exploration.dir/bench/fig02_annealing_exploration.cc.o"
+  "CMakeFiles/fig02_annealing_exploration.dir/bench/fig02_annealing_exploration.cc.o.d"
+  "fig02_annealing_exploration"
+  "fig02_annealing_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_annealing_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_distribution_schemes.dir/bench/fig03_distribution_schemes.cc.o"
+  "CMakeFiles/fig03_distribution_schemes.dir/bench/fig03_distribution_schemes.cc.o.d"
+  "fig03_distribution_schemes"
+  "fig03_distribution_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_distribution_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

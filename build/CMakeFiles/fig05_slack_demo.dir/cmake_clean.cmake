@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_slack_demo.dir/bench/fig05_slack_demo.cc.o"
+  "CMakeFiles/fig05_slack_demo.dir/bench/fig05_slack_demo.cc.o.d"
+  "fig05_slack_demo"
+  "fig05_slack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_slack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

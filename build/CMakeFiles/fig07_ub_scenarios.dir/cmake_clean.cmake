@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ub_scenarios.dir/bench/fig07_ub_scenarios.cc.o"
+  "CMakeFiles/fig07_ub_scenarios.dir/bench/fig07_ub_scenarios.cc.o.d"
+  "fig07_ub_scenarios"
+  "fig07_ub_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ub_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

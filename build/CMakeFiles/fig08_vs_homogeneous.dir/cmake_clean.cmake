@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_vs_homogeneous.dir/bench/fig08_vs_homogeneous.cc.o"
+  "CMakeFiles/fig08_vs_homogeneous.dir/bench/fig08_vs_homogeneous.cc.o.d"
+  "fig08_vs_homogeneous"
+  "fig08_vs_homogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_vs_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

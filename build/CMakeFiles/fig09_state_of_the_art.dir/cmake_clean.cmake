@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_state_of_the_art.dir/bench/fig09_state_of_the_art.cc.o"
+  "CMakeFiles/fig09_state_of_the_art.dir/bench/fig09_state_of_the_art.cc.o.d"
+  "fig09_state_of_the_art"
+  "fig09_state_of_the_art.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_state_of_the_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_eval_overhead.dir/bench/fig10_eval_overhead.cc.o"
+  "CMakeFiles/fig10_eval_overhead.dir/bench/fig10_eval_overhead.cc.o.d"
+  "fig10_eval_overhead"
+  "fig10_eval_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_eval_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

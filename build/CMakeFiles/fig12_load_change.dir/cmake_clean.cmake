@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_load_change.dir/bench/fig12_load_change.cc.o"
+  "CMakeFiles/fig12_load_change.dir/bench/fig12_load_change.cc.o.d"
+  "fig12_load_change"
+  "fig12_load_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_load_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

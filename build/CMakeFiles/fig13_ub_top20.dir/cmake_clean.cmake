@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ub_top20.dir/bench/fig13_ub_top20.cc.o"
+  "CMakeFiles/fig13_ub_top20.dir/bench/fig13_ub_top20.cc.o.d"
+  "fig13_ub_top20"
+  "fig13_ub_top20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ub_top20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

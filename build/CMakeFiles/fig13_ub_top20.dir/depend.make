@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_ub_top20.
+# This may be replaced when dependencies are built.

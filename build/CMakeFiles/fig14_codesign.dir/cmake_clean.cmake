@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_codesign.dir/bench/fig14_codesign.cc.o"
+  "CMakeFiles/fig14_codesign.dir/bench/fig14_codesign.cc.o.d"
+  "fig14_codesign"
+  "fig14_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_budget_qos.dir/bench/fig15_budget_qos.cc.o"
+  "CMakeFiles/fig15_budget_qos.dir/bench/fig15_budget_qos.cc.o.d"
+  "fig15_budget_qos"
+  "fig15_budget_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_budget_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

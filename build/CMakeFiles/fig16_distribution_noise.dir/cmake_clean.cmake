@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_distribution_noise.dir/bench/fig16_distribution_noise.cc.o"
+  "CMakeFiles/fig16_distribution_noise.dir/bench/fig16_distribution_noise.cc.o.d"
+  "fig16_distribution_noise"
+  "fig16_distribution_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_distribution_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infer_engine_demo.dir/examples/infer_engine_demo.cpp.o"
+  "CMakeFiles/infer_engine_demo.dir/examples/infer_engine_demo.cpp.o.d"
+  "infer_engine_demo"
+  "infer_engine_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infer_engine_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/brute_force.cc" "CMakeFiles/kairos_objects.dir/src/assign/brute_force.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/assign/brute_force.cc.o.d"
+  "/root/repo/src/assign/hungarian.cc" "CMakeFiles/kairos_objects.dir/src/assign/hungarian.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/assign/hungarian.cc.o.d"
+  "/root/repo/src/assign/jv.cc" "CMakeFiles/kairos_objects.dir/src/assign/jv.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/assign/jv.cc.o.d"
+  "/root/repo/src/cloud/billing.cc" "CMakeFiles/kairos_objects.dir/src/cloud/billing.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/cloud/billing.cc.o.d"
+  "/root/repo/src/cloud/config.cc" "CMakeFiles/kairos_objects.dir/src/cloud/config.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/cloud/config.cc.o.d"
+  "/root/repo/src/cloud/config_space.cc" "CMakeFiles/kairos_objects.dir/src/cloud/config_space.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/cloud/config_space.cc.o.d"
+  "/root/repo/src/cloud/instance_type.cc" "CMakeFiles/kairos_objects.dir/src/cloud/instance_type.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/cloud/instance_type.cc.o.d"
+  "/root/repo/src/common/env.cc" "CMakeFiles/kairos_objects.dir/src/common/env.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/common/env.cc.o.d"
+  "/root/repo/src/common/matrix.cc" "CMakeFiles/kairos_objects.dir/src/common/matrix.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/common/matrix.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/kairos_objects.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/kairos_objects.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/kairos_objects.dir/src/common/table.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/common/table.cc.o.d"
+  "/root/repo/src/core/fleet.cc" "CMakeFiles/kairos_objects.dir/src/core/fleet.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/core/fleet.cc.o.d"
+  "/root/repo/src/core/kairos.cc" "CMakeFiles/kairos_objects.dir/src/core/kairos.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/core/kairos.cc.o.d"
+  "/root/repo/src/core/planner.cc" "CMakeFiles/kairos_objects.dir/src/core/planner.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/core/planner.cc.o.d"
+  "/root/repo/src/core/planner_backend.cc" "CMakeFiles/kairos_objects.dir/src/core/planner_backend.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/core/planner_backend.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "CMakeFiles/kairos_objects.dir/src/core/runtime.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/core/runtime.cc.o.d"
+  "/root/repo/src/infer/net.cc" "CMakeFiles/kairos_objects.dir/src/infer/net.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/infer/net.cc.o.d"
+  "/root/repo/src/infer/ops.cc" "CMakeFiles/kairos_objects.dir/src/infer/ops.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/infer/ops.cc.o.d"
+  "/root/repo/src/infer/rec_models.cc" "CMakeFiles/kairos_objects.dir/src/infer/rec_models.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/infer/rec_models.cc.o.d"
+  "/root/repo/src/infer/tensor.cc" "CMakeFiles/kairos_objects.dir/src/infer/tensor.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/infer/tensor.cc.o.d"
+  "/root/repo/src/infer/thread_pool.cc" "CMakeFiles/kairos_objects.dir/src/infer/thread_pool.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/infer/thread_pool.cc.o.d"
+  "/root/repo/src/latency/latency_model.cc" "CMakeFiles/kairos_objects.dir/src/latency/latency_model.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/latency/latency_model.cc.o.d"
+  "/root/repo/src/latency/model_zoo.cc" "CMakeFiles/kairos_objects.dir/src/latency/model_zoo.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/latency/model_zoo.cc.o.d"
+  "/root/repo/src/latency/noise.cc" "CMakeFiles/kairos_objects.dir/src/latency/noise.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/latency/noise.cc.o.d"
+  "/root/repo/src/oracle/oracle.cc" "CMakeFiles/kairos_objects.dir/src/oracle/oracle.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/oracle/oracle.cc.o.d"
+  "/root/repo/src/policy/clockwork_policy.cc" "CMakeFiles/kairos_objects.dir/src/policy/clockwork_policy.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/policy/clockwork_policy.cc.o.d"
+  "/root/repo/src/policy/drs_policy.cc" "CMakeFiles/kairos_objects.dir/src/policy/drs_policy.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/policy/drs_policy.cc.o.d"
+  "/root/repo/src/policy/kairos_policy.cc" "CMakeFiles/kairos_objects.dir/src/policy/kairos_policy.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/policy/kairos_policy.cc.o.d"
+  "/root/repo/src/policy/partitioned_policy.cc" "CMakeFiles/kairos_objects.dir/src/policy/partitioned_policy.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/policy/partitioned_policy.cc.o.d"
+  "/root/repo/src/policy/registry.cc" "CMakeFiles/kairos_objects.dir/src/policy/registry.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/policy/registry.cc.o.d"
+  "/root/repo/src/policy/ribbon_policy.cc" "CMakeFiles/kairos_objects.dir/src/policy/ribbon_policy.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/policy/ribbon_policy.cc.o.d"
+  "/root/repo/src/queueing/mmc.cc" "CMakeFiles/kairos_objects.dir/src/queueing/mmc.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/queueing/mmc.cc.o.d"
+  "/root/repo/src/rpc/channel.cc" "CMakeFiles/kairos_objects.dir/src/rpc/channel.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/rpc/channel.cc.o.d"
+  "/root/repo/src/rpc/netem.cc" "CMakeFiles/kairos_objects.dir/src/rpc/netem.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/rpc/netem.cc.o.d"
+  "/root/repo/src/search/annealing.cc" "CMakeFiles/kairos_objects.dir/src/search/annealing.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/search/annealing.cc.o.d"
+  "/root/repo/src/search/bayes_opt.cc" "CMakeFiles/kairos_objects.dir/src/search/bayes_opt.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/search/bayes_opt.cc.o.d"
+  "/root/repo/src/search/genetic.cc" "CMakeFiles/kairos_objects.dir/src/search/genetic.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/search/genetic.cc.o.d"
+  "/root/repo/src/search/gp.cc" "CMakeFiles/kairos_objects.dir/src/search/gp.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/search/gp.cc.o.d"
+  "/root/repo/src/search/hill_climb.cc" "CMakeFiles/kairos_objects.dir/src/search/hill_climb.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/search/hill_climb.cc.o.d"
+  "/root/repo/src/search/kairos_plus.cc" "CMakeFiles/kairos_objects.dir/src/search/kairos_plus.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/search/kairos_plus.cc.o.d"
+  "/root/repo/src/search/random_search.cc" "CMakeFiles/kairos_objects.dir/src/search/random_search.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/search/random_search.cc.o.d"
+  "/root/repo/src/search/search.cc" "CMakeFiles/kairos_objects.dir/src/search/search.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/search/search.cc.o.d"
+  "/root/repo/src/serving/latency_predictor.cc" "CMakeFiles/kairos_objects.dir/src/serving/latency_predictor.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/serving/latency_predictor.cc.o.d"
+  "/root/repo/src/serving/system.cc" "CMakeFiles/kairos_objects.dir/src/serving/system.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/serving/system.cc.o.d"
+  "/root/repo/src/serving/throughput_eval.cc" "CMakeFiles/kairos_objects.dir/src/serving/throughput_eval.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/serving/throughput_eval.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "CMakeFiles/kairos_objects.dir/src/sim/event_queue.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "CMakeFiles/kairos_objects.dir/src/sim/simulator.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/sim/simulator.cc.o.d"
+  "/root/repo/src/ub/selector.cc" "CMakeFiles/kairos_objects.dir/src/ub/selector.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/ub/selector.cc.o.d"
+  "/root/repo/src/ub/upper_bound.cc" "CMakeFiles/kairos_objects.dir/src/ub/upper_bound.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/ub/upper_bound.cc.o.d"
+  "/root/repo/src/workload/arrival.cc" "CMakeFiles/kairos_objects.dir/src/workload/arrival.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/workload/arrival.cc.o.d"
+  "/root/repo/src/workload/batch_dist.cc" "CMakeFiles/kairos_objects.dir/src/workload/batch_dist.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/workload/batch_dist.cc.o.d"
+  "/root/repo/src/workload/mixtures.cc" "CMakeFiles/kairos_objects.dir/src/workload/mixtures.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/workload/mixtures.cc.o.d"
+  "/root/repo/src/workload/monitor.cc" "CMakeFiles/kairos_objects.dir/src/workload/monitor.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/workload/monitor.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "CMakeFiles/kairos_objects.dir/src/workload/trace.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/workload/trace.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "CMakeFiles/kairos_objects.dir/src/workload/trace_io.cc.o" "gcc" "CMakeFiles/kairos_objects.dir/src/workload/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for kairos_objects.
+# This may be replaced when dependencies are built.

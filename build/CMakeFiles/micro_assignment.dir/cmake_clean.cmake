@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_assignment.dir/bench/micro_assignment.cc.o"
+  "CMakeFiles/micro_assignment.dir/bench/micro_assignment.cc.o.d"
+  "micro_assignment"
+  "micro_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

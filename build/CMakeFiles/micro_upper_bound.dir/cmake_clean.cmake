@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_upper_bound.dir/bench/micro_upper_bound.cc.o"
+  "CMakeFiles/micro_upper_bound.dir/bench/micro_upper_bound.cc.o.d"
+  "micro_upper_bound"
+  "micro_upper_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_upper_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_comparison.dir/examples/serving_comparison.cpp.o"
+  "CMakeFiles/serving_comparison.dir/examples/serving_comparison.cpp.o.d"
+  "serving_comparison"
+  "serving_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_models.dir/bench/table3_models.cc.o"
+  "CMakeFiles/table3_models.dir/bench/table3_models.cc.o.d"
+  "table3_models"
+  "table3_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

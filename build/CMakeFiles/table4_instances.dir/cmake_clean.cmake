@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_instances.dir/bench/table4_instances.cc.o"
+  "CMakeFiles/table4_instances.dir/bench/table4_instances.cc.o.d"
+  "table4_instances"
+  "table4_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

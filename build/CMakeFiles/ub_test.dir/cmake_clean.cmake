@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ub_test.dir/tests/ub_test.cc.o"
+  "CMakeFiles/ub_test.dir/tests/ub_test.cc.o.d"
+  "ub_test"
+  "ub_test.pdb"
+  "ub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

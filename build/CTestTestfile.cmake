@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/api_test[1]_include.cmake")
+include("/root/repo/build/assign_test[1]_include.cmake")
+include("/root/repo/build/billing_test[1]_include.cmake")
+include("/root/repo/build/cloud_test[1]_include.cmake")
+include("/root/repo/build/common_test[1]_include.cmake")
+include("/root/repo/build/core_test[1]_include.cmake")
+include("/root/repo/build/infer_test[1]_include.cmake")
+include("/root/repo/build/integration_test[1]_include.cmake")
+include("/root/repo/build/latency_test[1]_include.cmake")
+include("/root/repo/build/oracle_test[1]_include.cmake")
+include("/root/repo/build/policy_test[1]_include.cmake")
+include("/root/repo/build/property_test[1]_include.cmake")
+include("/root/repo/build/queueing_test[1]_include.cmake")
+include("/root/repo/build/rpc_test[1]_include.cmake")
+include("/root/repo/build/search_test[1]_include.cmake")
+include("/root/repo/build/serving_test[1]_include.cmake")
+include("/root/repo/build/sim_test[1]_include.cmake")
+include("/root/repo/build/ub_test[1]_include.cmake")
+include("/root/repo/build/workload_io_test[1]_include.cmake")
+include("/root/repo/build/workload_test[1]_include.cmake")
