@@ -5,11 +5,15 @@
 //      registry-selected planner backend picks, its estimated upper
 //      bound, measured allowable throughput, and queries-per-dollar;
 //   2. multi-model fleet — several Table-3 models co-planned under ONE
-//      global budget by kairos::Fleet, which splits the budget by weight,
-//      plans each model, and measures the aggregate (the paper's Fig. 14
-//      co-design scenario generalized to multi-tenant serving).
+//      global budget by kairos::Fleet: a registry-selected allocator
+//      splits the budget (STATIC = by weight, MARGINAL = water-filling
+//      on probed marginal QPS per dollar), a registry-selected planner
+//      backend (KAIROS, KAIROS+, HOMOGENEOUS, BRUTE-FORCE) plans each
+//      model inside its share, and MeasureAll reports the aggregate
+//      (the paper's Fig. 14 co-design scenario generalized to
+//      multi-tenant serving).
 //
-//   ./capacity_planning [MODEL] [PLANNER]
+//   ./capacity_planning [MODEL] [PLANNER] [ALLOCATOR]
 #include <iostream>
 #include <string>
 
@@ -22,6 +26,7 @@
 int main(int argc, char** argv) {
   const std::string model = argc > 1 ? argv[1] : "DIEN";
   const std::string planner = argc > 2 ? argv[2] : "KAIROS";
+  const std::string allocator = argc > 3 ? argv[3] : "MARGINAL";
   const kairos::cloud::Catalog catalog = kairos::cloud::Catalog::PaperPool();
   const auto mix = kairos::workload::LogNormalBatches::Production();
 
@@ -100,6 +105,8 @@ int main(int argc, char** argv) {
 
   kairos::core::FleetOptions fleet_options;
   fleet_options.budget_per_hour = 7.5;  // one global $/hr envelope
+  fleet_options.allocator = allocator;  // STATIC or MARGINAL
+  fleet_options.planner = planner;      // same backend as the sweep above
   auto fleet = kairos::Fleet::Create(catalog, {rm2, wnd, dien}, fleet_options);
   if (!fleet.ok()) {
     std::cerr << fleet.status().ToString() << "\n";
@@ -107,7 +114,11 @@ int main(int argc, char** argv) {
   }
   fleet->ObserveMixAll(mix);
 
-  const auto plan = fleet->PlanAll();
+  // Evaluation-driven backends (KAIROS+, BRUTE-FORCE) measure real
+  // throughput per candidate inside PlanAll; keep that bounded.
+  kairos::search::SearchOptions fleet_search;
+  fleet_search.max_evals = 20;
+  const auto plan = fleet->PlanAll(fleet_search);
   if (!plan.ok()) {
     std::cerr << plan.status().ToString() << "\n";
     return 1;
@@ -135,11 +146,13 @@ int main(int argc, char** argv) {
       "fleet of " + std::to_string(plan->models.size()) +
           " models under one $" +
           kairos::TextTable::Num(fleet_options.budget_per_hour, 2) +
-          "/hr budget (total cost $" +
+          "/hr budget (" + allocator + " allocator, total cost $" +
           kairos::TextTable::Num(plan->total_cost_per_hour, 3) +
           "/hr, aggregate " + kairos::TextTable::Num(measured->total_qps) +
           " QPS)");
-  std::cout << "Each model was planned one-shot inside its weight share; "
-               "the fleet never exceeds the global budget.\n";
+  std::cout << "Each model was planned inside the share the " << allocator
+            << " allocator granted it; the fleet never exceeds the global "
+               "budget. Try `capacity_planning " << model << " " << planner
+            << " STATIC` to compare against the weight-proportional split.\n";
   return 0;
 }

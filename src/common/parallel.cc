@@ -1,0 +1,100 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace kairos {
+
+std::size_t ParallelismFor(std::size_t requested, std::size_t jobs) {
+  std::size_t threads = requested;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::clamp<std::size_t>(threads, 1, std::max<std::size_t>(1, jobs));
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count =
+      threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                   : threads;
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(std::size_t n, std::size_t threads,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = ParallelismFor(threads, n);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // One task per worker pulling indices from a shared counter: cheap
+  // dynamic load balancing without per-index queue traffic.
+  std::atomic<std::size_t> next{0};
+  ThreadPool pool(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.Submit([&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace kairos

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "latency/model_zoo.h"
+#include "policy/registry.h"
 
 namespace kairos::core {
 namespace {
@@ -22,6 +25,28 @@ StatusOr<double> MinBasePrice(const cloud::Catalog& catalog) {
     return Status::InvalidArgument("catalog has no base instance type");
   }
   return min_price;
+}
+
+/// Builds a named per-model trace; nullptr for "" (caller-provided mix).
+StatusOr<std::unique_ptr<workload::BatchDistribution>> MakeTrace(
+    const std::string& name) {
+  const std::string canonical = policy::CanonicalSchemeName(name);
+  if (canonical.empty()) {
+    return std::unique_ptr<workload::BatchDistribution>(nullptr);
+  }
+  if (canonical == "PRODUCTION") {
+    return std::unique_ptr<workload::BatchDistribution>(
+        std::make_unique<workload::LogNormalBatches>(
+            workload::LogNormalBatches::Production()));
+  }
+  if (canonical == "GAUSSIAN") {
+    return std::unique_ptr<workload::BatchDistribution>(
+        std::make_unique<workload::GaussianBatches>(
+            workload::GaussianBatches::Default()));
+  }
+  return Status::NotFound("unknown trace \"" + name +
+                          "\"; named traces: GAUSSIAN, PRODUCTION "
+                          "(or \"\" for the caller-provided mix)");
 }
 
 }  // namespace
@@ -43,6 +68,8 @@ StatusOr<Fleet> Fleet::Create(const cloud::Catalog& catalog,
     // Reuse the registry's error so the message lists the alternatives.
     return PlannerRegistry::Global().Build(options.planner).status();
   }
+  auto allocator = AllocatorRegistry::Global().Build(options.allocator);
+  if (!allocator.ok()) return allocator.status();
 
   double total_weight = 0.0;
   for (const FleetModelOptions& m : models) {
@@ -55,9 +82,17 @@ StatusOr<Fleet> Fleet::Create(const cloud::Catalog& catalog,
       return Status::InvalidArgument("model " + m.model +
                                      ": weight must be positive");
     }
+    if (m.arrival_scale <= 0.0) {
+      return Status::InvalidArgument("model " + m.model +
+                                     ": arrival_scale must be positive");
+    }
     if (m.qos_scale <= 0.0) {
       return Status::InvalidArgument("model " + m.model +
                                      ": qos_scale must be positive");
+    }
+    if (m.min_budget_per_hour < 0.0 || m.max_budget_per_hour < 0.0) {
+      return Status::InvalidArgument(
+          "model " + m.model + ": budget bounds must be non-negative");
     }
     const auto dup = std::count_if(
         models.begin(), models.end(),
@@ -74,23 +109,77 @@ StatusOr<Fleet> Fleet::Create(const cloud::Catalog& catalog,
 
   Fleet fleet(catalog, options);
   for (const FleetModelOptions& m : models) {
-    const double share =
-        options.budget_per_hour * m.weight / total_weight;
-    if (share < *min_base) {
-      return Status::Infeasible(
-          "model " + m.model + ": budget share " + FormatDollarsPerHour(share) +
-          " cannot rent one base instance (cheapest base " +
-          FormatDollarsPerHour(*min_base) + "); raise the global budget or its weight");
+    const double floor = std::max(m.min_budget_per_hour, *min_base);
+    const double ceiling = m.max_budget_per_hour > 0.0
+                               ? m.max_budget_per_hour
+                               : std::numeric_limits<double>::infinity();
+    if (floor > ceiling) {
+      return Status::InvalidArgument(
+          "model " + m.model + ": max budget " + FormatDollarsPerHour(ceiling) +
+          " is below the effective floor " + FormatDollarsPerHour(floor) +
+          " (cheapest base instance " + FormatDollarsPerHour(*min_base) + ")");
     }
+    auto trace = MakeTrace(m.trace);
+    if (!trace.ok()) {
+      return Status(trace.status().code(),
+                    "model " + m.model + ": " + trace.status().message());
+    }
+    fleet.names_.push_back(m.model);
+    fleet.budgets_.push_back(options.budget_per_hour * m.weight / total_weight);
+    fleet.floors_.push_back(floor);
+    fleet.ceilings_.push_back(ceiling);
+    fleet.mixes_.push_back(*std::move(trace));
+    fleet.model_options_.push_back(m);
+  }
+
+  // Surface infeasible constraints at construction time. Probe-free
+  // allocators (STATIC) can run in full; probe-driven ones (MARGINAL)
+  // re-split at every PlanAll(), so only their floors are checked here.
+  std::vector<double> create_shares = fleet.budgets_;
+  if (!(*allocator)->NeedsProbes()) {
+    AllocationProblem problem;
+    problem.budget_per_hour = options.budget_per_hour;
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      problem.models.push_back(AllocModel{models[i].model, models[i].weight,
+                                          models[i].arrival_scale,
+                                          fleet.floors_[i], fleet.ceilings_[i]});
+    }
+    auto shares = (*allocator)->Allocate(problem);
+    if (!shares.ok()) return shares.status();
+    create_shares = *std::move(shares);
+  } else {
+    double floor_sum = 0.0;
+    for (const double floor : fleet.floors_) floor_sum += floor;
+    if (floor_sum > options.budget_per_hour + 1e-9) {
+      return Status::Infeasible(
+          "per-model budget floors sum to " + FormatDollarsPerHour(floor_sum) +
+          ", more than the global budget " +
+          FormatDollarsPerHour(options.budget_per_hour) +
+          " (cheapest base instance " + FormatDollarsPerHour(*min_base) +
+          " per model); raise the budget or drop a model");
+    }
+    // Seed the sessions with a feasible prior — every floor honored, the
+    // spendable remainder split by weight — so direct Session() callers
+    // never see shares that together overspend the envelope. The
+    // allocator re-splits on every PlanAll().
+    const double spendable =
+        std::max(0.0, options.budget_per_hour - floor_sum);
+    for (std::size_t i = 0; i < create_shares.size(); ++i) {
+      create_shares[i] =
+          std::min(fleet.floors_[i] +
+                       spendable * models[i].weight / total_weight,
+                   fleet.ceilings_[i]);
+    }
+  }
+
+  for (std::size_t i = 0; i < models.size(); ++i) {
     KairosOptions session_options;
-    session_options.budget_per_hour = share;
-    session_options.qos_scale = m.qos_scale;
-    session_options.monitor_warmup = m.monitor_warmup;
+    session_options.budget_per_hour = create_shares[i];
+    session_options.qos_scale = models[i].qos_scale;
+    session_options.monitor_warmup = models[i].monitor_warmup;
     session_options.seed = options.seed;
     session_options.runtime = options.runtime;
-    fleet.names_.push_back(m.model);
-    fleet.budgets_.push_back(share);
-    fleet.sessions_.emplace_back(catalog, m.model, session_options);
+    fleet.sessions_.emplace_back(catalog, models[i].model, session_options);
   }
   return fleet;
 }
@@ -100,6 +189,11 @@ std::size_t Fleet::IndexOf(const std::string& model) const {
     if (names_[i] == model) return i;
   }
   return kNpos;
+}
+
+const workload::BatchDistribution& Fleet::MixFor(
+    std::size_t i, const workload::BatchDistribution& fallback) const {
+  return mixes_[i] != nullptr ? *mixes_[i] : fallback;
 }
 
 StatusOr<const Kairos*> Fleet::Session(const std::string& model) const {
@@ -124,30 +218,66 @@ Status Fleet::ObserveMix(const std::string& model,
   if (i == kNpos) {
     return Status::NotFound("model " + model + " is not in this fleet");
   }
-  sessions_[i].ObserveMix(mix);
+  sessions_[i].ObserveMix(MixFor(i, mix));
   return Status::Ok();
 }
 
 void Fleet::ObserveMixAll(const workload::BatchDistribution& mix) {
-  for (Kairos& session : sessions_) session.ObserveMix(mix);
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    sessions_[i].ObserveMix(MixFor(i, mix));
+  }
 }
 
 StatusOr<FleetPlan> Fleet::PlanAll(const search::SearchOptions& search) const {
   auto backend = PlannerRegistry::Global().Build(options_.planner);
   if (!backend.ok()) return backend.status();
+  auto allocator = AllocatorRegistry::Global().Build(options_.allocator);
+  if (!allocator.ok()) return allocator.status();
 
-  FleetPlan plan;
-  plan.budget_per_hour = options_.budget_per_hour;
   for (std::size_t i = 0; i < sessions_.size(); ++i) {
-    const Kairos& session = sessions_[i];
-    if (session.monitor().Count() == 0) {
+    if (sessions_[i].monitor().Count() == 0) {
       return Status::FailedPrecondition(
           "model " + names_[i] +
           ": monitor is empty; call ObserveMix before PlanAll");
     }
+  }
 
+  // Split the budget. The probe answers "what would the backend achieve
+  // for model i at budget b" analytically (PlannerBackend::Probe), so the
+  // MARGINAL allocator can afford one probe per candidate per increment;
+  // probes of independent models run concurrently.
+  AllocationProblem problem;
+  problem.budget_per_hour = options_.budget_per_hour;
+  problem.step_per_hour = options_.allocation_step_per_hour;
+  problem.threads = options_.planning_threads;
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    problem.models.push_back(AllocModel{names_[i], model_options_[i].weight,
+                                        model_options_[i].arrival_scale,
+                                        floors_[i], ceilings_[i]});
+  }
+  problem.probe = [&](std::size_t i, double budget) -> StatusOr<double> {
+    const Kairos& session = sessions_[i];
+    PlannerContext ctx{&catalog_, &session.truth(), session.qos_ms(), budget};
+    PlanRequest request;
+    request.monitor = &session.monitor();
+    request.search = search;
+    auto outcome = (*backend)->Probe(ctx, request);
+    if (!outcome.ok()) return outcome.status();
+    return outcome->expected_qps;
+  };
+  auto shares = (*allocator)->Allocate(problem);
+  if (!shares.ok()) return shares.status();
+
+  // Plan every model inside its share, concurrently: sessions, planner
+  // backends and allocators are stateless const objects, and each worker
+  // writes only its own slot.
+  const std::size_t n = sessions_.size();
+  std::vector<Status> statuses(n);
+  std::vector<PlannerOutcome> outcomes(n);
+  ParallelFor(n, options_.planning_threads, [&](std::size_t i) {
+    const Kairos& session = sessions_[i];
     PlannerContext ctx{&catalog_, &session.truth(), session.qos_ms(),
-                       budgets_[i]};
+                       (*shares)[i]};
     PlanRequest request;
     request.monitor = &session.monitor();
     request.search = search;
@@ -159,18 +289,26 @@ StatusOr<FleetPlan> Fleet::PlanAll(const search::SearchOptions& search) const {
         return session.MeasureThroughput(config, mix, eval_options).qps;
       };
     }
-
     auto outcome = (*backend)->Plan(ctx, request);
     if (!outcome.ok()) {
-      return Status(outcome.status().code(),
-                    "model " + names_[i] + ": " + outcome.status().message());
+      statuses[i] = outcome.status();
+    } else {
+      outcomes[i] = *std::move(outcome);
     }
+  });
 
+  FleetPlan plan;
+  plan.budget_per_hour = options_.budget_per_hour;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) {
+      return Status(statuses[i].code(),
+                    "model " + names_[i] + ": " + statuses[i].message());
+    }
     FleetModelPlan model_plan;
     model_plan.model = names_[i];
-    model_plan.budget_per_hour = budgets_[i];
-    model_plan.qos_ms = session.qos_ms();
-    model_plan.outcome = *std::move(outcome);
+    model_plan.budget_per_hour = (*shares)[i];
+    model_plan.qos_ms = sessions_[i].qos_ms();
+    model_plan.outcome = std::move(outcomes[i]);
     model_plan.cost_per_hour = model_plan.outcome.config.CostPerHour(catalog_);
     plan.total_cost_per_hour += model_plan.cost_per_hour;
     plan.models.push_back(std::move(model_plan));
@@ -190,22 +328,40 @@ StatusOr<Runtime> Fleet::Deploy(const std::string& model,
 StatusOr<FleetMeasurement> Fleet::MeasureAll(
     const FleetPlan& plan, const workload::BatchDistribution& mix,
     serving::EvalOptions eval_options) const {
-  FleetMeasurement measurement;
+  std::vector<std::size_t> indices;
+  indices.reserve(plan.models.size());
   for (const FleetModelPlan& model_plan : plan.models) {
     const std::size_t i = IndexOf(model_plan.model);
     if (i == kNpos) {
       return Status::NotFound("model " + model_plan.model +
                               " is not in this fleet");
     }
-    serving::EvalOptions per_model = eval_options;
-    if (model_plan.outcome.expected_qps > 0.0) {
-      per_model.rate_guess = 0.5 * model_plan.outcome.expected_qps;
-    }
+    indices.push_back(i);
+  }
+
+  // Measurements of independent models share nothing; run them in
+  // parallel, each under the model's own trace when one is set.
+  std::vector<serving::EvalResult> results(plan.models.size());
+  ParallelFor(plan.models.size(), options_.planning_threads,
+              [&](std::size_t j) {
+                const FleetModelPlan& model_plan = plan.models[j];
+                const std::size_t i = indices[j];
+                serving::EvalOptions per_model = eval_options;
+                if (model_plan.outcome.expected_qps > 0.0) {
+                  per_model.rate_guess = 0.5 * model_plan.outcome.expected_qps;
+                }
+                results[j] = sessions_[i].MeasureThroughput(
+                    model_plan.outcome.config, MixFor(i, mix), per_model);
+              });
+
+  FleetMeasurement measurement;
+  for (std::size_t j = 0; j < plan.models.size(); ++j) {
     FleetModelMeasurement m;
-    m.model = model_plan.model;
-    m.result = sessions_[i].MeasureThroughput(model_plan.outcome.config, mix,
-                                              per_model);
+    m.model = plan.models[j].model;
+    m.result = results[j];
     measurement.total_qps += m.result.qps;
+    measurement.total_weighted_qps +=
+        model_options_[indices[j]].arrival_scale * m.result.qps;
     measurement.models.push_back(std::move(m));
   }
   return measurement;

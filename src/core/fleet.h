@@ -1,20 +1,27 @@
 // Multi-model fleet facade: several Kairos sessions — one per served
 // model — under a single global $/hr budget. The fleet splits the budget
-// across models by weight, plans each model's heterogeneous configuration
-// with a registry-selected planner backend, and offers aggregate deploy /
-// measure entry points. This generalizes the paper's co-design scenario
-// (Fig. 14) to multi-tenant serving: the operator states one budget and a
-// model mix, the fleet answers "what do I rent for each model?".
+// across models with a registry-selected allocator (STATIC weights or
+// MARGINAL water-filling on probed QPS-per-dollar), plans each model's
+// heterogeneous configuration with a registry-selected planner backend
+// (independent models planned concurrently on a small thread pool), and
+// offers aggregate deploy / measure entry points over per-model workload
+// mixes. This generalizes the paper's co-design scenario (Fig. 14) to
+// multi-tenant serving: the operator states one budget and a model mix,
+// the fleet answers "what do I rent for each model?".
 //
-// All fallible entry points return Status / StatusOr (unknown model or
-// planner names, infeasible budget shares) — nothing here throws.
+// All fallible entry points return Status / StatusOr (unknown model,
+// planner, allocator or trace names, infeasible budget shares) — nothing
+// here throws.
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "core/allocator.h"
 #include "core/kairos.h"
 #include "core/planner_backend.h"
 
@@ -23,9 +30,26 @@ namespace kairos::core {
 /// One model served by the fleet.
 struct FleetModelOptions {
   std::string model;   ///< Table-3 name ("RM2", "DIEN", ...)
-  /// Relative budget share; the model receives weight / sum(weights) of
-  /// the global budget. Must be positive.
+  /// Allocation prior: under STATIC the model receives
+  /// weight / sum(weights) of the global budget; under MARGINAL the
+  /// weight only breaks ties between equal marginal utilities. Must be
+  /// positive.
   double weight = 1.0;
+  /// This model's share of fleet arrival traffic relative to the others.
+  /// MARGINAL multiplies the model's marginal QPS by this factor, and
+  /// MeasureAll() reports an arrival-weighted aggregate next to the raw
+  /// sum. Must be positive.
+  double arrival_scale = 1.0;
+  /// Per-model workload mix by name: "" (use the distribution the caller
+  /// passes to ObserveMixAll / MeasureAll), "PRODUCTION" (log-normal
+  /// production trace) or "GAUSSIAN" (the Fig. 12/16 sensitivity mix).
+  /// Lets one fleet mix models that see different traffic shapes.
+  std::string trace;
+  /// Lower bound on this model's budget share in $/hr; the effective
+  /// floor is max(min_budget_per_hour, cheapest base instance price).
+  double min_budget_per_hour = 0.0;
+  /// Upper bound on this model's budget share in $/hr; 0 = uncapped.
+  double max_budget_per_hour = 0.0;
   /// Multiplier on the model's Table-3 QoS target.
   double qos_scale = 1.0;
   /// Sliding window of the model's query monitor.
@@ -38,6 +62,15 @@ struct FleetOptions {
   double budget_per_hour = 5.0;
   /// Planner backend (PlannerRegistry name) used by PlanAll().
   std::string planner = "KAIROS";
+  /// Budget allocator (AllocatorRegistry name): "STATIC" reproduces the
+  /// weight-proportional split, "MARGINAL" water-fills on probed marginal
+  /// QPS per dollar (see core/allocator.h).
+  std::string allocator = "STATIC";
+  /// MARGINAL's water-filling increment in $/hr; 0 = auto.
+  double allocation_step_per_hour = 0.0;
+  /// Threads used to probe / plan / measure independent models
+  /// concurrently; 0 = hardware concurrency, 1 = serial.
+  std::size_t planning_threads = 0;
   std::uint64_t seed = 7;
   /// Deploy-time runtime knobs, shared by all sessions.
   RuntimeOptions runtime;
@@ -46,15 +79,27 @@ struct FleetOptions {
 /// One model's slice of a fleet plan.
 struct FleetModelPlan {
   std::string model;
-  double budget_per_hour = 0.0;  ///< this model's share of the budget
+  double budget_per_hour = 0.0;  ///< the share the allocator granted
   double qos_ms = 0.0;           ///< effective QoS target
   PlannerOutcome outcome;        ///< what the backend chose
   double cost_per_hour = 0.0;    ///< actual cost of the chosen config
 };
 
-/// The fleet-wide answer. Invariants (asserted by tests/api_test.cc):
-/// sum of per-model budget shares <= global budget, and every chosen
-/// configuration costs at most its model's share.
+/// The fleet-wide answer. Invariants (asserted by tests/api_test.cc and
+/// tests/fleet_allocator_test.cc), for every model i:
+///
+///   1. floor_i <= models[i].budget_per_hour <= ceiling_i, where floor_i
+///      is max(min_budget_per_hour, cheapest base price) and ceiling_i is
+///      max_budget_per_hour (infinity when 0);
+///   2. sum_i models[i].budget_per_hour <= budget_per_hour — allocators
+///      may leave budget unspent (all marginals zero / all models
+///      capped), never overspend;
+///   3. models[i].cost_per_hour <= models[i].budget_per_hour — each
+///      chosen config fits inside its own share, so the fleet as a whole
+///      fits the global budget;
+///   4. every chosen config keeps >= 1 base instance (QoS feasibility for
+///      the largest batches, paper Sec. 4);
+///   5. models[] preserves the order models were listed in at Create().
 struct FleetPlan {
   std::vector<FleetModelPlan> models;
   double budget_per_hour = 0.0;     ///< the global budget
@@ -71,16 +116,20 @@ struct FleetModelMeasurement {
 struct FleetMeasurement {
   std::vector<FleetModelMeasurement> models;
   double total_qps = 0.0;  ///< sum of per-model allowable throughputs
+  /// Arrival-weighted aggregate: sum of arrival_scale_i * qps_i. Equals
+  /// total_qps when every model keeps the default arrival_scale of 1.
+  double total_weighted_qps = 0.0;
 };
 
 /// A set of Kairos sessions planned and measured together.
 class Fleet {
  public:
-  /// Validates the request and builds one Kairos session per model with
-  /// its weight-proportional budget share. Errors: kInvalidArgument
-  /// (empty model list, duplicate model, weight <= 0, budget <= 0),
-  /// kNotFound (unknown model or planner name, listing alternatives),
-  /// kInfeasible (a share too small to rent one base instance).
+  /// Validates the request and builds one Kairos session per model.
+  /// Errors: kInvalidArgument (empty model list, duplicate model,
+  /// weight / arrival_scale <= 0, floor above ceiling), kNotFound
+  /// (unknown model, planner, allocator or trace name, listing
+  /// alternatives), kInfeasible (a STATIC share below its floor, or
+  /// floors that together exceed the global budget).
   static StatusOr<Fleet> Create(const cloud::Catalog& catalog,
                                 std::vector<FleetModelOptions> models,
                                 FleetOptions options = {});
@@ -92,19 +141,27 @@ class Fleet {
   /// The session serving `model`, or kNotFound.
   StatusOr<const Kairos*> Session(const std::string& model) const;
 
-  /// This model's budget share in $/hr, or kNotFound.
+  /// This model's *prior* budget share in $/hr (the weight-proportional
+  /// split), or kNotFound. The authoritative per-model share of a
+  /// planning pass is FleetModelPlan::budget_per_hour — under MARGINAL
+  /// the allocator re-splits on every PlanAll().
   StatusOr<double> BudgetFor(const std::string& model) const;
 
-  /// Warms one model's monitor from a batch distribution.
+  /// Warms one model's monitor from a batch distribution (the model's own
+  /// trace, when set, wins over `mix`).
   Status ObserveMix(const std::string& model,
                     const workload::BatchDistribution& mix);
 
-  /// Warms every model's monitor from the same distribution.
+  /// Warms every model's monitor — each from its own trace when set,
+  /// from `mix` otherwise.
   void ObserveMixAll(const workload::BatchDistribution& mix);
 
-  /// Plans every model under its budget share with the configured planner
-  /// backend. Evaluation-driven backends (KAIROS+, BRUTE-FORCE) measure
-  /// real throughput against each model's monitored empirical mix.
+  /// Splits the global budget with the configured allocator (MARGINAL
+  /// probes candidate budgets through PlannerBackend::Probe, independent
+  /// models concurrently), then plans every model inside its share with
+  /// the configured planner backend, also concurrently.
+  /// Evaluation-driven backends (KAIROS+, BRUTE-FORCE) measure real
+  /// throughput against each model's monitored empirical mix.
   /// kFailedPrecondition when a monitor is empty.
   StatusOr<FleetPlan> PlanAll(
       const search::SearchOptions& search = {}) const;
@@ -113,9 +170,10 @@ class Fleet {
   StatusOr<Runtime> Deploy(const std::string& model,
                            const cloud::Config& config) const;
 
-  /// Measures allowable throughput of every planned model under `mix`.
-  /// Each model's rate bracketing starts from half its planned
-  /// expected_qps when available (otherwise `eval_options.rate_guess`).
+  /// Measures allowable throughput of every planned model, concurrently,
+  /// under the model's own trace when set and `mix` otherwise. Each
+  /// model's rate bracketing starts from half its planned expected_qps
+  /// when available (otherwise `eval_options.rate_guess`).
   StatusOr<FleetMeasurement> MeasureAll(
       const FleetPlan& plan, const workload::BatchDistribution& mix,
       serving::EvalOptions eval_options = {}) const;
@@ -126,10 +184,21 @@ class Fleet {
   /// Index of `model` in names_, or npos.
   std::size_t IndexOf(const std::string& model) const;
 
+  /// The mix model i observes / is measured under: its own trace when
+  /// set, `fallback` otherwise.
+  const workload::BatchDistribution& MixFor(std::size_t i,
+                                            const workload::BatchDistribution&
+                                                fallback) const;
+
   const cloud::Catalog& catalog_;
   FleetOptions options_;
   std::vector<std::string> names_;    ///< canonical model names
-  std::vector<double> budgets_;       ///< per-model $/hr shares
+  std::vector<FleetModelOptions> model_options_;  ///< same order
+  std::vector<double> budgets_;       ///< prior (weight-proportional) shares
+  std::vector<double> floors_;        ///< effective per-model floors, $/hr
+  std::vector<double> ceilings_;      ///< per-model ceilings, $/hr
+  /// Per-model named-trace distributions; nullptr = caller-provided mix.
+  std::vector<std::unique_ptr<workload::BatchDistribution>> mixes_;
   std::vector<Kairos> sessions_;      ///< one per model, same order
 };
 

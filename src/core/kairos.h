@@ -9,10 +9,13 @@
 //                     paper's query-monitoring warmup.
 //
 // Distribution schemes are built by name through kairos::PolicyRegistry
-// (policy/registry.h), planning strategies through kairos::PlannerRegistry
-// (core/planner_backend.h), and multi-model serving under one budget
-// through kairos::Fleet (core/fleet.h). MakePolicyFactory below survives
-// as a deprecated shim over the policy registry.
+// (policy/registry.h: KAIROS, RIBBON, DRS, CLKWRK, PARTITIONED),
+// planning strategies through kairos::PlannerRegistry
+// (core/planner_backend.h: KAIROS, KAIROS+, HOMOGENEOUS, BRUTE-FORCE),
+// fleet budget splitting through kairos::AllocatorRegistry
+// (core/allocator.h: STATIC, MARGINAL), and multi-model serving under
+// one budget through kairos::Fleet (core/fleet.h). MakePolicyFactory
+// below survives as a deprecated shim over the policy registry.
 #pragma once
 
 #include <memory>
@@ -96,11 +99,14 @@ class Kairos {
 };
 
 /// Deprecated shim over PolicyRegistry::MakeFactory: builds a registered
-/// distribution scheme by (case-insensitive) name; `drs_threshold` is
-/// forwarded as DRS's "threshold" knob. Kept source-compatible with the
-/// pre-registry API: throws std::out_of_range for unknown names, with a
-/// message listing the registered schemes. New code should call
-/// PolicyRegistry::Global().MakeFactory() and handle the Status.
+/// distribution scheme (KAIROS, RIBBON, DRS, CLKWRK, PARTITIONED) by
+/// case-insensitive name; `drs_threshold` is forwarded as DRS's
+/// "threshold" knob. Kept source-compatible with the pre-registry API:
+/// throws std::out_of_range for unknown names, with a message listing
+/// the registered schemes. New code should call
+/// PolicyRegistry::Global().MakeFactory() and handle the Status — and
+/// knobs beyond DRS's threshold (e.g. PARTITIONED's "partitions") are
+/// only reachable through the registry's KnobMap, not through this shim.
 serving::PolicyFactory MakePolicyFactory(const std::string& name,
                                          int drs_threshold = 200);
 

@@ -39,6 +39,22 @@ StatusOr<std::vector<cloud::Config>> BudgetedSpace(const PlannerContext& ctx) {
   return space;
 }
 
+/// The one-shot Sec. 5.2 pass shared by KairosBackend::Plan and the
+/// default PlannerBackend::Probe: rank upper bounds, apply the similarity
+/// rule, spend zero evaluations.
+StatusOr<PlannerOutcome> OneShotPlan(const PlannerContext& ctx,
+                                     const PlanRequest& request) {
+  if (Status s = ValidateRequest(ctx, request); !s.ok()) return s;
+  auto space = BudgetedSpace(ctx);
+  if (!space.ok()) return space.status();
+  PlannerOutcome outcome;
+  outcome.plan = Planner(ctx).PlanConfiguration(*request.monitor, *space);
+  outcome.config = outcome.plan->config;
+  outcome.expected_qps =
+      outcome.plan->ranked[outcome.plan->selection.chosen_rank].upper_bound;
+  return outcome;
+}
+
 /// One-shot Kairos: rank upper bounds, apply the similarity rule, spend
 /// zero evaluations (Sec. 5.2).
 class KairosBackend final : public PlannerBackend {
@@ -47,15 +63,7 @@ class KairosBackend final : public PlannerBackend {
 
   StatusOr<PlannerOutcome> Plan(const PlannerContext& ctx,
                                 const PlanRequest& request) const override {
-    if (Status s = ValidateRequest(ctx, request); !s.ok()) return s;
-    auto space = BudgetedSpace(ctx);
-    if (!space.ok()) return space.status();
-    PlannerOutcome outcome;
-    outcome.plan = Planner(ctx).PlanConfiguration(*request.monitor, *space);
-    outcome.config = outcome.plan->config;
-    outcome.expected_qps =
-        outcome.plan->ranked[outcome.plan->selection.chosen_rank].upper_bound;
-    return outcome;
+    return OneShotPlan(ctx, request);
   }
 };
 
@@ -106,6 +114,27 @@ class HomogeneousBackend final : public PlannerBackend {
       outcome.expected_qps = request.eval(config);
       outcome.evaluations = 1;
     }
+    return outcome;
+  }
+
+  /// Probes with the baseline's own pick — the UB estimate of the
+  /// max-base-instances config, not the heterogeneous ranking's winner —
+  /// so allocators see what HOMOGENEOUS would actually deploy.
+  StatusOr<PlannerOutcome> Probe(const PlannerContext& ctx,
+                                 const PlanRequest& request) const override {
+    if (Status s = ValidateRequest(ctx, request); !s.ok()) return s;
+    const cloud::Config config =
+        cloud::BestHomogeneous(*ctx.catalog, ctx.budget_per_hour);
+    if (config.TotalInstances() == 0) {
+      return Status::Infeasible("budget " +
+                                FormatDollarsPerHour(ctx.budget_per_hour) +
+                                " does not buy one base instance");
+    }
+    PlannerOutcome outcome;
+    outcome.config = config;
+    outcome.expected_qps =
+        ub::UpperBoundEstimator(*ctx.catalog, *ctx.truth, ctx.qos_ms)
+            .QpsMax(config, *request.monitor);
     return outcome;
   }
 };
@@ -160,6 +189,22 @@ const PlannerRegistrar kBruteForce(
     [] { return std::make_unique<BruteForceBackend>(); });
 
 }  // namespace
+
+StatusOr<PlannerOutcome> PlannerBackend::Probe(
+    const PlannerContext& ctx, const PlanRequest& request) const {
+  // Analytic for every backend: a probe runs once per (model, budget
+  // increment) during allocation, so real evaluations here would dwarf
+  // the planning pass they are meant to guide.
+  auto outcome = OneShotPlan(ctx, request);
+  if (!outcome.ok()) return outcome;
+  // Report the *best* upper bound in the budgeted space, not the
+  // similarity-rule pick: the space only grows with budget, so this
+  // estimate is monotone in ctx.budget_per_hour — exactly the property
+  // marginal-utility water-filling needs (a locally dipping estimate
+  // makes greedy allocation abandon a model that still scales).
+  outcome->expected_qps = outcome->plan->ranked.front().upper_bound;
+  return outcome;
+}
 
 PlannerRegistry& PlannerRegistry::Global() {
   static PlannerRegistry* registry = new PlannerRegistry();

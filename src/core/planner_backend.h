@@ -59,6 +59,16 @@ class PlannerBackend {
   /// kInfeasible when no configuration fits the budget.
   virtual StatusOr<PlannerOutcome> Plan(const PlannerContext& ctx,
                                         const PlanRequest& request) const = 0;
+
+  /// Incremental budget probe: estimates what this backend would achieve
+  /// at ctx.budget_per_hour, cheaply enough that the Fleet's MARGINAL
+  /// allocator can call it once per (model, budget increment). The base
+  /// implementation runs the one-shot upper-bound ranking — analytic, no
+  /// real evaluations — regardless of NeedsEvaluations(), and never
+  /// consults PlanRequest::eval. Same error contract as Plan() minus the
+  /// missing-eval case.
+  virtual StatusOr<PlannerOutcome> Probe(const PlannerContext& ctx,
+                                         const PlanRequest& request) const;
 };
 
 /// Process-wide name -> backend table, mirroring PolicyRegistry: static

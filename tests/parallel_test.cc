@@ -1,0 +1,82 @@
+// The common/parallel primitives the Fleet uses to probe and plan
+// independent models concurrently: ThreadPool and ParallelFor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace kairos {
+namespace {
+
+TEST(ParallelismForTest, ResolvesZeroAndClampsToJobs) {
+  EXPECT_GE(ParallelismFor(0, 100), 1u);
+  EXPECT_EQ(ParallelismFor(8, 3), 3u);   // never more workers than jobs
+  EXPECT_EQ(ParallelismFor(2, 100), 2u);
+  EXPECT_EQ(ParallelismFor(0, 0), 1u);   // degenerate: still one worker
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.Submit([&sum, i] { sum += i; });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&] { ++count; });
+  pool.Submit([&] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTheFirstTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool stays usable after an error batch.
+  std::atomic<int> count{0};
+  pool.Submit([&] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  std::vector<int> hits(1000, 0);
+  ParallelFor(hits.size(), 4, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ParallelForTest, HandlesDegenerateSizesAndSerialFallback) {
+  int calls = 0;
+  ParallelFor(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(5, 1, [&](std::size_t) { ++calls; });  // serial path
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ParallelForTest, PropagatesExceptions) {
+  EXPECT_THROW(ParallelFor(8, 4,
+                           [](std::size_t i) {
+                             if (i == 3) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace kairos
