@@ -1,88 +1,107 @@
-// Fig. 12: reaction to a workload change. The RM2 batch-size distribution
-// flips from the production log-normal to a Gaussian; every scheme restarts
-// its configuration search. The figure shows the throughput of each
-// scheme's successively evaluated configurations (the transient): KAIROS
-// lands on a near-optimal configuration in one shot with zero evaluations,
-// KAIROS+ finishes its pruned search within a few evaluations, the others
-// grind through their exploration at live-traffic quality.
+// Fig. 12: reaction to a workload change — served as *one continuous
+// online simulation*, not stitched batch runs. A 3-model fleet (RM2, WND,
+// NCF) streams queries on one shared event loop (Fleet::ServeAll); halfway
+// through, RM2's arrival rate jumps by SHIFT_SCALE (the engine stretches
+// no trace — Engine::SetArrivalScale rescales the live Poisson source).
+// Two runs of the identical arrival schedule are compared:
+//
+//   * frozen   — the initial MARGINAL allocation serves the whole run;
+//   * adaptive — every REALLOC_PERIOD_S the allocator re-splits the
+//                budget on *observed* per-model arrival rates and the
+//                live engines are reconfigured (launch lag modeled).
+//
+// The windowed table shows the transient: after the shift the frozen RM2
+// flatlines at its planned capacity with an exploding p99, while the
+// adaptive run grows RM2's share within a couple of windows and drains
+// the backlog. The adaptive total weighted QPS must come out >= frozen.
+//
+//   ./fig12_load_change [DURATION_S] [BASE_RATE_QPS] [REALLOC_PERIOD_S]
+//   ./fig12_load_change 60 18 10
+#include <cstdlib>
 #include <iostream>
-#include <map>
 
 #include "bench/bench_util.h"
-#include "search/bayes_opt.h"
-#include "search/kairos_plus.h"
-#include "ub/selector.h"
-#include "ub/upper_bound.h"
+#include "core/fleet.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kairos;
+  const double duration = argc > 1 ? std::atof(argv[1]) : 60.0;
+  const double base_rate = argc > 2 ? std::atof(argv[2]) : 18.0;
+  const double period = argc > 3 ? std::atof(argv[3]) : 10.0;
+  const double shift_scale = 5.0;
+  const double shift_time = duration / 2.0;
+
   const cloud::Catalog catalog = cloud::Catalog::PaperPool();
-  const bench::ModelBench mb(catalog, "RM2");
+  core::FleetOptions fleet_options;
+  fleet_options.budget_per_hour = 8.0;
+  fleet_options.allocator = "MARGINAL";
+  auto fleet = bench::OrDie(core::Fleet::Create(
+      catalog,
+      {core::FleetModelOptions{.model = "RM2"},
+       core::FleetModelOptions{.model = "WND"},
+       core::FleetModelOptions{.model = "NCF", .arrival_scale = 2.0}},
+      fleet_options));
+  fleet.ObserveMixAll(workload::LogNormalBatches::Production());
+  const auto plan = bench::OrDie(fleet.PlanAll());
 
-  // The regime change: log-normal -> Gaussian (Sec. 8.4).
-  const workload::GaussianBatches after(250.0, 120.0);
-  const auto monitor = core::MonitorFromMix(after, 10000, 7);
+  core::FleetServeOptions serve;
+  serve.duration_s = duration;
+  serve.base_rate_qps = base_rate;
+  serve.window_s = duration / 12.0;
+  serve.launch_lag_s = 1.0;
+  serve.shifts = {core::FleetLoadShift{shift_time, "RM2", shift_scale}};
 
-  const auto space = mb.Space();
-  const ub::UpperBoundEstimator est(catalog, mb.truth, mb.qos_ms);
-  const auto bounds = est.EstimateAll(space, monitor);
-  const auto ranked = ub::RankByUpperBound(space, bounds);
-  const double guess = 0.5 * ranked.front().upper_bound;
+  serve.realloc_period_s = 0.0;
+  const auto frozen = bench::OrDie(fleet.ServeAll(plan, serve));
+  serve.realloc_period_s = period;
+  const auto adaptive = bench::OrDie(fleet.ServeAll(plan, serve));
 
-  std::map<std::string, std::map<cloud::Config, double>> memo;
-  auto eval_for = [&](const std::string& scheme) {
-    return [&, scheme](const cloud::Config& c) {
-      auto& cache = memo[scheme];
-      if (auto it = cache.find(c); it != cache.end()) return it->second;
-      const double qps = mb.Throughput(c, scheme, after, guess);
-      cache.emplace(c, qps);
-      return qps;
-    };
-  };
-
-  const std::size_t steps = 20;
-
-  // KAIROS: one shot, no evaluations — a flat line at its pick.
-  const auto selection = ub::SelectConfiguration(ranked, catalog);
-  const double kairos_qps = eval_for("KAIROS")(selection.chosen);
-
-  // KAIROS+: Algorithm 1 transcript.
-  const auto kp = search::KairosPlusSearch(ranked, eval_for("KAIROS"));
-
-  // Baselines: BO exploration transcripts (native, no pruning).
-  search::SearchOptions bo_opt;
-  bo_opt.subconfig_pruning = false;
-  bo_opt.seed = 77;
-  bo_opt.max_evals = steps;
-  const auto ribbon = search::BayesOptSearch(space, eval_for("RIBBON"),
-                                             bo_opt);
-  const auto drs = search::BayesOptSearch(space, eval_for("DRS"), bo_opt);
-  const auto clkwrk = search::BayesOptSearch(space, eval_for("CLKWRK"),
-                                             bo_opt);
-
-  auto at_step = [](const search::SearchResult& r, std::size_t i) {
-    if (r.history.empty()) return 0.0;
-    return i < r.history.size() ? r.history[i].qps : r.history.back().qps;
-  };
-
-  TextTable table({"step", "RIBBON", "DRS", "CLKWRK", "KAIROS (one-shot)",
-                   "KAIROS+"});
-  for (std::size_t i = 0; i < steps; ++i) {
-    const std::string kp_cell =
-        i < kp.history.size()
-            ? TextTable::Num(kp.history[i].qps)
-            : TextTable::Num(kp.best_qps) + " (done)";
-    table.AddRow({std::to_string(i), TextTable::Num(at_step(ribbon, i)),
-                  TextTable::Num(at_step(drs, i)),
-                  TextTable::Num(at_step(clkwrk, i)),
-                  TextTable::Num(kairos_qps), kp_cell});
+  // Same shared-clock arrival schedule in both runs; only service differs.
+  TextTable table({"window", "t(s)", "RM2 offered", "frozen QPS",
+                   "frozen p99(ms)", "adaptive QPS", "adaptive p99(ms)"});
+  const auto& fr = frozen.models[0];
+  const auto& ad = adaptive.models[0];
+  for (std::size_t w = 0; w < fr.windows.size(); ++w) {
+    const auto& f = fr.windows[w];
+    const auto& a = ad.windows[w];
+    const bool after = f.start >= shift_time;
+    table.AddRow({std::string(after ? "post " : "pre ") + std::to_string(w),
+                  TextTable::Num(f.end, 0), TextTable::Num(f.offered_qps, 1),
+                  TextTable::Num(f.qps, 1), TextTable::Num(f.p99_ms, 1),
+                  TextTable::Num(a.qps, 1), TextTable::Num(a.p99_ms, 1)});
   }
   table.Print(std::cout,
-              "Fig. 12: transient after the log-normal -> Gaussian load "
-              "change (RM2; throughput of each evaluated config)");
-  std::cout << "KAIROS one-shot config " << selection.chosen.ToString()
-            << " reaches " << TextTable::Num(kairos_qps)
-            << " QPS with 0 evaluations; KAIROS+ finished after "
-            << kp.evals << " evaluations (all other configs pruned)\n";
+              "Fig. 12: RM2 windowed service through a live " +
+                  TextTable::Num(shift_scale, 0) +
+                  "x arrival jump at t=" + TextTable::Num(shift_time, 0) +
+                  "s (one continuous co-simulation; frozen vs. adaptive "
+                  "allocation)");
+
+  TextTable totals({"model", "offered", "frozen QPS", "adaptive QPS",
+                    "final share ($/hr)"});
+  for (std::size_t j = 0; j < frozen.models.size(); ++j) {
+    totals.AddRow({frozen.models[j].model,
+                   std::to_string(frozen.models[j].totals.offered),
+                   TextTable::Num(frozen.models[j].qps, 1),
+                   TextTable::Num(adaptive.models[j].qps, 1),
+                   TextTable::Num(adaptive.final_shares_per_hour[j], 2)});
+  }
+  totals.Print(std::cout, "Per-model totals over " +
+                              TextTable::Num(duration, 0) + "s");
+
+  std::cout << "total weighted QPS: frozen "
+            << TextTable::Num(frozen.total_weighted_qps) << ", adaptive "
+            << TextTable::Num(adaptive.total_weighted_qps) << " ("
+            << adaptive.reallocations
+            << " reallocations; adaptive/frozen = "
+            << TextTable::Num(adaptive.total_weighted_qps /
+                                  frozen.total_weighted_qps,
+                              3)
+            << ", must be >= 1)\n";
+  if (adaptive.total_weighted_qps + 1e-9 < frozen.total_weighted_qps) {
+    std::cerr << "FAIL: adaptive reallocation lost throughput vs. the "
+                 "frozen allocation\n";
+    return 1;
+  }
   return 0;
 }

@@ -19,6 +19,16 @@ inline std::string JoinComma(const std::vector<std::string>& items) {
   return joined;
 }
 
+/// Upper-cases ASCII — the canonical form every registry keys on
+/// ("kairos" -> "KAIROS"). policy::CanonicalSchemeName forwards here.
+inline std::string CanonicalName(const std::string& name) {
+  std::string canonical = name;
+  for (char& c : canonical) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  return canonical;
+}
+
 /// "$2.49/hr" with 3 significant digits, the budget formatting used in
 /// infeasibility messages.
 inline std::string FormatDollarsPerHour(double dollars) {

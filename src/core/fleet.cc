@@ -9,6 +9,8 @@
 #include "common/strings.h"
 #include "latency/model_zoo.h"
 #include "policy/registry.h"
+#include "sim/simulator.h"
+#include "workload/query_source.h"
 
 namespace kairos::core {
 namespace {
@@ -314,6 +316,244 @@ StatusOr<FleetPlan> Fleet::PlanAll(const search::SearchOptions& search) const {
     plan.models.push_back(std::move(model_plan));
   }
   return plan;
+}
+
+StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
+                                           FleetServeOptions options) const {
+  if (options.duration_s <= 0.0 || options.base_rate_qps <= 0.0 ||
+      options.window_s <= 0.0) {
+    return Status::InvalidArgument(
+        "ServeAll needs positive duration_s, base_rate_qps and window_s");
+  }
+  if (options.realloc_period_s < 0.0) {
+    return Status::InvalidArgument("realloc_period_s must be >= 0");
+  }
+  std::vector<std::size_t> indices;
+  indices.reserve(plan.models.size());
+  for (const FleetModelPlan& model_plan : plan.models) {
+    const std::size_t i = IndexOf(model_plan.model);
+    if (i == kNpos) {
+      return Status::NotFound("model " + model_plan.model +
+                              " is not in this fleet");
+    }
+    indices.push_back(i);
+  }
+  for (const FleetLoadShift& shift : options.shifts) {
+    // Must name a model of the *served plan* — a fleet member outside
+    // the plan would be a silently dropped no-op, not a load change.
+    const auto in_plan = std::find_if(
+        indices.begin(), indices.end(),
+        [&](std::size_t i) { return names_[i] == shift.model; });
+    if (in_plan == indices.end()) {
+      return Status::NotFound("load shift at " + std::to_string(shift.time_s) +
+                              "s names model " + shift.model +
+                              ", which is not in the served plan");
+    }
+    if (shift.arrival_scale <= 0.0) {
+      return Status::InvalidArgument("load shift for " + shift.model +
+                                     ": arrival_scale must be positive");
+    }
+    if (shift.time_s < 0.0 || shift.time_s > options.duration_s) {
+      return Status::InvalidArgument(
+          "load shift for " + shift.model + " at " +
+          std::to_string(shift.time_s) + "s is outside the horizon");
+    }
+  }
+
+  const bool realloc = options.realloc_period_s > 0.0;
+  auto backend = PlannerRegistry::Global().Build(options_.planner);
+  if (!backend.ok()) return backend.status();
+  auto allocator = AllocatorRegistry::Global().Build(options_.allocator);
+  if (!allocator.ok()) return allocator.status();
+  if (realloc) {
+    for (const std::size_t i : indices) {
+      if (sessions_[i].monitor().Count() == 0) {
+        return Status::FailedPrecondition(
+            "model " + names_[i] +
+            ": monitor is empty; call ObserveMix before ServeAll with "
+            "periodic reallocation");
+      }
+    }
+  }
+
+  const std::size_t n = plan.models.size();
+  // One shared clock: every model's arrivals, completions, snapshots and
+  // reallocations interleave on this loop, deterministically (time-stable
+  // event queue). Declared before the engines so in-flight events (which
+  // hold engine pointers) are freed after the engines themselves.
+  sim::Simulator clock;
+  std::vector<std::unique_ptr<serving::Engine>> engines;
+  std::vector<std::unique_ptr<workload::QuerySource>> streams;
+  std::vector<std::vector<serving::WindowedMetrics>> windows(n);
+  engines.reserve(n);
+  streams.reserve(n);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t i = indices[j];
+    auto runtime = Deploy(names_[i], plan.models[j].outcome.config);
+    if (!runtime.ok()) return runtime.status();
+    serving::EngineOptions engine_options;
+    // Overload is an expected transient here (that is what reallocation
+    // reacts to), so the batch early-abort heuristic is off.
+    engine_options.run.abort_violation_fraction = 0.0;
+    engine_options.launch_lag_s = options.launch_lag_s;
+    engine_options.seed = options_.seed + 1000003 * (j + 1);
+    auto engine = runtime->MakeEngine(engine_options, &clock);
+    if (!engine.ok()) return engine.status();
+
+    workload::QuerySourceSpec source_spec;
+    source_spec.source = model_options_[i].trace.empty()
+                             ? "PRODUCTION"
+                             : model_options_[i].trace;
+    source_spec.rate_qps =
+        options.base_rate_qps * model_options_[i].arrival_scale;
+    auto stream = workload::QuerySourceRegistry::Global().Build(source_spec);
+    if (!stream.ok()) {
+      return Status(stream.status().code(),
+                    "model " + names_[i] + ": " + stream.status().message());
+    }
+    const Status attached = (*engine)->SubmitSource(**stream);
+    if (!attached.ok()) return attached;
+    engines.push_back(*std::move(engine));
+    streams.push_back(*std::move(stream));
+  }
+
+  for (const FleetLoadShift& shift : options.shifts) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (names_[indices[j]] != shift.model) continue;
+      serving::Engine* engine = engines[j].get();
+      const double scale = shift.arrival_scale;
+      clock.At(shift.time_s, [engine, scale] {
+        (void)engine->SetArrivalScale(scale);
+      });
+    }
+  }
+
+  // Window boundaries are shared by every model; the horizon always closes
+  // the last (possibly partial) window. Boundaries are computed as
+  // k * window_s — not accumulated — so a non-representable window width
+  // cannot drift into a duplicate boundary just below the horizon.
+  for (std::size_t k = 1;; ++k) {
+    const double t = static_cast<double>(k) * options.window_s;
+    if (t >= options.duration_s - 1e-9) break;
+    clock.At(t, [&engines, &windows, n] {
+      for (std::size_t j = 0; j < n; ++j) {
+        windows[j].push_back(engines[j]->TakeWindow());
+      }
+    });
+  }
+  clock.At(options.duration_s, [&engines, &windows, n] {
+    for (std::size_t j = 0; j < n; ++j) {
+      windows[j].push_back(engines[j]->TakeWindow());
+    }
+  });
+
+  // Periodic allocator re-invocation: observed arrival rates become the
+  // demand weights, the global budget is re-split, each model re-planned
+  // inside its new share, and the engines reconfigured in place.
+  std::size_t reallocations = 0;
+  std::vector<double> shares(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    shares[j] = plan.models[j].budget_per_hour;
+  }
+  Status realloc_status;  // first failure inside the loop, if any
+  std::vector<std::size_t> offered_before(n, 0);
+  if (realloc) {
+    auto rebalance = [&] {
+      if (!realloc_status.ok()) return;
+      AllocationProblem problem;
+      problem.budget_per_hour = options_.budget_per_hour;
+      problem.step_per_hour = options_.allocation_step_per_hour;
+      problem.threads = options_.planning_threads;
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t i = indices[j];
+        const std::size_t offered_now = engines[j]->Offered();
+        const double observed_rate =
+            static_cast<double>(offered_now - offered_before[j]) /
+            options.realloc_period_s;
+        offered_before[j] = offered_now;
+        problem.models.push_back(
+            AllocModel{names_[i], model_options_[i].weight,
+                       std::max(observed_rate, 1e-6), floors_[i],
+                       ceilings_[i]});
+      }
+      problem.probe = [&](std::size_t j, double budget) -> StatusOr<double> {
+        const Kairos& session = sessions_[indices[j]];
+        PlannerContext ctx{&catalog_, &session.truth(), session.qos_ms(),
+                           budget};
+        PlanRequest request;
+        request.monitor = &session.monitor();
+        request.search = options.search;
+        auto outcome = (*backend)->Probe(ctx, request);
+        if (!outcome.ok()) return outcome.status();
+        return outcome->expected_qps;
+      };
+      auto split = (*allocator)->Allocate(problem);
+      if (!split.ok()) {
+        realloc_status = split.status();
+        return;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        const Kairos& session = sessions_[indices[j]];
+        PlannerContext ctx{&catalog_, &session.truth(), session.qos_ms(),
+                           (*split)[j]};
+        PlanRequest request;
+        request.monitor = &session.monitor();
+        request.search = options.search;
+        if ((*backend)->NeedsEvaluations()) {
+          // Same wiring as PlanAll: evaluation-driven backends measure
+          // against the model's monitored mix (in a nested simulation —
+          // the co-simulation clock is untouched).
+          const workload::EmpiricalBatches mix = session.monitor().Snapshot();
+          request.eval = [&session, mix](const cloud::Config& config) {
+            serving::EvalOptions eval_options;
+            return session.MeasureThroughput(config, mix, eval_options).qps;
+          };
+        }
+        auto outcome = (*backend)->Plan(ctx, request);
+        if (!outcome.ok()) {
+          realloc_status =
+              Status(outcome.status().code(), "model " + names_[indices[j]] +
+                                                  ": " +
+                                                  outcome.status().message());
+          return;
+        }
+        const Status reconfigured =
+            engines[j]->Reconfigure(outcome->config);
+        if (!reconfigured.ok()) {
+          realloc_status = reconfigured;
+          return;
+        }
+      }
+      shares = *std::move(split);
+      ++reallocations;
+    };
+    for (std::size_t k = 1;; ++k) {
+      const double t = static_cast<double>(k) * options.realloc_period_s;
+      if (t >= options.duration_s - 1e-9) break;
+      clock.At(t, rebalance);
+    }
+  }
+
+  clock.RunUntil(options.duration_s);
+  if (!realloc_status.ok()) return realloc_status;
+
+  FleetServeResult result;
+  result.duration_s = options.duration_s;
+  result.reallocations = reallocations;
+  result.final_shares_per_hour = std::move(shares);
+  for (std::size_t j = 0; j < n; ++j) {
+    FleetModelServe serve;
+    serve.model = names_[indices[j]];
+    serve.totals = engines[j]->Totals();
+    serve.windows = std::move(windows[j]);
+    serve.qps = static_cast<double>(serve.totals.served) / options.duration_s;
+    result.total_qps += serve.qps;
+    result.total_weighted_qps +=
+        model_options_[indices[j]].arrival_scale * serve.qps;
+    result.models.push_back(std::move(serve));
+  }
+  return result;
 }
 
 StatusOr<Runtime> Fleet::Deploy(const std::string& model,

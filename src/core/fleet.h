@@ -24,6 +24,7 @@
 #include "core/allocator.h"
 #include "core/kairos.h"
 #include "core/planner_backend.h"
+#include "serving/engine.h"
 
 namespace kairos::core {
 
@@ -121,6 +122,67 @@ struct FleetMeasurement {
   double total_weighted_qps = 0.0;
 };
 
+/// One scheduled mid-run arrival-rate change inside Fleet::ServeAll
+/// (Fig. 12's load change, expressed as a co-simulation event).
+struct FleetLoadShift {
+  double time_s = 0.0;         ///< simulated time of the change
+  std::string model;           ///< whose arrival stream to rescale
+  double arrival_scale = 1.0;  ///< new multiplier on the model's base rate
+};
+
+/// Knobs of the fleet co-simulation (ServeAll).
+struct FleetServeOptions {
+  /// Simulated horizon in seconds; completions after it do not count.
+  double duration_s = 60.0;
+  /// Model i's offered arrival rate is base_rate_qps * arrival_scale_i
+  /// (times any FleetLoadShift in effect).
+  double base_rate_qps = 40.0;
+  /// Cadence of per-model WindowedMetrics snapshots.
+  double window_s = 5.0;
+  /// Period of allocator re-invocation: every period the fleet reads each
+  /// model's observed arrival rate over the elapsed period, re-splits the
+  /// global budget with the configured allocator (demand-weighted), re-plans
+  /// every model inside its new share, and reconfigures the live engines
+  /// (instance launches obey launch_lag_s). 0 = frozen allocation — the
+  /// initial plan serves the whole run (the baseline ServeAll compares
+  /// against).
+  double realloc_period_s = 0.0;
+  /// Engine launch lag for mid-run reconfigurations, simulated seconds.
+  double launch_lag_s = 1.0;
+  /// Scheduled arrival-rate changes.
+  std::vector<FleetLoadShift> shifts;
+  /// Planning knobs for the periodic re-plans.
+  search::SearchOptions search;
+};
+
+/// One model's outcome of a fleet co-simulation.
+struct FleetModelServe {
+  std::string model;
+  /// Cumulative engine totals at the horizon (includes every completion
+  /// with finish <= duration_s; queued work is not credited).
+  serving::RunResult totals;
+  /// Windowed snapshots, one per window_s slice (shared boundaries across
+  /// all models — they ride one clock).
+  std::vector<serving::WindowedMetrics> windows;
+  /// totals.served / duration_s.
+  double qps = 0.0;
+};
+
+/// The fleet co-simulation answer.
+struct FleetServeResult {
+  std::vector<FleetModelServe> models;  ///< plan order
+  double duration_s = 0.0;
+  double total_qps = 0.0;  ///< sum of per-model qps
+  /// sum of arrival_scale_i * qps_i — the same demand weighting as
+  /// FleetMeasurement::total_weighted_qps.
+  double total_weighted_qps = 0.0;
+  /// Allocator re-invocations that actually ran.
+  std::size_t reallocations = 0;
+  /// Per-model $/hr shares after the last reallocation (the initial plan's
+  /// shares when none ran); plan order.
+  std::vector<double> final_shares_per_hour;
+};
+
 /// A set of Kairos sessions planned and measured together.
 class Fleet {
  public:
@@ -173,10 +235,30 @@ class Fleet {
   /// Measures allowable throughput of every planned model, concurrently,
   /// under the model's own trace when set and `mix` otherwise. Each
   /// model's rate bracketing starts from half its planned expected_qps
-  /// when available (otherwise `eval_options.rate_guess`).
+  /// when available (otherwise `eval_options.rate_guess`). Compatibility
+  /// path: each trial run is a batch shim over serving::Engine; ServeAll
+  /// is the online, co-simulated view of the same fleet.
   StatusOr<FleetMeasurement> MeasureAll(
       const FleetPlan& plan, const workload::BatchDistribution& mix,
       serving::EvalOptions eval_options = {}) const;
+
+  /// Serves every model of `plan` *online*, co-simulated as shards of one
+  /// shared event loop (one sim::Simulator; a single global clock orders
+  /// all models' arrivals, completions, snapshots and reallocations).
+  /// Each model streams from a registry-built QuerySource — its named
+  /// trace mix when set, PRODUCTION otherwise — at
+  /// base_rate_qps * arrival_scale_i, Poisson arrivals. FleetLoadShifts
+  /// rescale a model's stream mid-run; with realloc_period_s > 0 the
+  /// configured allocator periodically re-splits the budget using the
+  /// *observed* per-model arrival rates as demand and the live engines
+  /// are reconfigured in place (launch lag modeled).
+  ///
+  /// Errors: kInvalidArgument (non-positive duration/rate/window/period,
+  /// unknown shift model, shift scale <= 0, shift time outside the
+  /// horizon), kNotFound (plan model not in the fleet),
+  /// kFailedPrecondition (empty monitor when realloc_period_s > 0).
+  StatusOr<FleetServeResult> ServeAll(const FleetPlan& plan,
+                                      FleetServeOptions options = {}) const;
 
  private:
   Fleet(const cloud::Catalog& catalog, FleetOptions options);

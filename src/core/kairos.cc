@@ -68,8 +68,10 @@ serving::PolicyFactory MakePolicyFactory(const std::string& name,
   }
   auto factory = PolicyRegistry::Global().MakeFactory(name, knobs);
   if (!factory.ok()) {
-    // Pre-registry callers expect the throwing contract.
-    throw std::out_of_range("MakePolicyFactory: " + factory.status().message());
+    // Pre-registry callers expect the throwing contract; the message is
+    // the registry Status rendered by the shared formatter, so shim and
+    // registry callers read identical error text ("NOT_FOUND: ...").
+    throw std::out_of_range(factory.status().ToString());
   }
   return *std::move(factory);
 }

@@ -13,9 +13,14 @@
 // planning strategies through kairos::PlannerRegistry
 // (core/planner_backend.h: KAIROS, KAIROS+, HOMOGENEOUS, BRUTE-FORCE),
 // fleet budget splitting through kairos::AllocatorRegistry
-// (core/allocator.h: STATIC, MARGINAL), and multi-model serving under
-// one budget through kairos::Fleet (core/fleet.h). MakePolicyFactory
-// below survives as a deprecated shim over the policy registry.
+// (core/allocator.h: STATIC, MARGINAL), streaming query sources through
+// kairos::QuerySourceRegistry (workload/query_source.h: TRACE, POISSON,
+// UNIFORM, GAUSSIAN, PRODUCTION), and multi-model serving under one
+// budget through kairos::Fleet (core/fleet.h). Online serving is the
+// serving::Engine (serving/engine.h, built via Runtime::MakeEngine or
+// co-simulated fleet-wide via Fleet::ServeAll); Runtime::Serve remains
+// as the batch compatibility shim. MakePolicyFactory below survives as
+// a deprecated shim over the policy registry.
 #pragma once
 
 #include <memory>

@@ -26,6 +26,19 @@ serving::RunResult Runtime::Serve(const workload::Trace& trace) const {
   return MakeSystem()->Run(trace);
 }
 
+StatusOr<std::unique_ptr<serving::Engine>> Runtime::MakeEngine(
+    serving::EngineOptions engine_options,
+    sim::Simulator* shared_clock) const {
+  serving::SystemSpec spec;
+  spec.catalog = &catalog_;
+  spec.config = config_;
+  spec.truth = &truth_;
+  spec.qos_ms = qos_ms_;
+  return serving::Engine::Create(
+      spec, std::make_unique<policy::KairosPolicy>(options_.policy),
+      options_.predictor, engine_options, shared_clock);
+}
+
 serving::EvalResult Runtime::MeasureThroughput(
     const workload::BatchDistribution& mix,
     const serving::EvalOptions& eval_options) const {

@@ -1,12 +1,15 @@
 // The Kairos central controller runtime (Fig. 4 left half): a serving
 // deployment wired with the Kairos query-distribution policy, plus
 // convenience entry points for serving traces and measuring allowable
-// throughput.
+// throughput. Online callers stream through MakeEngine() (DESIGN.md
+// Sec. 8); Serve() survives as the batch compatibility path.
 #pragma once
 
 #include <memory>
 
+#include "common/status.h"
 #include "policy/kairos_policy.h"
+#include "serving/engine.h"
 #include "serving/system.h"
 #include "serving/throughput_eval.h"
 
@@ -28,7 +31,21 @@ class Runtime {
           RuntimeOptions options = {});
 
   /// Serves a trace to completion on a fresh system.
+  ///
+  /// \deprecated Compatibility shim over serving::Engine: submits the
+  /// whole trace upfront and drains — identical results to the
+  /// pre-engine implementation, but closed-world. Streaming callers
+  /// (continuous arrivals, windowed metrics, mid-run mutation) should
+  /// use MakeEngine() instead.
   serving::RunResult Serve(const workload::Trace& trace) const;
+
+  /// Builds a streaming engine over this deployment (the Kairos policy,
+  /// this runtime's predictor/run options). Pass a `shared_clock` to
+  /// co-simulate several deployments on one event loop, as
+  /// Fleet::ServeAll does; the clock must outlive the engine.
+  StatusOr<std::unique_ptr<serving::Engine>> MakeEngine(
+      serving::EngineOptions engine_options = {},
+      sim::Simulator* shared_clock = nullptr) const;
 
   /// Allowable throughput of this deployment under the given mix.
   serving::EvalResult MeasureThroughput(

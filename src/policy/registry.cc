@@ -1,17 +1,11 @@
 #include "policy/registry.h"
 
-#include <algorithm>
-#include <cctype>
-
 #include "common/strings.h"
 
 namespace kairos::policy {
 
 std::string CanonicalSchemeName(const std::string& name) {
-  std::string canonical = name;
-  std::transform(canonical.begin(), canonical.end(), canonical.begin(),
-                 [](unsigned char c) { return std::toupper(c); });
-  return canonical;
+  return CanonicalName(name);
 }
 
 PolicyRegistry& PolicyRegistry::Global() {

@@ -1,0 +1,504 @@
+#include "serving/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "common/stats.h"
+
+namespace kairos::serving {
+
+const char* EngineStateName(EngineState state) {
+  switch (state) {
+    case EngineState::kServing: return "SERVING";
+    case EngineState::kDraining: return "DRAINING";
+    case EngineState::kDrained: return "DRAINED";
+  }
+  return "UNKNOWN";
+}
+
+Engine::Engine(SystemSpec spec, std::unique_ptr<policy::Policy> policy,
+               PredictorOptions predictor_options, EngineOptions options,
+               sim::Simulator* shared_clock)
+    : spec_(std::move(spec)),
+      owned_policy_(std::move(policy)),
+      policy_(owned_policy_.get()),
+      predictor_options_(predictor_options),
+      options_(options),
+      sim_(shared_clock != nullptr ? shared_clock : &owned_sim_),
+      target_config_(spec_.config),
+      rng_(options.seed) {
+  const Status status = Init();
+  if (!status.ok()) throw std::invalid_argument("Engine: " + status.message());
+}
+
+Engine::Engine(SystemSpec spec, policy::Policy* policy,
+               PredictorOptions predictor_options, EngineOptions options,
+               sim::Simulator* shared_clock)
+    : spec_(std::move(spec)),
+      policy_(policy),
+      predictor_options_(predictor_options),
+      options_(options),
+      sim_(shared_clock != nullptr ? shared_clock : &owned_sim_),
+      target_config_(spec_.config),
+      rng_(options.seed) {
+  const Status status = Init();
+  if (!status.ok()) throw std::invalid_argument("Engine: " + status.message());
+}
+
+StatusOr<std::unique_ptr<Engine>> Engine::Create(
+    SystemSpec spec, std::unique_ptr<policy::Policy> policy,
+    PredictorOptions predictor_options, EngineOptions options,
+    sim::Simulator* shared_clock) {
+  if (spec.catalog == nullptr || spec.truth == nullptr) {
+    return Status::InvalidArgument("engine needs a catalog and a truth model");
+  }
+  if (spec.config.NumTypes() != spec.catalog->size()) {
+    return Status::InvalidArgument("config/catalog arity mismatch");
+  }
+  if (policy == nullptr) {
+    return Status::InvalidArgument("engine needs a distribution policy");
+  }
+  if (spec.config.TotalInstances() == 0) {
+    return Status::InvalidArgument("engine needs at least one instance");
+  }
+  return std::make_unique<Engine>(std::move(spec), std::move(policy),
+                                  predictor_options, options, shared_clock);
+}
+
+Status Engine::Init() {
+  if (spec_.catalog == nullptr || spec_.truth == nullptr) {
+    return Status::InvalidArgument("catalog/truth required");
+  }
+  if (spec_.config.NumTypes() != spec_.catalog->size()) {
+    return Status::InvalidArgument("config/catalog arity mismatch");
+  }
+  if (policy_ == nullptr) {
+    return Status::InvalidArgument("policy required");
+  }
+  if (spec_.config.TotalInstances() == 0) {
+    return Status::InvalidArgument("empty configuration");
+  }
+  predictor_ = std::make_unique<LatencyPredictor>(*spec_.catalog, *spec_.truth,
+                                                  predictor_options_);
+  // Lay out base-type instances first: several FCFS baselines resolve ties
+  // by instance order, which realizes their documented base-type preference.
+  const cloud::TypeId base = spec_.catalog->BaseType();
+  for (int k = 0; k < spec_.config.Count(base); ++k) AddInstance(base);
+  for (cloud::TypeId t = 0; t < spec_.catalog->size(); ++t) {
+    if (t == base) continue;
+    for (int k = 0; k < spec_.config.Count(t); ++k) AddInstance(t);
+  }
+  totals_.per_type_busy.assign(spec_.catalog->size(), 0.0);
+  totals_.per_type_served.assign(spec_.catalog->size(), 0);
+  pending_by_type_.assign(spec_.catalog->size(), 0);
+  qos_sec_ = MsToSec(spec_.qos_ms);
+  window_start_ = sim_->Now();
+  policy_->Reset();
+  return Status::Ok();
+}
+
+void Engine::AddInstance(cloud::TypeId type) {
+  Instance inst;
+  inst.type = type;
+  instances_.push_back(std::move(inst));
+}
+
+std::size_t Engine::LiveCount(cloud::TypeId type) const {
+  std::size_t live = 0;
+  for (const Instance& inst : instances_) {
+    if (inst.type == type && !inst.retired && !inst.retiring) ++live;
+  }
+  return live;
+}
+
+std::size_t Engine::ActiveInstances() const {
+  std::size_t active = 0;
+  for (const Instance& inst : instances_) {
+    if (!inst.retired) ++active;
+  }
+  return active;
+}
+
+Status Engine::Submit(workload::Query q) {
+  if (state_ != EngineState::kServing) {
+    return Status::FailedPrecondition(
+        std::string("engine is ") + EngineStateName(state_) +
+        "; submissions are only accepted while SERVING");
+  }
+  if (q.arrival < sim_->Now()) {
+    return Status::InvalidArgument(
+        "query arrival " + std::to_string(q.arrival) +
+        "s is in the past (now " + std::to_string(sim_->Now()) + "s)");
+  }
+  ++totals_.offered;
+  sim_->At(q.arrival, [this, q] { OnArrival(q); });
+  return Status::Ok();
+}
+
+Status Engine::SubmitSource(workload::QuerySource& source) {
+  if (state_ != EngineState::kServing) {
+    return Status::FailedPrecondition(
+        std::string("engine is ") + EngineStateName(state_) +
+        "; sources are only accepted while SERVING");
+  }
+  sources_.push_back(SourceState{&source, /*pending=*/0, /*open=*/true});
+  PullSource(sources_.size() - 1);
+  return Status::Ok();
+}
+
+void Engine::PullSource(std::size_t slot) {
+  SourceState& state = sources_[slot];
+  if (!state.open || abort_requested_) return;
+  const std::optional<workload::Emission> emission =
+      state.source->Next(rng_);
+  if (!emission.has_value()) {
+    state.open = false;
+    return;
+  }
+  const workload::Query q{next_source_id_++, emission->batch,
+                          sim_->Now() + emission->gap / arrival_scale_};
+  // Source queries join the offered ledger on *arrival*: the one
+  // scheduled-ahead emission must not inflate an undrained engine's
+  // Totals() (Fleet::ServeAll reads them mid-flight).
+  state.pending = sim_->At(q.arrival, [this, slot, q] {
+    ++totals_.offered;
+    OnArrival(q);
+    PullSource(slot);
+  });
+}
+
+std::size_t Engine::AdvanceTo(Time t) {
+  std::size_t fired = 0;
+  while (!abort_requested_ && !sim_->Idle() && sim_->NextEventTime() <= t) {
+    sim_->Step();
+    ++fired;
+  }
+  if (!abort_requested_) sim_->FastForward(t);
+  if (state_ == EngineState::kDraining && sim_->Idle()) {
+    state_ = EngineState::kDrained;
+  }
+  return fired;
+}
+
+std::size_t Engine::Drain() {
+  if (state_ == EngineState::kDrained) return 0;
+  if (state_ == EngineState::kServing) {
+    state_ = EngineState::kDraining;
+    for (SourceState& source : sources_) {
+      if (source.open) {
+        // The cancelled emission was never counted (sources count on
+        // arrival), so no offered bookkeeping is needed.
+        sim_->Cancel(source.pending);
+        source.open = false;
+      }
+    }
+  }
+  // Run until everything this engine accepted has completed — not until
+  // the clock idles: a shared clock may carry co-simulated peers' events
+  // (including unbounded source chains) forever.
+  std::size_t fired = 0;
+  while (!abort_requested_ && totals_.served < totals_.offered &&
+         sim_->Step()) {
+    ++fired;
+  }
+  state_ = EngineState::kDrained;
+  return fired;
+}
+
+Status Engine::SetArrivalScale(double scale) {
+  if (state_ != EngineState::kServing) {
+    return Status::FailedPrecondition(
+        std::string("engine is ") + EngineStateName(state_) +
+        "; mutations are only accepted while SERVING");
+  }
+  if (scale <= 0.0) {
+    return Status::InvalidArgument("arrival scale must be positive, got " +
+                                   std::to_string(scale));
+  }
+  arrival_scale_ = scale;
+  return Status::Ok();
+}
+
+Status Engine::SwapPolicy(const std::string& name,
+                          const policy::KnobMap& knobs) {
+  if (state_ != EngineState::kServing) {
+    return Status::FailedPrecondition(
+        std::string("engine is ") + EngineStateName(state_) +
+        "; mutations are only accepted while SERVING");
+  }
+  auto built = policy::PolicyRegistry::Global().Build(name, knobs);
+  if (!built.ok()) return built.status();
+  owned_policy_ = *std::move(built);
+  policy_ = owned_policy_.get();
+  policy_->Reset();
+  // Redistribute the central queue under the new scheme right away.
+  RunRound();
+  return Status::Ok();
+}
+
+Status Engine::Reconfigure(const cloud::Config& config) {
+  if (state_ != EngineState::kServing) {
+    return Status::FailedPrecondition(
+        std::string("engine is ") + EngineStateName(state_) +
+        "; mutations are only accepted while SERVING");
+  }
+  if (config.NumTypes() != spec_.catalog->size()) {
+    return Status::InvalidArgument(
+        "config/catalog arity mismatch: config has " +
+        std::to_string(config.NumTypes()) + " types, catalog " +
+        std::to_string(spec_.catalog->size()));
+  }
+  if (config.TotalInstances() == 0) {
+    return Status::InvalidArgument(
+        "reconfiguration must keep at least one instance");
+  }
+
+  target_config_ = config;
+
+  for (cloud::TypeId t = 0; t < spec_.catalog->size(); ++t) {
+    const std::size_t target = static_cast<std::size_t>(config.Count(t));
+    // Launches already pending count toward the target with their
+    // *original* schedule — re-issuing an unchanged target must not
+    // reset anyone's launch lag (a periodic reallocator would otherwise
+    // starve growth forever whenever its period <= launch_lag_s).
+    std::size_t expected = LiveCount(t) + pending_by_type_[t];
+    if (target > expected) {
+      for (std::size_t k = 0; k < target - expected; ++k) {
+        const sim::EventId id =
+            sim_->After(options_.launch_lag_s, [this, t] {
+              --pending_by_type_[t];
+              AddInstance(t);
+              // Fresh capacity may unblock the central queue immediately.
+              RunRound();
+            });
+        pending_launches_.push_back(PendingLaunch{id, t});
+        ++pending_by_type_[t];
+      }
+    } else if (target < expected) {
+      // Shrink by cancelling not-yet-online launches first (newest
+      // scheduled last, cancelled first), then retiring live instances
+      // newest-first: idle ones go offline on the spot, busy ones stop
+      // taking work and drain what they hold.
+      std::size_t excess = expected - target;
+      for (std::size_t i = pending_launches_.size(); i-- > 0 && excess > 0;) {
+        if (pending_launches_[i].type != t) continue;
+        if (sim_->Cancel(pending_launches_[i].id)) {
+          --pending_by_type_[t];
+          --excess;
+        }
+        pending_launches_.erase(pending_launches_.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+      }
+      for (std::size_t i = instances_.size(); i-- > 0 && excess > 0;) {
+        Instance& inst = instances_[i];
+        if (inst.type != t || inst.retired || inst.retiring) continue;
+        if (!inst.executing && inst.fifo.empty()) {
+          inst.retired = true;
+        } else {
+          inst.retiring = true;
+        }
+        --excess;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+WindowedMetrics Engine::TakeWindow() {
+  WindowedMetrics window;
+  window.start = window_start_;
+  window.end = sim_->Now();
+  window.offered = window_offered_;
+  window.served = window_served_;
+  window.violations = window_violations_;
+  if (!window_latencies_ms_.empty()) {
+    window.p99_ms = Percentile(window_latencies_ms_, 99.0);
+    window.mean_ms = Mean(window_latencies_ms_);
+  }
+  const Time span = window.end - window.start;
+  if (span > 0.0) {
+    window.offered_qps = static_cast<double>(window.offered) / span;
+    window.qps = static_cast<double>(window.served) / span;
+  }
+  window_start_ = window.end;
+  window_offered_ = 0;
+  window_served_ = 0;
+  window_violations_ = 0;
+  window_latencies_ms_.clear();
+  return window;
+}
+
+RunResult Engine::Totals() const {
+  RunResult result = totals_;
+  result.aborted = abort_requested_;
+  if (!result.latencies_ms.empty()) {
+    result.p99_ms = Percentile(result.latencies_ms, 99.0);
+    result.mean_ms = Mean(result.latencies_ms);
+  }
+  if (result.makespan > 0.0 && result.served > 0) {
+    result.throughput_qps =
+        static_cast<double>(result.served) / result.makespan;
+  }
+  return result;
+}
+
+void Engine::OnArrival(const workload::Query& q) {
+  ++window_offered_;
+  waiting_.push_back(q);
+  RunRound();
+}
+
+std::vector<InstanceView> Engine::SnapshotInstances() {
+  std::vector<InstanceView> views;
+  views.reserve(instances_.size());
+  view_to_instance_.clear();
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const Instance& inst = instances_[i];
+    // Retiring/retired instances take no new work and are invisible to
+    // the policy. Batch runs never retire, so this is the full vector.
+    if (inst.retired || inst.retiring) continue;
+    InstanceView v;
+    v.type = inst.type;
+    Time avail = inst.executing ? inst.current_finish : sim_->Now();
+    for (const workload::Query& q : inst.fifo) {
+      avail += MsToSec(predictor_->PredictMsNoiseless(inst.type, q.batch_size));
+    }
+    v.available_at = avail;
+    v.idle = !inst.executing && inst.fifo.empty();
+    v.backlog = inst.fifo.size();
+    views.push_back(v);
+    view_to_instance_.push_back(i);
+  }
+  return views;
+}
+
+void Engine::RunRound() {
+  if (abort_requested_ || waiting_.empty()) return;
+
+  const std::size_t window =
+      std::min(waiting_.size(), options_.run.matcher_window);
+  std::vector<workload::Query> prefix(waiting_.begin(),
+                                      waiting_.begin() +
+                                          static_cast<std::ptrdiff_t>(window));
+  const std::vector<InstanceView> views = SnapshotInstances();
+  if (views.empty()) return;  // everything retiring; wait for launches
+
+  policy::RoundContext ctx;
+  ctx.now = sim_->Now();
+  ctx.qos_sec = qos_sec_;
+  ctx.waiting = prefix;
+  ctx.instances = views;
+  ctx.predictor = predictor_.get();
+  ctx.catalog = spec_.catalog;
+
+  const std::vector<policy::Assignment> proposed = policy_->Distribute(ctx);
+
+  // Validate indices. Queries are one-to-one; instances are one-to-one for
+  // late-binding policies (Eq. 6), while early-binding policies may stack
+  // several commitments onto one instance's FIFO in a single round.
+  const bool early = policy_->EarlyBinding();
+  std::vector<bool> q_used(window, false), i_used(views.size(), false);
+  for (const policy::Assignment& a : proposed) {
+    if (a.waiting_idx >= window || a.instance_idx >= views.size() ||
+        q_used[a.waiting_idx] || (!early && i_used[a.instance_idx])) {
+      throw std::logic_error("Policy returned an invalid assignment set");
+    }
+    q_used[a.waiting_idx] = true;
+    i_used[a.instance_idx] = true;
+  }
+  std::vector<bool> remove(window, false);
+  for (const policy::Assignment& a : proposed) {
+    Instance& inst = instances_[view_to_instance_[a.instance_idx]];
+    const workload::Query& q = prefix[a.waiting_idx];
+    const bool idle = !inst.executing && inst.fifo.empty();
+    if (idle) {
+      BeginExecution(view_to_instance_[a.instance_idx], q);
+      remove[a.waiting_idx] = true;
+    } else if (early) {
+      inst.fifo.push_back(q);
+      remove[a.waiting_idx] = true;
+    }
+    // Late binding onto a busy instance: the pairing was tentative; the
+    // query stays in the central queue for the next round.
+  }
+
+  std::deque<workload::Query> kept;
+  for (std::size_t i = 0; i < waiting_.size(); ++i) {
+    if (i < window && remove[i]) continue;
+    kept.push_back(waiting_[i]);
+  }
+  waiting_ = std::move(kept);
+}
+
+void Engine::BeginExecution(std::size_t instance_idx,
+                            const workload::Query& q) {
+  Instance& inst = instances_[instance_idx];
+  assert(!inst.executing);
+  const Time start = sim_->Now();
+  const Time actual = spec_.truth->Latency(inst.type, q.batch_size);
+  inst.executing = true;
+  inst.current_finish = start + actual;
+  inst.busy_time += actual;
+  sim_->At(inst.current_finish, [this, instance_idx, q, start] {
+    OnCompletion(instance_idx, q, start);
+  });
+}
+
+void Engine::OnCompletion(std::size_t instance_idx, workload::Query q,
+                          Time start) {
+  Instance& inst = instances_[instance_idx];
+  const Time finish = sim_->Now();
+  inst.executing = false;
+  ++inst.served;
+
+  const double latency_ms = SecToMs(finish - q.arrival);
+  totals_.latencies_ms.push_back(latency_ms);
+  ++totals_.served;
+  totals_.makespan = std::max(totals_.makespan, finish);
+  totals_.per_type_busy[inst.type] += finish - start;
+  ++totals_.per_type_served[inst.type];
+  ++window_served_;
+  window_latencies_ms_.push_back(latency_ms);
+  if (latency_ms > spec_.qos_ms) {
+    ++totals_.violations;
+    ++window_violations_;
+  }
+  if (options_.run.keep_records) {
+    totals_.records.push_back(ServedRecord{q.id, q.batch_size, inst.type,
+                                           instance_idx, q.arrival, start,
+                                           finish});
+  }
+
+  // Feed the online predictor with the *serving* latency (queueing time is
+  // not part of the latency surface).
+  predictor_->Observe(inst.type, q.batch_size, SecToMs(finish - start));
+
+  if (options_.run.abort_violation_fraction > 0.0 && totals_.offered > 0) {
+    const double frac = static_cast<double>(totals_.violations) /
+                        static_cast<double>(totals_.offered);
+    if (frac > options_.run.abort_violation_fraction) {
+      abort_requested_ = true;
+      state_ = EngineState::kDrained;
+      return;
+    }
+  }
+
+  StartIfIdle(instance_idx);
+  RunRound();
+}
+
+void Engine::StartIfIdle(std::size_t instance_idx) {
+  Instance& inst = instances_[instance_idx];
+  if (!inst.executing && !inst.fifo.empty()) {
+    const workload::Query next = inst.fifo.front();
+    inst.fifo.pop_front();
+    BeginExecution(instance_idx, next);
+  } else if (inst.retiring && !inst.executing && inst.fifo.empty()) {
+    inst.retiring = false;
+    inst.retired = true;
+  }
+}
+
+}  // namespace kairos::serving

@@ -1,0 +1,258 @@
+// The streaming serving engine (DESIGN.md Sec. 8): an *online* view of
+// the serving simulator. Where ServingSystem::Run consumes a whole trace
+// and returns one RunResult, an Engine owns a running deployment whose
+// lifetime the caller controls:
+//
+//   * queries arrive continuously — programmatic Submit() or attached
+//     QuerySources pulled lazily, one emission ahead;
+//   * time advances on demand — AdvanceTo(t) / Drain();
+//   * metrics are read incrementally — TakeWindow() snapshots;
+//   * the deployment mutates mid-run — SetArrivalScale() stretches
+//     source gaps, SwapPolicy() replaces the distribution scheme, and
+//     Reconfigure() moves to a new instance configuration with a modeled
+//     launch lag (new instances come online late; removed instances
+//     drain their committed work, then retire).
+//
+// State machine: SERVING --Drain()--> DRAINING --backlog empty--> DRAINED
+// (an early abort also lands in DRAINED). Mutations and submissions are
+// only accepted while SERVING.
+//
+// Several engines may shard one sim::Simulator (the shared-clock
+// constructor): Fleet::ServeAll co-simulates every model of a fleet on
+// one event loop this way. The batch entry points — ServingSystem::Run,
+// Runtime::Serve — are thin shims over this class and reproduce their
+// pre-engine results bit for bit (tests/engine_test.cc).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "policy/registry.h"
+#include "serving/system.h"
+#include "sim/simulator.h"
+#include "workload/query_source.h"
+
+namespace kairos::serving {
+
+/// Engine lifecycle states (DESIGN.md Sec. 8).
+enum class EngineState {
+  kServing,   ///< accepting submissions and mutations
+  kDraining,  ///< intake closed; finishing the backlog
+  kDrained,   ///< backlog empty (or run aborted); terminal
+};
+
+/// Human-readable state name ("SERVING", ...).
+const char* EngineStateName(EngineState state);
+
+/// Service metrics aggregated over one observation window — the slice of
+/// simulated time between two TakeWindow() calls.
+struct WindowedMetrics {
+  Time start = 0.0;            ///< window opening time (seconds)
+  Time end = 0.0;              ///< window closing time (seconds)
+  std::size_t offered = 0;     ///< arrivals inside the window
+  std::size_t served = 0;      ///< completions inside the window
+  std::size_t violations = 0;  ///< completions with latency > QoS
+  double p99_ms = 0.0;         ///< p99 latency of the window's completions
+  double mean_ms = 0.0;        ///< mean latency of the window's completions
+  double offered_qps = 0.0;    ///< offered / (end - start)
+  double qps = 0.0;            ///< served / (end - start)
+};
+
+/// Streaming-engine knobs.
+struct EngineOptions {
+  /// Abort / matcher-window / record-keeping knobs shared with batch runs.
+  RunOptions run;
+  /// Simulated seconds between Reconfigure() and new instances serving
+  /// (cloud VM boot + model load). Teardown needs no lag: retiring
+  /// instances stop taking work immediately and drain what they hold.
+  double launch_lag_s = 0.0;
+  /// Seed of the engine's RNG for QuerySource draws.
+  std::uint64_t seed = 42;
+};
+
+/// One online serving deployment, driven explicitly through simulated time.
+class Engine {
+ public:
+  /// Owns the policy. Throws std::invalid_argument on a bad spec (null
+  /// catalog/truth, arity mismatch, empty config, null policy); prefer
+  /// Create() in code that wants Status-based errors. When `shared_clock`
+  /// is non-null the engine schedules onto it (fleet co-simulation) and
+  /// the caller drives that clock; the clock must outlive the engine.
+  Engine(SystemSpec spec, std::unique_ptr<policy::Policy> policy,
+         PredictorOptions predictor_options = {}, EngineOptions options = {},
+         sim::Simulator* shared_clock = nullptr);
+
+  /// Borrows the policy (the batch ServingSystem shim reuses its
+  /// long-lived policy across runs); `policy` must outlive the engine.
+  Engine(SystemSpec spec, policy::Policy* policy,
+         PredictorOptions predictor_options = {}, EngineOptions options = {},
+         sim::Simulator* shared_clock = nullptr);
+
+  /// Status-returning construction: kInvalidArgument instead of throwing.
+  static StatusOr<std::unique_ptr<Engine>> Create(
+      SystemSpec spec, std::unique_ptr<policy::Policy> policy,
+      PredictorOptions predictor_options = {}, EngineOptions options = {},
+      sim::Simulator* shared_clock = nullptr);
+
+  // Scheduled events capture `this`; the engine is pinned in memory.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time of the engine's clock.
+  Time Now() const { return sim_->Now(); }
+
+  EngineState state() const { return state_; }
+
+  /// Enqueues one query for arrival at q.arrival (>= Now; equal-time
+  /// ties fire in submission order). kFailedPrecondition once draining,
+  /// kInvalidArgument for an arrival in the past.
+  Status Submit(workload::Query q);
+
+  /// Attaches a pull-based source: its first emission is scheduled now,
+  /// each fired emission schedules the next (gaps divided by the current
+  /// arrival scale). The source must outlive the engine (or its Drain()).
+  /// Emitted queries get engine-assigned ids and join the `offered`
+  /// ledger when they *arrive* (a scheduled-ahead emission that never
+  /// fires is never counted); Submit()ted queries count at submission,
+  /// preserving batch semantics. kFailedPrecondition once draining.
+  Status SubmitSource(workload::QuerySource& source);
+
+  /// Fires every event with time <= t, then moves the clock exactly to t
+  /// (even when idle). Returns the number of events fired. On an engine
+  /// sharing a clock this advances the *shared* loop — with
+  /// Fleet::ServeAll, let the fleet drive instead.
+  std::size_t AdvanceTo(Time t);
+
+  /// Closes intake (detaches sources, rejects further Submits) and runs
+  /// events until every query this engine accepted has completed.
+  /// Returns the number of events fired. Unbounded sources are safe to
+  /// drain: they are simply cut off. On a shared clock this advances the
+  /// shared loop (co-simulated peers keep serving) exactly until this
+  /// engine's own backlog is empty, then stops.
+  std::size_t Drain();
+
+  /// Stretches the gaps of every attached source by 1/scale from the
+  /// next emission onward (2.0 = twice the arrival rate). Scale must be
+  /// positive. Programmatic Submit() timestamps are not rescaled.
+  Status SetArrivalScale(double scale);
+
+  double arrival_scale() const { return arrival_scale_; }
+
+  /// Replaces the distribution policy mid-run with a registry-built one
+  /// (kNotFound for an unknown name, listing the alternatives). The new
+  /// policy starts from Reset() state; queued queries are redistributed
+  /// under it on the next round.
+  Status SwapPolicy(const std::string& name,
+                    const policy::KnobMap& knobs = {});
+
+  /// Moves the deployment to `config` (same catalog arity, >= 1 instance
+  /// in total). Per instance type, shrinking cancels launches still
+  /// pending from an earlier reconfigure first, then marks the newest
+  /// live instances retiring (idle ones retire on the spot; busy ones
+  /// drain first); growth schedules launches that come online after
+  /// EngineOptions::launch_lag_s. Launches the new target still wants
+  /// keep their original schedule — re-issuing an unchanged target is a
+  /// no-op, never a lag reset.
+  Status Reconfigure(const cloud::Config& config);
+
+  /// Metrics since the previous TakeWindow() (or since construction),
+  /// closing the window at Now() and opening a fresh one. Deterministic:
+  /// same seed + same submission/advance schedule => identical windows,
+  /// regardless of how many AdvanceTo steps realized the schedule.
+  WindowedMetrics TakeWindow();
+
+  /// Cumulative results since construction, in batch RunResult form
+  /// (p99/mean/throughput computed over every completion so far). The
+  /// zero-offered edge cases report throughput_qps == 0 and never NaN.
+  RunResult Totals() const;
+
+  /// Queries in the offered ledger so far — arrived source emissions
+  /// plus everything Submit()ted. Cheap, unlike Totals() (which copies
+  /// per-completion vectors); periodic pollers should read this.
+  std::size_t Offered() const { return totals_.offered; }
+
+  /// The configuration the engine is moving toward (pending launches
+  /// included); equals the live configuration once they are online.
+  const cloud::Config& target_config() const { return target_config_; }
+
+  /// Live instances: launched, not retired (retiring-but-draining count).
+  std::size_t ActiveInstances() const;
+
+  const policy::Policy& GetPolicy() const { return *policy_; }
+  const SystemSpec& spec() const { return spec_; }
+
+ private:
+  struct SourceState {
+    workload::QuerySource* source = nullptr;
+    sim::EventId pending = 0;   ///< the scheduled next-emission event
+    bool open = false;          ///< still pulling
+  };
+
+  /// Shared constructor body; returns a Status instead of throwing.
+  Status Init();
+
+  /// Schedules source slot `slot`'s next emission, if any.
+  void PullSource(std::size_t slot);
+
+  void OnArrival(const workload::Query& q);
+  void RunRound();
+  void StartIfIdle(std::size_t instance_idx);
+  void BeginExecution(std::size_t instance_idx, const workload::Query& q);
+  void OnCompletion(std::size_t instance_idx, workload::Query q, Time start);
+
+  /// Views of the assignable instances; fills `view_to_instance_` with
+  /// the matching instances_ indices.
+  std::vector<InstanceView> SnapshotInstances();
+
+  /// Appends one live instance of `type`.
+  void AddInstance(cloud::TypeId type);
+
+  /// Non-retired launched instances of `type`.
+  std::size_t LiveCount(cloud::TypeId type) const;
+
+  SystemSpec spec_;
+  std::unique_ptr<policy::Policy> owned_policy_;
+  policy::Policy* policy_ = nullptr;  ///< owned_policy_ or borrowed
+  PredictorOptions predictor_options_;
+  EngineOptions options_;
+
+  sim::Simulator owned_sim_;
+  sim::Simulator* sim_ = nullptr;  ///< owned_sim_ or the shared clock
+
+  std::unique_ptr<LatencyPredictor> predictor_;
+  std::vector<Instance> instances_;
+  std::vector<std::size_t> view_to_instance_;  ///< scratch of SnapshotInstances
+  std::deque<workload::Query> waiting_;
+  std::vector<SourceState> sources_;
+  /// Scheduled-but-not-yet-online instances; entries whose event already
+  /// fired stay until the next reconfigure sweeps them (Cancel no-ops).
+  struct PendingLaunch {
+    sim::EventId id = 0;
+    cloud::TypeId type = 0;
+  };
+  std::vector<PendingLaunch> pending_launches_;
+  std::vector<std::size_t> pending_by_type_;  ///< live pending count per type
+  cloud::Config target_config_;
+
+  EngineState state_ = EngineState::kServing;
+  Rng rng_;
+  double arrival_scale_ = 1.0;
+  workload::QueryId next_source_id_ = 1u << 20;  ///< clear of trace ids
+  double qos_sec_ = 0.0;
+  bool abort_requested_ = false;
+
+  // Cumulative counters (RunResult shape) plus the open window.
+  RunResult totals_;
+  Time window_start_ = 0.0;
+  std::size_t window_offered_ = 0;
+  std::size_t window_served_ = 0;
+  std::size_t window_violations_ = 0;
+  std::vector<double> window_latencies_ms_;
+};
+
+}  // namespace kairos::serving

@@ -30,6 +30,17 @@ struct Instance {
 
   /// Number of queries completed on this instance.
   std::size_t served = 0;
+
+  // Lifecycle under Engine::Reconfigure (DESIGN.md Sec. 8). Batch runs
+  // never set these: every instance is live for the whole run.
+
+  /// Torn down by a reconfiguration: receives no new assignments, drains
+  /// its committed work, then retires. Irrevocable.
+  bool retiring = false;
+
+  /// Fully offline (drained after retiring). Stays in the instance vector
+  /// so indices captured by in-flight completion events remain valid.
+  bool retired = false;
 };
 
 /// Immutable per-round snapshot handed to distribution policies.

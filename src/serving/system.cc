@@ -1,10 +1,8 @@
 #include "serving/system.h"
 
-#include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
-#include "common/stats.h"
+#include "serving/engine.h"
 
 namespace kairos::serving {
 
@@ -27,196 +25,24 @@ ServingSystem::ServingSystem(SystemSpec spec,
   }
 }
 
-void ServingSystem::Reset() {
-  sim_ = sim::Simulator();
-  predictor_ = std::make_unique<LatencyPredictor>(*spec_.catalog, *spec_.truth,
-                                                  predictor_options_);
-  instances_.clear();
-  // Lay out base-type instances first: several FCFS baselines resolve ties
-  // by instance order, which realizes their documented base-type preference.
-  const cloud::TypeId base = spec_.catalog->BaseType();
-  auto add_instances = [this](cloud::TypeId type, int count) {
-    for (int k = 0; k < count; ++k) {
-      Instance inst;
-      inst.type = type;
-      instances_.push_back(std::move(inst));
-    }
-  };
-  add_instances(base, spec_.config.Count(base));
-  for (cloud::TypeId t = 0; t < spec_.catalog->size(); ++t) {
-    if (t != base) add_instances(t, spec_.config.Count(t));
-  }
-  waiting_.clear();
-  result_ = RunResult{};
-  result_.per_type_busy.assign(spec_.catalog->size(), 0.0);
-  result_.per_type_served.assign(spec_.catalog->size(), 0);
-  qos_sec_ = MsToSec(spec_.qos_ms);
-  abort_requested_ = false;
-  policy_->Reset();
-}
-
 RunResult ServingSystem::Run(const workload::Trace& trace) {
-  Reset();
-  if (instances_.empty()) {
+  if (spec_.config.TotalInstances() == 0) {
     throw std::logic_error("ServingSystem::Run: empty configuration");
   }
-  result_.offered = trace.size();
+  // Batch semantics = submit everything upfront, then drain. Arrivals are
+  // scheduled in trace order before any event fires, exactly as the
+  // pre-engine implementation did, so results are bit-identical.
+  EngineOptions options;
+  options.run = run_options_;
+  Engine engine(spec_, policy_.get(), predictor_options_, options);
   for (const workload::Query& q : trace.queries()) {
-    sim_.At(q.arrival, [this, q] { OnArrival(q); });
-  }
-  while (!abort_requested_ && sim_.Step()) {
-  }
-  result_.aborted = abort_requested_;
-
-  if (!result_.latencies_ms.empty()) {
-    result_.p99_ms = Percentile(result_.latencies_ms, 99.0);
-    result_.mean_ms = Mean(result_.latencies_ms);
-  }
-  if (result_.makespan > 0.0) {
-    result_.throughput_qps =
-        static_cast<double>(result_.served) / result_.makespan;
-  }
-  return result_;
-}
-
-void ServingSystem::OnArrival(const workload::Query& q) {
-  waiting_.push_back(q);
-  RunRound();
-}
-
-std::vector<InstanceView> ServingSystem::SnapshotInstances() const {
-  std::vector<InstanceView> views;
-  views.reserve(instances_.size());
-  for (const Instance& inst : instances_) {
-    InstanceView v;
-    v.type = inst.type;
-    Time avail = inst.executing ? inst.current_finish : sim_.Now();
-    for (const workload::Query& q : inst.fifo) {
-      avail += MsToSec(predictor_->PredictMsNoiseless(inst.type, q.batch_size));
-    }
-    v.available_at = avail;
-    v.idle = !inst.executing && inst.fifo.empty();
-    v.backlog = inst.fifo.size();
-    views.push_back(v);
-  }
-  return views;
-}
-
-void ServingSystem::RunRound() {
-  if (abort_requested_ || waiting_.empty()) return;
-
-  const std::size_t window =
-      std::min(waiting_.size(), run_options_.matcher_window);
-  std::vector<workload::Query> prefix(waiting_.begin(),
-                                      waiting_.begin() +
-                                          static_cast<std::ptrdiff_t>(window));
-  const std::vector<InstanceView> views = SnapshotInstances();
-
-  policy::RoundContext ctx;
-  ctx.now = sim_.Now();
-  ctx.qos_sec = qos_sec_;
-  ctx.waiting = prefix;
-  ctx.instances = views;
-  ctx.predictor = predictor_.get();
-  ctx.catalog = spec_.catalog;
-
-  const std::vector<policy::Assignment> proposed = policy_->Distribute(ctx);
-
-  // Validate indices. Queries are one-to-one; instances are one-to-one for
-  // late-binding policies (Eq. 6), while early-binding policies may stack
-  // several commitments onto one instance's FIFO in a single round.
-  const bool early = policy_->EarlyBinding();
-  std::vector<bool> q_used(window, false), i_used(instances_.size(), false);
-  for (const policy::Assignment& a : proposed) {
-    if (a.waiting_idx >= window || a.instance_idx >= instances_.size() ||
-        q_used[a.waiting_idx] || (!early && i_used[a.instance_idx])) {
-      throw std::logic_error("Policy returned an invalid assignment set");
-    }
-    q_used[a.waiting_idx] = true;
-    i_used[a.instance_idx] = true;
-  }
-  std::vector<bool> remove(window, false);
-  for (const policy::Assignment& a : proposed) {
-    Instance& inst = instances_[a.instance_idx];
-    const workload::Query& q = prefix[a.waiting_idx];
-    const bool idle = !inst.executing && inst.fifo.empty();
-    if (idle) {
-      BeginExecution(a.instance_idx, q);
-      remove[a.waiting_idx] = true;
-    } else if (early) {
-      inst.fifo.push_back(q);
-      remove[a.waiting_idx] = true;
-    }
-    // Late binding onto a busy instance: the pairing was tentative; the
-    // query stays in the central queue for the next round.
-  }
-
-  std::deque<workload::Query> kept;
-  for (std::size_t i = 0; i < waiting_.size(); ++i) {
-    if (i < window && remove[i]) continue;
-    kept.push_back(waiting_[i]);
-  }
-  waiting_ = std::move(kept);
-}
-
-void ServingSystem::BeginExecution(std::size_t instance_idx,
-                                   const workload::Query& q) {
-  Instance& inst = instances_[instance_idx];
-  assert(!inst.executing);
-  const Time start = sim_.Now();
-  const Time actual = spec_.truth->Latency(inst.type, q.batch_size);
-  inst.executing = true;
-  inst.current_finish = start + actual;
-  inst.busy_time += actual;
-  sim_.At(inst.current_finish, [this, instance_idx, q, start] {
-    OnCompletion(instance_idx, q, start);
-  });
-}
-
-void ServingSystem::OnCompletion(std::size_t instance_idx, workload::Query q,
-                                 Time start) {
-  Instance& inst = instances_[instance_idx];
-  const Time finish = sim_.Now();
-  inst.executing = false;
-  ++inst.served;
-
-  const double latency_ms = SecToMs(finish - q.arrival);
-  result_.latencies_ms.push_back(latency_ms);
-  ++result_.served;
-  result_.makespan = std::max(result_.makespan, finish);
-  result_.per_type_busy[inst.type] += finish - start;
-  ++result_.per_type_served[inst.type];
-  if (latency_ms > spec_.qos_ms) ++result_.violations;
-  if (run_options_.keep_records) {
-    result_.records.push_back(ServedRecord{q.id, q.batch_size, inst.type,
-                                           instance_idx, q.arrival, start,
-                                           finish});
-  }
-
-  // Feed the online predictor with the *serving* latency (queueing time is
-  // not part of the latency surface).
-  predictor_->Observe(inst.type, q.batch_size, SecToMs(finish - start));
-
-  if (run_options_.abort_violation_fraction > 0.0 && result_.offered > 0) {
-    const double frac = static_cast<double>(result_.violations) /
-                        static_cast<double>(result_.offered);
-    if (frac > run_options_.abort_violation_fraction) {
-      abort_requested_ = true;
-      return;
+    const Status status = engine.Submit(q);
+    if (!status.ok()) {
+      throw std::invalid_argument("ServingSystem::Run: " + status.message());
     }
   }
-
-  StartIfIdle(instance_idx);
-  RunRound();
-}
-
-void ServingSystem::StartIfIdle(std::size_t instance_idx) {
-  Instance& inst = instances_[instance_idx];
-  if (!inst.executing && !inst.fifo.empty()) {
-    const workload::Query next = inst.fifo.front();
-    inst.fifo.pop_front();
-    BeginExecution(instance_idx, next);
-  }
+  engine.Drain();
+  return engine.Totals();
 }
 
 }  // namespace kairos::serving

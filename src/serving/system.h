@@ -1,14 +1,19 @@
-// The serving-system simulator: a heterogeneous pool of instances, a
-// central query queue, and a pluggable distribution policy, driven by the
+// The batch serving-system entry point: a heterogeneous pool of instances,
+// a central query queue, and a pluggable distribution policy, driven by the
 // discrete-event engine. This is the experimental substrate standing in
 // for the paper's EC2 + gRPC deployment (DESIGN.md Sec. 1).
+//
+// Since the streaming redesign (DESIGN.md Sec. 8), ServingSystem is a thin
+// compatibility shim: Run() submits the whole trace to a fresh
+// serving::Engine and drains it, which reproduces the historical batch
+// semantics bit for bit. Online callers — continuous arrivals, windowed
+// metrics, mid-run mutation — should use serving::Engine directly.
 //
 // Event flow per run:
 //   arrival  -> enqueue -> policy round -> dispatch/commit
 //   complete -> record latency, observe predictor -> policy round
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -18,7 +23,6 @@
 #include "policy/policy.h"
 #include "serving/instance.h"
 #include "serving/latency_predictor.h"
-#include "sim/simulator.h"
 #include "workload/trace.h"
 
 namespace kairos::serving {
@@ -58,12 +62,15 @@ struct RunResult {
   double p99_ms = 0.0;          ///< 99th-percentile end-to-end latency
   double mean_ms = 0.0;
   Time makespan = 0.0;          ///< last completion time
-  double throughput_qps = 0.0;  ///< served / makespan
+  /// served / makespan; 0 (never NaN) when nothing completed — an empty
+  /// trace or a run whose every query was still queued at abort time.
+  double throughput_qps = 0.0;
 
-  /// True when the run can claim "allowable" status: everything served and
-  /// the p99 within QoS.
+  /// True when the run can claim "allowable" status: a non-empty offered
+  /// load, everything served, and the p99 within QoS. A zero-offered run
+  /// never qualifies — it demonstrated nothing.
   bool QosMet(double qos_ms) const {
-    return !aborted && served == offered && p99_ms <= qos_ms;
+    return !aborted && offered > 0 && served == offered && p99_ms <= qos_ms;
   }
 
   std::vector<double> latencies_ms;     ///< per served query
@@ -72,7 +79,8 @@ struct RunResult {
   std::vector<std::size_t> per_type_served;  ///< completions per TypeId
 };
 
-/// One simulated heterogeneous serving deployment.
+/// One simulated heterogeneous serving deployment (batch shim over
+/// serving::Engine; see the file comment).
 class ServingSystem {
  public:
   /// The spec's catalog/truth must outlive the system.
@@ -80,35 +88,18 @@ class ServingSystem {
                 PredictorOptions predictor_options = {},
                 RunOptions run_options = {});
 
-  /// Simulates serving the trace to completion (or early abort). Resets all
-  /// state first, so a system can be reused across runs.
+  /// Simulates serving the trace to completion (or early abort) on a fresh
+  /// engine, so a system can be reused across runs.
   RunResult Run(const workload::Trace& trace);
 
   const policy::Policy& GetPolicy() const { return *policy_; }
   const SystemSpec& spec() const { return spec_; }
 
  private:
-  void Reset();
-  void OnArrival(const workload::Query& q);
-  void RunRound();
-  void StartIfIdle(std::size_t instance_idx);
-  void BeginExecution(std::size_t instance_idx, const workload::Query& q);
-  void OnCompletion(std::size_t instance_idx, workload::Query q, Time start);
-  std::vector<InstanceView> SnapshotInstances() const;
-
   SystemSpec spec_;
   std::unique_ptr<policy::Policy> policy_;
   PredictorOptions predictor_options_;
   RunOptions run_options_;
-
-  // Per-run state.
-  sim::Simulator sim_;
-  std::unique_ptr<LatencyPredictor> predictor_;
-  std::vector<Instance> instances_;
-  std::deque<workload::Query> waiting_;
-  RunResult result_;
-  double qos_sec_ = 0.0;
-  bool abort_requested_ = false;
 };
 
 }  // namespace kairos::serving

@@ -2,6 +2,7 @@
 // (serving/system.h) drives its instances and controller through this.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 
 #include "sim/event_queue.h"
@@ -30,6 +31,16 @@ class Simulator {
 
   /// Fires exactly one event if any; returns whether one fired.
   bool Step();
+
+  /// Time of the next pending event; kTimeInfinity when idle. Lets a
+  /// driver (serving::Engine::AdvanceTo) fire events one at a time up to a
+  /// horizon while checking its own stop conditions between events.
+  Time NextEventTime() const { return queue_.NextTime(); }
+
+  /// Moves the clock forward to `t` without firing anything (no-op when
+  /// `t` is in the past). Used by streaming drivers so a quiet engine
+  /// still reports Now() == the advance horizon.
+  void FastForward(Time t) { now_ = std::max(now_, t); }
 
   /// True when no pending events remain.
   bool Idle() const { return queue_.Empty(); }

@@ -1,0 +1,190 @@
+#include "workload/query_source.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace kairos::workload {
+namespace {
+
+/// Fixed batch size for the pure-arrival-process sources.
+class FixedBatches final : public BatchDistribution {
+ public:
+  explicit FixedBatches(int batch) : batch_(batch < 1 ? 1 : batch) {}
+
+  int Sample(Rng&) const override { return batch_; }
+  double Cdf(int b) const override { return b >= batch_ ? 1.0 : 0.0; }
+  std::string Name() const override {
+    return "fixed(" + std::to_string(batch_) + ")";
+  }
+
+ private:
+  int batch_;
+};
+
+Status BadRate(const std::string& source, double rate) {
+  return Status::InvalidArgument(source + " source: rate_qps must be positive, got " +
+                                 std::to_string(rate));
+}
+
+StatusOr<std::unique_ptr<QuerySource>> BuildProcess(
+    const QuerySourceSpec& spec, std::unique_ptr<ArrivalProcess> arrivals,
+    std::unique_ptr<BatchDistribution> batches) {
+  return std::unique_ptr<QuerySource>(std::make_unique<ProcessSource>(
+      std::move(arrivals), std::move(batches), spec.limit));
+}
+
+const QuerySourceRegistrar kTraceSource(
+    "TRACE", "replay a materialized workload::Trace exactly",
+    [](const QuerySourceSpec& spec) -> StatusOr<std::unique_ptr<QuerySource>> {
+      if (spec.trace.empty()) {
+        return Status::InvalidArgument(
+            "TRACE source: spec.trace must be a non-empty trace");
+      }
+      return std::unique_ptr<QuerySource>(
+          std::make_unique<TraceSource>(spec.trace));
+    });
+
+const QuerySourceRegistrar kPoissonSource(
+    "POISSON", "Poisson arrivals at rate_qps with a fixed batch size",
+    [](const QuerySourceSpec& spec) -> StatusOr<std::unique_ptr<QuerySource>> {
+      if (spec.rate_qps <= 0.0) return BadRate("POISSON", spec.rate_qps);
+      return BuildProcess(spec,
+                          std::make_unique<PoissonArrivals>(spec.rate_qps),
+                          std::make_unique<FixedBatches>(spec.batch));
+    });
+
+const QuerySourceRegistrar kUniformSource(
+    "UNIFORM", "fixed-gap arrivals at rate_qps with a fixed batch size",
+    [](const QuerySourceSpec& spec) -> StatusOr<std::unique_ptr<QuerySource>> {
+      if (spec.rate_qps <= 0.0) return BadRate("UNIFORM", spec.rate_qps);
+      return BuildProcess(spec,
+                          std::make_unique<UniformArrivals>(spec.rate_qps),
+                          std::make_unique<FixedBatches>(spec.batch));
+    });
+
+const QuerySourceRegistrar kGaussianSource(
+    "GAUSSIAN", "Poisson arrivals with the Gaussian sensitivity batch mix",
+    [](const QuerySourceSpec& spec) -> StatusOr<std::unique_ptr<QuerySource>> {
+      if (spec.rate_qps <= 0.0) return BadRate("GAUSSIAN", spec.rate_qps);
+      return BuildProcess(spec,
+                          std::make_unique<PoissonArrivals>(spec.rate_qps),
+                          std::make_unique<GaussianBatches>(
+                              GaussianBatches::Default()));
+    });
+
+const QuerySourceRegistrar kProductionSource(
+    "PRODUCTION",
+    "Poisson arrivals with the production log-normal batch mix",
+    [](const QuerySourceSpec& spec) -> StatusOr<std::unique_ptr<QuerySource>> {
+      if (spec.rate_qps <= 0.0) return BadRate("PRODUCTION", spec.rate_qps);
+      return BuildProcess(spec,
+                          std::make_unique<PoissonArrivals>(spec.rate_qps),
+                          std::make_unique<LogNormalBatches>(
+                              LogNormalBatches::Production()));
+    });
+
+}  // namespace
+
+TraceSource::TraceSource(Trace trace) : trace_(std::move(trace)) {}
+
+std::optional<Emission> TraceSource::Next(Rng&) {
+  if (next_ >= trace_.size()) return std::nullopt;
+  const std::vector<workload::Query>& queries = trace_.queries();
+  const Time previous = next_ == 0 ? 0.0 : queries[next_ - 1].arrival;
+  Emission emission;
+  emission.gap = queries[next_].arrival - previous;
+  emission.batch = queries[next_].batch_size;
+  ++next_;
+  return emission;
+}
+
+ProcessSource::ProcessSource(std::unique_ptr<ArrivalProcess> arrivals,
+                             std::unique_ptr<BatchDistribution> batches,
+                             std::size_t limit)
+    : arrivals_(std::move(arrivals)),
+      batches_(std::move(batches)),
+      limit_(limit) {}
+
+std::optional<Emission> ProcessSource::Next(Rng& rng) {
+  if (limit_ > 0 && emitted_ >= limit_) return std::nullopt;
+  ++emitted_;
+  Emission emission;
+  emission.gap = arrivals_->NextGap(rng);
+  emission.batch = batches_->Sample(rng);
+  return emission;
+}
+
+std::string ProcessSource::Name() const {
+  return arrivals_->Name() + "/" + batches_->Name();
+}
+
+QuerySourceRegistry& QuerySourceRegistry::Global() {
+  static QuerySourceRegistry* registry = new QuerySourceRegistry();
+  return *registry;
+}
+
+Status QuerySourceRegistry::Register(std::string name, std::string summary,
+                                     QuerySourceBuilder builder) {
+  const std::string canonical = CanonicalName(name);
+  if (canonical.empty()) {
+    return Status::InvalidArgument("query source name must be non-empty");
+  }
+  if (entries_.count(canonical) > 0) {
+    return Status::InvalidArgument("query source " + canonical +
+                                   " is already registered");
+  }
+  entries_[canonical] = Entry{std::move(summary), std::move(builder)};
+  return Status::Ok();
+}
+
+std::vector<std::string> QuerySourceRegistry::ListNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;  // std::map iterates in sorted order
+}
+
+bool QuerySourceRegistry::Contains(const std::string& name) const {
+  return entries_.count(CanonicalName(name)) > 0;
+}
+
+StatusOr<std::string> QuerySourceRegistry::Summary(
+    const std::string& name) const {
+  const auto it = entries_.find(CanonicalName(name));
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown query source \"" + name +
+                            "\"; registered sources: " +
+                            JoinComma(ListNames()));
+  }
+  return it->second.summary;
+}
+
+StatusOr<std::unique_ptr<QuerySource>> QuerySourceRegistry::Build(
+    const QuerySourceSpec& spec) const {
+  const auto it = entries_.find(CanonicalName(spec.source));
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown query source \"" + spec.source +
+                            "\"; registered sources: " +
+                            JoinComma(ListNames()));
+  }
+  return it->second.builder(spec);
+}
+
+QuerySourceRegistrar::QuerySourceRegistrar(std::string name,
+                                           std::string summary,
+                                           QuerySourceBuilder builder) {
+  // Registration conflicts at startup are programming errors; surface
+  // them loudly rather than silently shadowing a source.
+  const Status status = QuerySourceRegistry::Global().Register(
+      std::move(name), std::move(summary), std::move(builder));
+  if (!status.ok()) {
+    std::fprintf(stderr, "QuerySourceRegistrar: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace kairos::workload

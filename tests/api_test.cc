@@ -131,6 +131,21 @@ TEST(MakePolicyFactoryShimTest, StillThrowsButNamesAlternatives) {
   }
 }
 
+TEST(MakePolicyFactoryShimTest, ErrorTextIsTheSharedStatusFormatting) {
+  // The deprecated shim must not compose bespoke throw text: its message
+  // is exactly the registry Status rendered by Status::ToString, so shim
+  // and registry callers read the same diagnostics.
+  const std::string expected =
+      PolicyRegistry::Global().MakeFactory("FCFS++").status().ToString();
+  ASSERT_EQ(expected.rfind("NOT_FOUND: ", 0), 0u) << expected;
+  try {
+    core::MakePolicyFactory("FCFS++");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_EQ(std::string(e.what()), expected);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // PlannerRegistry / PlannerBackend
 // ---------------------------------------------------------------------------

@@ -1,0 +1,547 @@
+// Streaming-engine and query-source coverage (DESIGN.md Sec. 8): shim
+// equivalence with the batch path, the engine state machine, windowed-
+// metrics determinism across AdvanceTo step sizes, mid-run mutation
+// (arrival scale, policy swap, reconfiguration with launch lag), and the
+// QuerySource registry contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/kairos.h"
+#include "policy/kairos_policy.h"
+#include "policy/ribbon_policy.h"
+#include "serving/engine.h"
+#include "serving/system.h"
+#include "workload/query_source.h"
+#include "workload/trace.h"
+
+namespace kairos::serving {
+namespace {
+
+using cloud::Catalog;
+using cloud::Config;
+using latency::LatencyModel;
+using workload::Query;
+using workload::QuerySourceRegistry;
+using workload::QuerySourceSpec;
+using workload::Trace;
+
+// A tiny two-type catalog: fast base "B", slow aux "A".
+Catalog TinyCatalog() {
+  Catalog c;
+  c.Add({"base", "B", cloud::InstanceClass::kGpuAccelerated, 1.0, true});
+  c.Add({"aux", "A", cloud::InstanceClass::kGeneralPurposeCpu, 0.25, false});
+  return c;
+}
+
+// Base: 10ms + 0.1ms/item; aux: 20ms + 0.4ms/item.
+LatencyModel TinyModel() {
+  return LatencyModel({{10.0, 0.1}, {20.0, 0.4}});
+}
+
+SystemSpec TinySpec(const Catalog& catalog, const LatencyModel& model,
+                    std::vector<int> counts, double qos_ms = 200.0) {
+  SystemSpec spec;
+  spec.catalog = &catalog;
+  spec.config = Config(std::move(counts));
+  spec.truth = &model;
+  spec.qos_ms = qos_ms;
+  return spec;
+}
+
+Trace MediumTrace(double rate_qps = 30.0, std::size_t count = 200,
+                  std::uint64_t seed = 4) {
+  Rng rng(seed);
+  const auto mix = workload::LogNormalBatches::Production();
+  return Trace::Generate(workload::PoissonArrivals(rate_qps), mix, count, rng);
+}
+
+void ExpectSameRunResult(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.aborted, b.aborted);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.throughput_qps, b.throughput_qps);
+  ASSERT_EQ(a.latencies_ms.size(), b.latencies_ms.size());
+  for (std::size_t i = 0; i < a.latencies_ms.size(); ++i) {
+    EXPECT_EQ(a.latencies_ms[i], b.latencies_ms[i]) << "latency " << i;
+  }
+  EXPECT_EQ(a.per_type_busy, b.per_type_busy);
+  EXPECT_EQ(a.per_type_served, b.per_type_served);
+}
+
+// --- Batch shims reproduce the engine bit for bit. ---
+
+TEST(EngineShimTest, ServingSystemRunEqualsManualSubmitDrain) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  const Trace trace = MediumTrace();
+
+  ServingSystem system(TinySpec(catalog, truth, {1, 2}),
+                       std::make_unique<policy::KairosPolicy>());
+  const RunResult batch = system.Run(trace);
+
+  Engine engine(TinySpec(catalog, truth, {1, 2}),
+                std::make_unique<policy::KairosPolicy>());
+  for (const Query& q : trace.queries()) {
+    ASSERT_TRUE(engine.Submit(q).ok());
+  }
+  engine.Drain();
+  ExpectSameRunResult(batch, engine.Totals());
+}
+
+TEST(EngineShimTest, RuntimeServeEqualsEngineOnPaperPool) {
+  const Catalog catalog = Catalog::PaperPool();
+  const auto spec = latency::FindModel("WND");
+  const auto truth = spec.Instantiate(catalog);
+  core::Runtime runtime(catalog, Config({1, 0, 2, 0}), truth, spec.qos_ms);
+  const Trace trace = MediumTrace(50.0, 300, 3);
+  const RunResult via_shim = runtime.Serve(trace);
+
+  auto engine = runtime.MakeEngine();
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  for (const Query& q : trace.queries()) {
+    ASSERT_TRUE((*engine)->Submit(q).ok());
+  }
+  (*engine)->Drain();
+  ExpectSameRunResult(via_shim, (*engine)->Totals());
+}
+
+// --- State machine and submission rules. ---
+
+TEST(EngineTest, StateMachineServingDrainingDrained) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>());
+  EXPECT_EQ(engine.state(), EngineState::kServing);
+  ASSERT_TRUE(engine.Submit(Query{0, 10, 0.5}).ok());
+  engine.Drain();
+  EXPECT_EQ(engine.state(), EngineState::kDrained);
+
+  const Status late = engine.Submit(Query{1, 10, 1.0});
+  EXPECT_EQ(late.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(late.message().find("DRAINED"), std::string::npos);
+  EXPECT_EQ(engine.SetArrivalScale(2.0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.Reconfigure(Config({2, 0})).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, SubmitInThePastIsInvalid) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>());
+  engine.AdvanceTo(5.0);
+  EXPECT_EQ(engine.Submit(Query{0, 10, 1.0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(engine.Submit(Query{0, 10, 5.0}).ok());
+}
+
+TEST(EngineTest, AdvanceToLandsTheClockExactly) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>());
+  EXPECT_EQ(engine.AdvanceTo(3.5), 0u);
+  EXPECT_DOUBLE_EQ(engine.Now(), 3.5);
+  // Moving backwards is a no-op, not a rewind.
+  engine.AdvanceTo(1.0);
+  EXPECT_DOUBLE_EQ(engine.Now(), 3.5);
+}
+
+TEST(EngineTest, CreateRejectsBadSpecsWithStatus) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  SystemSpec no_catalog = TinySpec(catalog, truth, {1, 0});
+  no_catalog.catalog = nullptr;
+  EXPECT_EQ(Engine::Create(no_catalog, std::make_unique<policy::KairosPolicy>())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Engine::Create(TinySpec(catalog, truth, {0, 0}),
+                           std::make_unique<policy::KairosPolicy>())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      Engine::Create(TinySpec(catalog, truth, {1, 0}), nullptr).status().code(),
+      StatusCode::kInvalidArgument);
+  // The throwing constructor enforces the same validation list.
+  EXPECT_THROW(Engine(TinySpec(catalog, truth, {0, 0}),
+                      std::make_unique<policy::KairosPolicy>()),
+               std::invalid_argument);
+}
+
+// --- Zero-offered runs (the throughput/QosMet regression). ---
+
+TEST(EngineTest, EmptyRunReportsZeroThroughputAndFailsQos) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>());
+  engine.Drain();
+  const RunResult r = engine.Totals();
+  EXPECT_EQ(r.offered, 0u);
+  EXPECT_EQ(r.served, 0u);
+  EXPECT_EQ(r.throughput_qps, 0.0);  // 0/0 must not surface as NaN
+  EXPECT_FALSE(r.QosMet(200.0));     // an empty run demonstrates nothing
+
+  ServingSystem system(TinySpec(catalog, truth, {1, 0}),
+                       std::make_unique<policy::KairosPolicy>());
+  const RunResult batch = system.Run(Trace{});
+  EXPECT_EQ(batch.throughput_qps, 0.0);
+  EXPECT_FALSE(batch.QosMet(200.0));
+}
+
+// --- Windowed metrics. ---
+
+void ExpectSameWindow(const WindowedMetrics& a, const WindowedMetrics& b) {
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_EQ(a.offered_qps, b.offered_qps);
+  EXPECT_EQ(a.qps, b.qps);
+}
+
+TEST(EngineTest, WindowedMetricsBitIdenticalAcrossStepSizes) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+
+  // Same seed + same submission schedule, realized with different
+  // AdvanceTo granularities: one 2s stride vs. forty 0.05s strides.
+  auto make_engine = [&] {
+    EngineOptions options;
+    options.seed = 7;
+    options.run.abort_violation_fraction = 0.0;
+    return std::make_unique<Engine>(TinySpec(catalog, truth, {1, 1}),
+                                    std::make_unique<policy::KairosPolicy>(),
+                                    PredictorOptions{}, options);
+  };
+  auto make_source = [] {
+    QuerySourceSpec spec;
+    spec.source = "production";  // case-insensitive lookup
+    spec.rate_qps = 60.0;
+    return QuerySourceRegistry::Global().Build(spec);
+  };
+
+  auto coarse_engine = make_engine();
+  auto coarse_source = make_source();
+  ASSERT_TRUE(coarse_source.ok()) << coarse_source.status().ToString();
+  ASSERT_TRUE(coarse_engine->SubmitSource(**coarse_source).ok());
+
+  auto fine_engine = make_engine();
+  auto fine_source = make_source();
+  ASSERT_TRUE(fine_source.ok());
+  ASSERT_TRUE(fine_engine->SubmitSource(**fine_source).ok());
+
+  for (int window = 1; window <= 3; ++window) {
+    const Time horizon = 2.0 * window;
+    coarse_engine->AdvanceTo(horizon);
+    for (int step = 0; step < 40; ++step) {
+      fine_engine->AdvanceTo(horizon - 2.0 + 0.05 * (step + 1));
+    }
+    const WindowedMetrics coarse = coarse_engine->TakeWindow();
+    const WindowedMetrics fine = fine_engine->TakeWindow();
+    EXPECT_GT(coarse.offered, 0u);
+    ExpectSameWindow(coarse, fine);
+  }
+}
+
+TEST(EngineTest, TakeWindowResetsTheAccumulator) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>());
+  ASSERT_TRUE(engine.Submit(Query{0, 10, 0.5}).ok());
+  engine.AdvanceTo(1.0);
+  const WindowedMetrics first = engine.TakeWindow();
+  EXPECT_EQ(first.offered, 1u);
+  EXPECT_EQ(first.served, 1u);
+  EXPECT_DOUBLE_EQ(first.start, 0.0);
+  EXPECT_DOUBLE_EQ(first.end, 1.0);
+  engine.AdvanceTo(2.0);
+  const WindowedMetrics second = engine.TakeWindow();
+  EXPECT_DOUBLE_EQ(second.start, 1.0);
+  EXPECT_EQ(second.offered, 0u);
+  EXPECT_EQ(second.served, 0u);
+  EXPECT_EQ(second.qps, 0.0);
+}
+
+// --- Mid-run mutation. ---
+
+TEST(EngineTest, SetArrivalScaleRescalesSourceGaps) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  EngineOptions options;
+  options.run.abort_violation_fraction = 0.0;
+  Engine engine(TinySpec(catalog, truth, {2, 0}),
+                std::make_unique<policy::KairosPolicy>(), PredictorOptions{},
+                options);
+  QuerySourceSpec spec;
+  spec.source = "UNIFORM";
+  spec.rate_qps = 10.0;
+  auto source = QuerySourceRegistry::Global().Build(spec);
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(engine.SubmitSource(**source).ok());
+
+  engine.AdvanceTo(10.0);
+  const WindowedMetrics before = engine.TakeWindow();
+  ASSERT_TRUE(engine.SetArrivalScale(2.0).ok());
+  engine.AdvanceTo(20.0);
+  const WindowedMetrics after = engine.TakeWindow();
+  // Fixed 0.1s gaps: ~100 arrivals in the first window, ~200 once the
+  // gaps are halved (edge emissions make it inexact by one).
+  EXPECT_NEAR(static_cast<double>(before.offered), 100.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(after.offered), 200.0, 2.0);
+
+  EXPECT_EQ(engine.SetArrivalScale(0.0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, SwapPolicyMidRunTakesEffect) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  Engine engine(TinySpec(catalog, truth, {1, 1}),
+                std::make_unique<policy::KairosPolicy>());
+  EXPECT_EQ(engine.GetPolicy().Name(), "KAIROS");
+  ASSERT_TRUE(engine.Submit(Query{0, 50, 0.5}).ok());
+  engine.AdvanceTo(0.25);
+  ASSERT_TRUE(engine.SwapPolicy("ribbon").ok());  // case-insensitive
+  EXPECT_EQ(engine.GetPolicy().Name(), "RIBBON");
+  engine.Drain();
+  EXPECT_EQ(engine.Totals().served, 1u);
+
+  const Status unknown = engine.SwapPolicy("FCFS++");
+  EXPECT_EQ(unknown.code(), StatusCode::kFailedPrecondition);  // drained
+}
+
+TEST(EngineTest, SwapPolicyUnknownNameListsAlternatives) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>());
+  const Status unknown = engine.SwapPolicy("FCFS++");
+  EXPECT_EQ(unknown.code(), StatusCode::kNotFound);
+  EXPECT_NE(unknown.message().find("KAIROS"), std::string::npos);
+}
+
+TEST(EngineTest, ReconfigureLaunchesAfterLagAndDrainsRemoved) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  EngineOptions options;
+  options.launch_lag_s = 0.5;
+  options.run.abort_violation_fraction = 0.0;
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>(), PredictorOptions{},
+                options);
+  EXPECT_EQ(engine.ActiveInstances(), 1u);
+
+  // Scale out: the two new instances come online launch_lag_s later.
+  ASSERT_TRUE(engine.Reconfigure(Config({3, 0})).ok());
+  engine.AdvanceTo(0.4);
+  EXPECT_EQ(engine.ActiveInstances(), 1u);
+  engine.AdvanceTo(0.6);
+  EXPECT_EQ(engine.ActiveInstances(), 3u);
+  EXPECT_EQ(engine.target_config().Count(0), 3);
+
+  // Scale in: idle instances retire on the spot (nothing to drain).
+  ASSERT_TRUE(engine.Reconfigure(Config({1, 0})).ok());
+  EXPECT_EQ(engine.ActiveInstances(), 1u);
+
+  EXPECT_EQ(engine.Reconfigure(Config({1})).code(),
+            StatusCode::kInvalidArgument);  // arity mismatch
+  EXPECT_EQ(engine.Reconfigure(Config({0, 0})).code(),
+            StatusCode::kInvalidArgument);  // no instances
+}
+
+TEST(EngineTest, ReissuedReconfigureKeepsPendingLaunchesOnSchedule) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  EngineOptions options;
+  options.launch_lag_s = 1.0;
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>(), PredictorOptions{},
+                options);
+  // Re-issuing the same grown target faster than the launch lag must not
+  // reset the pending launches' clocks (a periodic reallocator would
+  // otherwise never gain capacity).
+  ASSERT_TRUE(engine.Reconfigure(Config({3, 0})).ok());
+  engine.AdvanceTo(0.4);
+  ASSERT_TRUE(engine.Reconfigure(Config({3, 0})).ok());
+  engine.AdvanceTo(0.8);
+  ASSERT_TRUE(engine.Reconfigure(Config({3, 0})).ok());
+  engine.AdvanceTo(1.1);
+  EXPECT_EQ(engine.ActiveInstances(), 3u);
+
+  // Shrinking back below the live count cancels nothing but retires; a
+  // shrink while launches are pending cancels those first.
+  ASSERT_TRUE(engine.Reconfigure(Config({5, 0})).ok());
+  ASSERT_TRUE(engine.Reconfigure(Config({3, 0})).ok());  // cancels the 2
+  engine.AdvanceTo(3.0);
+  EXPECT_EQ(engine.ActiveInstances(), 3u);
+}
+
+TEST(EngineTest, OfferedCountsArrivalsNotScheduledAheadEmissions) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  EngineOptions options;
+  options.run.abort_violation_fraction = 0.0;
+  Engine engine(TinySpec(catalog, truth, {2, 0}),
+                std::make_unique<policy::KairosPolicy>(), PredictorOptions{},
+                options);
+  QuerySourceSpec spec;
+  spec.source = "UNIFORM";
+  spec.rate_qps = 10.0;
+  auto source = QuerySourceRegistry::Global().Build(spec);
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(engine.SubmitSource(**source).ok());
+  engine.AdvanceTo(10.0);
+  // Fixed 0.1s gaps: arrivals at 0.1 .. 10.0 exactly; the emission
+  // already scheduled for 10.1 must not be in the ledger yet.
+  EXPECT_EQ(engine.Totals().offered, 100u);
+}
+
+TEST(EngineTest, DrainOnSharedClockStopsDespitePeerUnboundedSource) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  sim::Simulator clock;
+  EngineOptions options;
+  options.run.abort_violation_fraction = 0.0;
+  Engine a(TinySpec(catalog, truth, {1, 0}),
+           std::make_unique<policy::KairosPolicy>(), PredictorOptions{},
+           options, &clock);
+  Engine b(TinySpec(catalog, truth, {1, 0}),
+           std::make_unique<policy::KairosPolicy>(), PredictorOptions{},
+           options, &clock);
+  QuerySourceSpec spec;
+  spec.source = "UNIFORM";
+  spec.rate_qps = 20.0;
+  auto peer_source = QuerySourceRegistry::Global().Build(spec);
+  ASSERT_TRUE(peer_source.ok());
+  ASSERT_TRUE(b.SubmitSource(**peer_source).ok());  // unbounded peer
+
+  ASSERT_TRUE(a.Submit(Query{0, 10, 0.05}).ok());
+  ASSERT_TRUE(a.Submit(Query{1, 10, 0.15}).ok());
+  a.Drain();  // must terminate once a's two queries completed
+  EXPECT_EQ(a.state(), EngineState::kDrained);
+  const RunResult totals = a.Totals();
+  EXPECT_EQ(totals.offered, 2u);
+  EXPECT_EQ(totals.served, 2u);
+}
+
+TEST(EngineTest, ReconfigureExpandsServiceCapacityMidRun) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  EngineOptions options;
+  options.launch_lag_s = 0.2;
+  options.run.abort_violation_fraction = 0.0;
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>(), PredictorOptions{},
+                options);
+  // Batch-100 queries cost 20ms on base: 100 QPS offered saturates 1
+  // instance (capacity 50/s) but not 3.
+  QuerySourceSpec spec;
+  spec.source = "UNIFORM";
+  spec.rate_qps = 100.0;
+  spec.batch = 100;
+  auto source = QuerySourceRegistry::Global().Build(spec);
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(engine.SubmitSource(**source).ok());
+
+  engine.AdvanceTo(2.0);
+  const WindowedMetrics congested = engine.TakeWindow();
+  ASSERT_TRUE(engine.Reconfigure(Config({3, 0})).ok());
+  engine.AdvanceTo(4.0);
+  const WindowedMetrics relieved = engine.TakeWindow();
+  EXPECT_LT(congested.qps, 55.0);  // single-instance ceiling
+  EXPECT_GT(relieved.qps, 95.0);   // backlog drains at 3-instance capacity
+}
+
+// --- QuerySource registry. ---
+
+TEST(QuerySourceTest, RegistryListsTheFiveSources) {
+  const auto names = QuerySourceRegistry::Global().ListNames();
+  for (const char* expected :
+       {"GAUSSIAN", "POISSON", "PRODUCTION", "TRACE", "UNIFORM"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(QuerySourceTest, RoundTripEveryRegisteredName) {
+  Rng rng(5);
+  for (const std::string& name : QuerySourceRegistry::Global().ListNames()) {
+    QuerySourceSpec spec;
+    spec.source = name;
+    spec.rate_qps = 25.0;
+    spec.limit = 4;
+    spec.trace = MediumTrace(25.0, 4);
+    auto source = QuerySourceRegistry::Global().Build(spec);
+    ASSERT_TRUE(source.ok()) << name << ": " << source.status().ToString();
+    const auto summary = QuerySourceRegistry::Global().Summary(name);
+    ASSERT_TRUE(summary.ok());
+    EXPECT_FALSE(summary->empty());
+    for (int i = 0; i < 4; ++i) {
+      const auto emission = (*source)->Next(rng);
+      ASSERT_TRUE(emission.has_value()) << name << " emission " << i;
+      EXPECT_GE(emission->gap, 0.0);
+      EXPECT_GE(emission->batch, 1);
+    }
+    // limit = 4 (and the 4-query trace) both exhaust here.
+    EXPECT_FALSE((*source)->Next(rng).has_value()) << name;
+  }
+}
+
+TEST(QuerySourceTest, UnknownNameIsNotFoundListingAlternatives) {
+  QuerySourceSpec spec;
+  spec.source = "WAT";
+  const auto source = QuerySourceRegistry::Global().Build(spec);
+  ASSERT_FALSE(source.ok());
+  EXPECT_EQ(source.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(source.status().message().find("POISSON"), std::string::npos);
+  EXPECT_NE(source.status().message().find("TRACE"), std::string::npos);
+  EXPECT_FALSE(QuerySourceRegistry::Global().Contains("WAT"));
+  EXPECT_TRUE(QuerySourceRegistry::Global().Contains("poisson"));
+}
+
+TEST(QuerySourceTest, BadParametersAreInvalidArgument) {
+  QuerySourceSpec bad_rate;
+  bad_rate.source = "POISSON";
+  bad_rate.rate_qps = -1.0;
+  EXPECT_EQ(QuerySourceRegistry::Global().Build(bad_rate).status().code(),
+            StatusCode::kInvalidArgument);
+
+  QuerySourceSpec empty_trace;
+  empty_trace.source = "TRACE";
+  EXPECT_EQ(QuerySourceRegistry::Global().Build(empty_trace).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QuerySourceTest, TraceSourceReplaysGapsAndBatchesExactly) {
+  const Trace trace({Query{0, 7, 0.25}, Query{1, 13, 0.25}, Query{2, 2, 1.0}});
+  workload::TraceSource source(trace);
+  Rng rng(1);
+  Time cumulative = 0.0;
+  for (const Query& q : trace.queries()) {
+    const auto emission = source.Next(rng);
+    ASSERT_TRUE(emission.has_value());
+    cumulative += emission->gap;
+    EXPECT_DOUBLE_EQ(cumulative, q.arrival);
+    EXPECT_EQ(emission->batch, q.batch_size);
+  }
+  EXPECT_FALSE(source.Next(rng).has_value());
+  source.Reset();
+  EXPECT_TRUE(source.Next(rng).has_value());
+}
+
+}  // namespace
+}  // namespace kairos::serving
