@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Guard the perf trajectory: compare a fresh BENCH_perf.json against the
+committed baseline and fail on any metric that regressed by more than the
+given factor (default 2x, direction-aware via each metric's
+higher_is_better flag).
+
+Usage: check_perf_regression.py CURRENT BASELINE [--factor 2.0]
+
+Metrics present in only one of the files are reported but never fail the
+check (new metrics need a baseline refresh, retired ones need cleanup).
+"""
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced BENCH_perf.json")
+    parser.add_argument("baseline", help="committed perf_baseline.json")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="allowed slowdown factor (default 2.0)")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)["metrics"]
+    with open(args.baseline) as f:
+        baseline = json.load(f)["metrics"]
+
+    failures = []
+    print(f"{'metric':40} {'baseline':>12} {'current':>12}  verdict")
+    for name in sorted(set(current) | set(baseline)):
+        if name not in current:
+            print(f"{name:40} {baseline[name]['value']:12.6g} {'-':>12}  "
+                  "missing from current (not enforced)")
+            continue
+        if name not in baseline:
+            print(f"{name:40} {'-':>12} {current[name]['value']:12.6g}  "
+                  "not in baseline (not enforced)")
+            continue
+        base = baseline[name]["value"]
+        cur = current[name]["value"]
+        higher = baseline[name].get("higher_is_better", True)
+        if base <= 0:
+            verdict = "skipped (non-positive baseline)"
+        elif higher and cur < base / args.factor:
+            verdict = f"FAIL (<{1 / args.factor:.2g}x baseline)"
+            failures.append(name)
+        elif not higher and cur > base * args.factor:
+            verdict = f"FAIL (>{args.factor:.2g}x baseline)"
+            failures.append(name)
+        else:
+            ratio = cur / base if higher else base / cur
+            verdict = f"ok ({ratio:.2f}x)"
+        print(f"{name:40} {base:12.6g} {cur:12.6g}  {verdict}")
+
+    if failures:
+        print(f"\nperf regression in: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,258 @@
+// The tracked perf-bench suite: machine-readable throughput numbers for
+// every hot path this repo optimizes, emitted as BENCH_perf.json so the
+// perf trajectory is diffable across commits (CI's perf-smoke job fails on
+// a >2x regression vs bench/baselines/perf_baseline.json).
+//
+// Metrics:
+//   * sim_events_per_sec           — raw discrete-event loop throughput
+//   * eval_trials_per_sec          — AllowableThroughput simulation trials/s
+//   * evals_per_sec_kairos_plus    — KAIROS+ planning, serial evaluation
+//   * evals_per_sec_kairos_plus_batched — same plan, batched eval frontier
+//   * plans_per_sec_kairos         — one-shot (zero-evaluation) planning
+//   * serve_all_wall_s_{1,2,4,8}t  — 8-shard fleet co-simulation wall-clock
+//   * serve_all_speedup_8t         — wall(1 thread) / wall(8 threads)
+//
+// The co-simulation runs also assert the sharding contract: every thread
+// count must reproduce the 1-thread totals bit for bit, or the bench exits
+// non-zero.
+//
+// Usage: perf_suite [output.json] [tiny|full]
+//   tiny — CI-sized inputs (seconds); the committed baseline uses tiny.
+//   full — larger inputs for local measurement.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/fleet.h"
+#include "sim/simulator.h"
+#include "workload/batch_dist.h"
+
+namespace kairos::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  bool higher_is_better = true;
+};
+
+/// Raw event-loop throughput: several interleaved self-rescheduling chains
+/// (the shape of engine source pulls + completions), with a cancellation on
+/// every hop to exercise the free list.
+Metric SimEventsPerSec(std::size_t total_events) {
+  sim::Simulator sim;
+  constexpr std::size_t kChains = 16;
+  std::size_t fired = 0;
+  std::function<void(double)> hop = [&](double gap) {
+    sim::EventId doomed = sim.After(gap * 2.0, [] {});
+    sim.Cancel(doomed);
+    ++fired;
+    if (fired < total_events) sim.After(gap, [&, gap] { hop(gap); });
+  };
+  const auto start = Clock::now();
+  for (std::size_t c = 0; c < kChains; ++c) {
+    const double gap = 0.9 + 0.01 * static_cast<double>(c);
+    sim.After(gap, [&, gap] { hop(gap); });
+  }
+  sim.RunUntil();
+  const double wall = SecondsSince(start);
+  // Count the cancelled companions too: Schedule+Cancel is queue work.
+  return {"sim_events_per_sec", 2.0 * static_cast<double>(fired) / wall, true};
+}
+
+/// AllowableThroughput trials/sec on the paper pool — the expensive unit
+/// every search evaluation is made of.
+Metric EvalTrialsPerSec(std::size_t queries, int rounds) {
+  const cloud::Catalog catalog = cloud::Catalog::PaperPool();
+  ModelBench bench(catalog, "WND", /*budget=*/2.5);
+  const auto mix = workload::LogNormalBatches::Production();
+  const auto factory =
+      OrDie(policy::PolicyRegistry::Global().MakeFactory("KAIROS", {}));
+  serving::EvalOptions opt;
+  opt.queries = queries;
+  opt.rate_guess = 30.0;
+  int trials = 0;
+  const auto start = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    const auto result =
+        serving::EvaluateConfig(catalog, cloud::Config({2, 1, 1, 0}),
+                                bench.truth, bench.qos_ms, factory, mix, opt);
+    trials += result.trials;
+  }
+  const double wall = SecondsSince(start);
+  return {"eval_trials_per_sec", static_cast<double>(trials) / wall, true};
+}
+
+/// KAIROS+ planning throughput in evaluations/sec, serial vs batched
+/// frontier (same SearchResult by construction; asserted here).
+std::vector<Metric> PlannerEvalsPerSec(std::size_t queries,
+                                       std::size_t max_evals) {
+  const cloud::Catalog catalog = cloud::Catalog::PaperPool();
+  ModelBench bench(catalog, "WND", /*budget=*/3.0);
+  const auto mix = workload::LogNormalBatches::Production();
+  const auto monitor = core::MonitorFromMix(mix, 4000, /*seed=*/7);
+  const auto factory =
+      OrDie(policy::PolicyRegistry::Global().MakeFactory("KAIROS", {}));
+  serving::EvalOptions eval_opt;
+  eval_opt.queries = queries;
+  eval_opt.rate_guess = 30.0;
+  const search::EvalFn eval = [&](const cloud::Config& c) {
+    return serving::EvaluateConfig(catalog, c, bench.truth, bench.qos_ms,
+                                   factory, mix, eval_opt)
+        .qps;
+  };
+
+  std::vector<Metric> metrics;
+  core::PlannerOutcome serial_outcome, batched_outcome;
+  for (const bool batched : {false, true}) {
+    search::SearchOptions search;
+    search.max_evals = max_evals;
+    search.eval_threads = batched ? 0 : 1;  // 0 = hardware concurrency
+    const auto start = Clock::now();
+    const auto outcome = bench.PlanWith("KAIROS+", monitor, eval, search);
+    const double wall = SecondsSince(start);
+    metrics.push_back({batched ? "evals_per_sec_kairos_plus_batched"
+                               : "evals_per_sec_kairos_plus",
+                       static_cast<double>(outcome.evaluations) / wall, true});
+    (batched ? batched_outcome : serial_outcome) = outcome;
+  }
+  if (!(serial_outcome.config == batched_outcome.config) ||
+      serial_outcome.evaluations != batched_outcome.evaluations) {
+    std::cerr << "FATAL: batched KAIROS+ diverged from serial ("
+              << serial_outcome.config.ToString() << "/"
+              << serial_outcome.evaluations << " vs "
+              << batched_outcome.config.ToString() << "/"
+              << batched_outcome.evaluations << ")\n";
+    std::exit(1);
+  }
+
+  // One-shot planning passes (zero evaluations) for the registry default.
+  {
+    int plans = 0;
+    const auto start = Clock::now();
+    double wall = 0.0;
+    while ((wall = SecondsSince(start)) < 0.5) {
+      (void)bench.PlanWith("KAIROS", monitor);
+      ++plans;
+    }
+    metrics.push_back(
+        {"plans_per_sec_kairos", static_cast<double>(plans) / wall, true});
+  }
+  return metrics;
+}
+
+/// 8-shard fleet co-simulation wall-clock at 1/2/4/8 serve threads, with a
+/// bit-identity check of every run against the 1-thread totals.
+std::vector<Metric> ServeAllWallClock(double duration_s) {
+  static const cloud::Catalog catalog = cloud::Catalog::PaperPool();
+  core::FleetOptions options;
+  options.budget_per_hour = 24.0;
+  auto fleet = OrDie(core::Fleet::Create(
+      catalog,
+      {core::FleetModelOptions{.model = "NCF"},
+       core::FleetModelOptions{.model = "RM2"},
+       core::FleetModelOptions{.model = "WND"},
+       core::FleetModelOptions{.model = "MT-WND"},
+       core::FleetModelOptions{.model = "DIEN"},
+       core::FleetModelOptions{.model = "NCF", .name = "NCF-B"},
+       core::FleetModelOptions{.model = "WND", .name = "WND-B"},
+       core::FleetModelOptions{.model = "RM2", .name = "RM2-B"}},
+      options));
+  fleet.ObserveMixAll(workload::LogNormalBatches::Production());
+  const auto plan = OrDie(fleet.PlanAll());
+
+  core::FleetServeOptions serve;
+  serve.duration_s = duration_s;
+  serve.base_rate_qps = 60.0;
+  serve.window_s = 5.0;
+
+  std::vector<Metric> metrics;
+  double wall_1t = 0.0;
+  core::FleetServeResult reference;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    serve.serve_threads = threads;
+    if (threads == 1) (void)OrDie(fleet.ServeAll(plan, serve));  // warm-up
+    const auto start = Clock::now();
+    auto result = OrDie(fleet.ServeAll(plan, serve));
+    const double wall = SecondsSince(start);
+    if (threads == 1) {
+      wall_1t = wall;
+      reference = std::move(result);
+    } else if (result.total_weighted_qps != reference.total_weighted_qps ||
+               result.models.size() != reference.models.size()) {
+      std::cerr << "FATAL: ServeAll with " << threads
+                << " threads diverged from the 1-thread run\n";
+      std::exit(1);
+    }
+    metrics.push_back({"serve_all_wall_s_" + std::to_string(threads) + "t",
+                       wall, /*higher_is_better=*/false});
+    if (threads == 8) {
+      metrics.push_back({"serve_all_speedup_8t", wall_1t / wall, true});
+    }
+  }
+  return metrics;
+}
+
+int Main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_perf.json";
+  const std::string mode = argc > 2 ? argv[2] : "full";
+  const bool tiny = mode == "tiny";
+  if (!tiny && mode != "full") {
+    std::cerr << "usage: perf_suite [output.json] [tiny|full]\n";
+    return 2;
+  }
+
+  std::vector<Metric> metrics;
+  std::cout << "perf_suite (" << mode << ") on "
+            << std::thread::hardware_concurrency() << " hardware threads\n";
+
+  metrics.push_back(SimEventsPerSec(tiny ? 200000 : 2000000));
+  metrics.push_back(EvalTrialsPerSec(tiny ? 150 : 600, tiny ? 3 : 8));
+  for (Metric& m : PlannerEvalsPerSec(tiny ? 150 : 500, tiny ? 8 : 24)) {
+    metrics.push_back(std::move(m));
+  }
+  for (Metric& m : ServeAllWallClock(tiny ? 120.0 : 480.0)) {
+    metrics.push_back(std::move(m));
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"perf_suite\",\n";
+  out << "  \"mode\": \"" << mode << "\",\n";
+  out << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"metrics\": {\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.6g", metrics[i].value);
+    out << "    \"" << metrics[i].name << "\": {\"value\": " << value
+        << ", \"higher_is_better\": "
+        << (metrics[i].higher_is_better ? "true" : "false") << "}"
+        << (i + 1 < metrics.size() ? "," : "") << "\n";
+    std::cout << "  " << metrics[i].name << " = " << value << "\n";
+  }
+  out << "  }\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace kairos::bench
+
+int main(int argc, char** argv) { return kairos::bench::Main(argc, argv); }

@@ -50,6 +50,15 @@ double Config::SquaredDistance(const Config& other) const {
   return acc;
 }
 
+std::uint64_t Config::Fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (const int c : counts_) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(c));
+    h *= 0x100000001b3ull;  // FNV prime
+  }
+  return h;
+}
+
 std::string Config::ToString() const {
   std::ostringstream os;
   os << '(';

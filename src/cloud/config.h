@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,11 @@ class Config {
   /// "(3, 1, 3)" formatting used throughout the paper.
   std::string ToString() const;
 
+  /// 64-bit FNV-1a fingerprint of the count vector. Equal configs share a
+  /// fingerprint; it keys the search memo's unordered containers (see
+  /// cloud::ConfigHash), which sit on the evaluation hot path.
+  std::uint64_t Fingerprint() const;
+
   friend bool operator==(const Config& a, const Config& b) {
     return a.counts_ == b.counts_;
   }
@@ -51,6 +57,13 @@ class Config {
 
  private:
   std::vector<int> counts_;
+};
+
+/// Hash functor over Config::Fingerprint() for unordered containers.
+struct ConfigHash {
+  std::size_t operator()(const Config& c) const {
+    return static_cast<std::size_t>(c.Fingerprint());
+  }
 };
 
 }  // namespace kairos::cloud

@@ -83,10 +83,21 @@ void ParallelFor(std::size_t n, std::size_t threads,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  ThreadPool pool(workers);
+  ParallelFor(pool, n, fn);
+}
+
+void ParallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = std::min(pool.thread_count(), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   // One task per worker pulling indices from a shared counter: cheap
   // dynamic load balancing without per-index queue traffic.
   std::atomic<std::size_t> next{0};
-  ThreadPool pool(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     pool.Submit([&] {
       for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <utility>
 
 #include "common/parallel.h"
@@ -73,6 +74,12 @@ StatusOr<Fleet> Fleet::Create(const cloud::Catalog& catalog,
   auto allocator = AllocatorRegistry::Global().Build(options.allocator);
   if (!allocator.ok()) return allocator.status();
 
+  // The fleet-unique serving name: the alias when given, the Table-3 name
+  // otherwise. Aliases let one fleet shard the same model several times.
+  const auto serve_name = [](const FleetModelOptions& m) -> const std::string& {
+    return m.name.empty() ? m.model : m.name;
+  };
+
   double total_weight = 0.0;
   for (const FleetModelOptions& m : models) {
     if (latency::TryFindModel(m.model) == nullptr) {
@@ -81,26 +88,27 @@ StatusOr<Fleet> Fleet::Create(const cloud::Catalog& catalog,
                               latency::ModelZooNames());
     }
     if (m.weight <= 0.0) {
-      return Status::InvalidArgument("model " + m.model +
+      return Status::InvalidArgument("model " + serve_name(m) +
                                      ": weight must be positive");
     }
     if (m.arrival_scale <= 0.0) {
-      return Status::InvalidArgument("model " + m.model +
+      return Status::InvalidArgument("model " + serve_name(m) +
                                      ": arrival_scale must be positive");
     }
     if (m.qos_scale <= 0.0) {
-      return Status::InvalidArgument("model " + m.model +
+      return Status::InvalidArgument("model " + serve_name(m) +
                                      ": qos_scale must be positive");
     }
     if (m.min_budget_per_hour < 0.0 || m.max_budget_per_hour < 0.0) {
       return Status::InvalidArgument(
-          "model " + m.model + ": budget bounds must be non-negative");
+          "model " + serve_name(m) + ": budget bounds must be non-negative");
     }
-    const auto dup = std::count_if(
-        models.begin(), models.end(),
-        [&](const FleetModelOptions& other) { return other.model == m.model; });
+    const auto dup = std::count_if(models.begin(), models.end(),
+                                   [&](const FleetModelOptions& other) {
+                                     return serve_name(other) == serve_name(m);
+                                   });
     if (dup > 1) {
-      return Status::InvalidArgument("model " + m.model +
+      return Status::InvalidArgument("model " + serve_name(m) +
                                      " listed more than once");
     }
     total_weight += m.weight;
@@ -117,16 +125,17 @@ StatusOr<Fleet> Fleet::Create(const cloud::Catalog& catalog,
                                : std::numeric_limits<double>::infinity();
     if (floor > ceiling) {
       return Status::InvalidArgument(
-          "model " + m.model + ": max budget " + FormatDollarsPerHour(ceiling) +
+          "model " + serve_name(m) + ": max budget " +
+          FormatDollarsPerHour(ceiling) +
           " is below the effective floor " + FormatDollarsPerHour(floor) +
           " (cheapest base instance " + FormatDollarsPerHour(*min_base) + ")");
     }
     auto trace = MakeTrace(m.trace);
     if (!trace.ok()) {
       return Status(trace.status().code(),
-                    "model " + m.model + ": " + trace.status().message());
+                    "model " + serve_name(m) + ": " + trace.status().message());
     }
-    fleet.names_.push_back(m.model);
+    fleet.names_.push_back(serve_name(m));
     fleet.budgets_.push_back(options.budget_per_hour * m.weight / total_weight);
     fleet.floors_.push_back(floor);
     fleet.ceilings_.push_back(ceiling);
@@ -142,7 +151,7 @@ StatusOr<Fleet> Fleet::Create(const cloud::Catalog& catalog,
     AllocationProblem problem;
     problem.budget_per_hour = options.budget_per_hour;
     for (std::size_t i = 0; i < models.size(); ++i) {
-      problem.models.push_back(AllocModel{models[i].model, models[i].weight,
+      problem.models.push_back(AllocModel{fleet.names_[i], models[i].weight,
                                           models[i].arrival_scale,
                                           fleet.floors_[i], fleet.ceilings_[i]});
     }
@@ -377,14 +386,19 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   }
 
   const std::size_t n = plan.models.size();
-  // One shared clock: every model's arrivals, completions, snapshots and
-  // reallocations interleave on this loop, deterministically (time-stable
-  // event queue). Declared before the engines so in-flight events (which
-  // hold engine pointers) are freed after the engines themselves.
-  sim::Simulator clock;
+  // Each model is one shard: its own engine on its own clock. Shards meet
+  // only at barriers — the merged grid of window boundaries and
+  // reallocation points — where the driving thread snapshots windows and
+  // re-splits the budget; between barriers they share no mutable state, so
+  // they advance concurrently and the outcome is bit-identical for every
+  // serve_threads value (and to the serial walk). Clocks are declared
+  // before the engines so in-flight events (which hold engine pointers)
+  // are freed after the engines themselves.
+  std::vector<std::unique_ptr<sim::Simulator>> clocks;
   std::vector<std::unique_ptr<serving::Engine>> engines;
   std::vector<std::unique_ptr<workload::QuerySource>> streams;
   std::vector<std::vector<serving::WindowedMetrics>> windows(n);
+  clocks.reserve(n);
   engines.reserve(n);
   streams.reserve(n);
 
@@ -398,7 +412,8 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     engine_options.run.abort_violation_fraction = 0.0;
     engine_options.launch_lag_s = options.launch_lag_s;
     engine_options.seed = options_.seed + 1000003 * (j + 1);
-    auto engine = runtime->MakeEngine(engine_options, &clock);
+    clocks.push_back(std::make_unique<sim::Simulator>());
+    auto engine = runtime->MakeEngine(engine_options, clocks.back().get());
     if (!engine.ok()) return engine.status();
 
     workload::QuerySourceSpec source_spec;
@@ -418,35 +433,40 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     streams.push_back(*std::move(stream));
   }
 
+  // Load shifts are per-shard events: scheduled on the owning shard's own
+  // clock, they fire inside that shard's barrier-to-barrier advance.
   for (const FleetLoadShift& shift : options.shifts) {
     for (std::size_t j = 0; j < n; ++j) {
       if (names_[indices[j]] != shift.model) continue;
       serving::Engine* engine = engines[j].get();
       const double scale = shift.arrival_scale;
-      clock.At(shift.time_s, [engine, scale] {
+      clocks[j]->At(shift.time_s, [engine, scale] {
         (void)engine->SetArrivalScale(scale);
       });
     }
   }
 
-  // Window boundaries are shared by every model; the horizon always closes
-  // the last (possibly partial) window. Boundaries are computed as
-  // k * window_s — not accumulated — so a non-representable window width
-  // cannot drift into a duplicate boundary just below the horizon.
+  // The barrier grid: window boundaries shared by every model (the horizon
+  // always closes the last, possibly partial, window) merged with the
+  // reallocation points. Boundaries are computed as k * period — not
+  // accumulated — so a non-representable width cannot drift into a
+  // duplicate boundary just below the horizon; a coinciding window and
+  // reallocation boundary runs the window snapshot first.
+  enum : unsigned { kWindowBarrier = 1u, kReallocBarrier = 2u };
+  std::map<Time, unsigned> barriers;
   for (std::size_t k = 1;; ++k) {
     const double t = static_cast<double>(k) * options.window_s;
     if (t >= options.duration_s - 1e-9) break;
-    clock.At(t, [&engines, &windows, n] {
-      for (std::size_t j = 0; j < n; ++j) {
-        windows[j].push_back(engines[j]->TakeWindow());
-      }
-    });
+    barriers[t] |= kWindowBarrier;
   }
-  clock.At(options.duration_s, [&engines, &windows, n] {
-    for (std::size_t j = 0; j < n; ++j) {
-      windows[j].push_back(engines[j]->TakeWindow());
+  barriers[options.duration_s] |= kWindowBarrier;
+  if (realloc) {
+    for (std::size_t k = 1;; ++k) {
+      const double t = static_cast<double>(k) * options.realloc_period_s;
+      if (t >= options.duration_s - 1e-9) break;
+      barriers[t] |= kReallocBarrier;
     }
-  });
+  }
 
   // Periodic allocator re-invocation: observed arrival rates become the
   // demand weights, the global budget is re-split, each model re-planned
@@ -458,85 +478,103 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   }
   Status realloc_status;  // first failure inside the loop, if any
   std::vector<std::size_t> offered_before(n, 0);
-  if (realloc) {
-    auto rebalance = [&] {
-      if (!realloc_status.ok()) return;
-      AllocationProblem problem;
-      problem.budget_per_hour = options_.budget_per_hour;
-      problem.step_per_hour = options_.allocation_step_per_hour;
-      problem.threads = options_.planning_threads;
-      for (std::size_t j = 0; j < n; ++j) {
-        const std::size_t i = indices[j];
-        const std::size_t offered_now = engines[j]->Offered();
-        const double observed_rate =
-            static_cast<double>(offered_now - offered_before[j]) /
-            options.realloc_period_s;
-        offered_before[j] = offered_now;
-        problem.models.push_back(
-            AllocModel{names_[i], model_options_[i].weight,
-                       std::max(observed_rate, 1e-6), floors_[i],
-                       ceilings_[i]});
+  auto rebalance = [&] {
+    AllocationProblem problem;
+    problem.budget_per_hour = options_.budget_per_hour;
+    problem.step_per_hour = options_.allocation_step_per_hour;
+    problem.threads = options_.planning_threads;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t i = indices[j];
+      const std::size_t offered_now = engines[j]->Offered();
+      const double observed_rate =
+          static_cast<double>(offered_now - offered_before[j]) /
+          options.realloc_period_s;
+      offered_before[j] = offered_now;
+      problem.models.push_back(
+          AllocModel{names_[i], model_options_[i].weight,
+                     std::max(observed_rate, 1e-6), floors_[i],
+                     ceilings_[i]});
+    }
+    problem.probe = [&](std::size_t j, double budget) -> StatusOr<double> {
+      const Kairos& session = sessions_[indices[j]];
+      PlannerContext ctx{&catalog_, &session.truth(), session.qos_ms(),
+                         budget};
+      PlanRequest request;
+      request.monitor = &session.monitor();
+      request.search = options.search;
+      auto outcome = (*backend)->Probe(ctx, request);
+      if (!outcome.ok()) return outcome.status();
+      return outcome->expected_qps;
+    };
+    auto split = (*allocator)->Allocate(problem);
+    if (!split.ok()) {
+      realloc_status = split.status();
+      return;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const Kairos& session = sessions_[indices[j]];
+      PlannerContext ctx{&catalog_, &session.truth(), session.qos_ms(),
+                         (*split)[j]};
+      PlanRequest request;
+      request.monitor = &session.monitor();
+      request.search = options.search;
+      if ((*backend)->NeedsEvaluations()) {
+        // Same wiring as PlanAll: evaluation-driven backends measure
+        // against the model's monitored mix (in a nested simulation —
+        // the co-simulation clock is untouched).
+        const workload::EmpiricalBatches mix = session.monitor().Snapshot();
+        request.eval = [&session, mix](const cloud::Config& config) {
+          serving::EvalOptions eval_options;
+          return session.MeasureThroughput(config, mix, eval_options).qps;
+        };
       }
-      problem.probe = [&](std::size_t j, double budget) -> StatusOr<double> {
-        const Kairos& session = sessions_[indices[j]];
-        PlannerContext ctx{&catalog_, &session.truth(), session.qos_ms(),
-                           budget};
-        PlanRequest request;
-        request.monitor = &session.monitor();
-        request.search = options.search;
-        auto outcome = (*backend)->Probe(ctx, request);
-        if (!outcome.ok()) return outcome.status();
-        return outcome->expected_qps;
-      };
-      auto split = (*allocator)->Allocate(problem);
-      if (!split.ok()) {
-        realloc_status = split.status();
+      auto outcome = (*backend)->Plan(ctx, request);
+      if (!outcome.ok()) {
+        realloc_status =
+            Status(outcome.status().code(), "model " + names_[indices[j]] +
+                                                ": " +
+                                                outcome.status().message());
         return;
       }
-      for (std::size_t j = 0; j < n; ++j) {
-        const Kairos& session = sessions_[indices[j]];
-        PlannerContext ctx{&catalog_, &session.truth(), session.qos_ms(),
-                           (*split)[j]};
-        PlanRequest request;
-        request.monitor = &session.monitor();
-        request.search = options.search;
-        if ((*backend)->NeedsEvaluations()) {
-          // Same wiring as PlanAll: evaluation-driven backends measure
-          // against the model's monitored mix (in a nested simulation —
-          // the co-simulation clock is untouched).
-          const workload::EmpiricalBatches mix = session.monitor().Snapshot();
-          request.eval = [&session, mix](const cloud::Config& config) {
-            serving::EvalOptions eval_options;
-            return session.MeasureThroughput(config, mix, eval_options).qps;
-          };
-        }
-        auto outcome = (*backend)->Plan(ctx, request);
-        if (!outcome.ok()) {
-          realloc_status =
-              Status(outcome.status().code(), "model " + names_[indices[j]] +
-                                                  ": " +
-                                                  outcome.status().message());
-          return;
-        }
-        const Status reconfigured =
-            engines[j]->Reconfigure(outcome->config);
-        if (!reconfigured.ok()) {
-          realloc_status = reconfigured;
-          return;
-        }
+      const Status reconfigured =
+          engines[j]->Reconfigure(outcome->config);
+      if (!reconfigured.ok()) {
+        realloc_status = reconfigured;
+        return;
       }
-      shares = *std::move(split);
-      ++reallocations;
-    };
-    for (std::size_t k = 1;; ++k) {
-      const double t = static_cast<double>(k) * options.realloc_period_s;
-      if (t >= options.duration_s - 1e-9) break;
-      clock.At(t, rebalance);
+    }
+    shares = *std::move(split);
+    ++reallocations;
+  };
+
+  // The barrier drive loop. Advancing a shard fires its own arrivals,
+  // completions, policy rounds and load shifts up to the barrier — work
+  // that never touches another shard — so the shards run concurrently on
+  // a pool reused across barriers. Window snapshots and reallocation run
+  // joined, on this thread, exactly as the single-threaded walk would.
+  const std::size_t workers = ParallelismFor(options.serve_threads, n);
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
+  auto advance_all = [&](Time t) {
+    if (pool != nullptr) {
+      ParallelFor(*pool, n,
+                  [&engines, t](std::size_t j) { engines[j]->AdvanceTo(t); });
+    } else {
+      for (std::size_t j = 0; j < n; ++j) engines[j]->AdvanceTo(t);
+    }
+  };
+  for (const auto& [t, kinds] : barriers) {
+    advance_all(t);
+    if ((kinds & kWindowBarrier) != 0) {
+      for (std::size_t j = 0; j < n; ++j) {
+        windows[j].push_back(engines[j]->TakeWindow());
+      }
+    }
+    if ((kinds & kReallocBarrier) != 0) {
+      rebalance();
+      if (!realloc_status.ok()) return realloc_status;
     }
   }
-
-  clock.RunUntil(options.duration_s);
-  if (!realloc_status.ok()) return realloc_status;
 
   FleetServeResult result;
   result.duration_s = options.duration_s;

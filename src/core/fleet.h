@@ -31,6 +31,12 @@ namespace kairos::core {
 /// One model served by the fleet.
 struct FleetModelOptions {
   std::string model;   ///< Table-3 name ("RM2", "DIEN", ...)
+  /// Fleet-unique serving name; "" defaults to `model`. Aliases let one
+  /// fleet serve several *independent* streams of the same Table-3 model
+  /// (multi-tenant shards, e.g. {"RM2-eu", "RM2-us"}), each with its own
+  /// session, budget share and traffic; every lookup (Session, Deploy,
+  /// load shifts, plan/serve results) goes by this name.
+  std::string name;
   /// Allocation prior: under STATIC the model receives
   /// weight / sum(weights) of the global budget; under MARGINAL the
   /// weight only breaks ties between equal marginal utilities. Must be
@@ -149,6 +155,12 @@ struct FleetServeOptions {
   double realloc_period_s = 0.0;
   /// Engine launch lag for mid-run reconfigurations, simulated seconds.
   double launch_lag_s = 1.0;
+  /// Threads advancing the per-model shards concurrently between barriers
+  /// (0 = hardware concurrency, 1 = serial). Any value produces
+  /// bit-identical results — shards only meet at barriers, so the windowed
+  /// metrics, totals and final allocations never depend on the thread
+  /// count (asserted by tests/fleet_serve_test.cc).
+  std::size_t serve_threads = 0;
   /// Scheduled arrival-rate changes.
   std::vector<FleetLoadShift> shifts;
   /// Planning knobs for the periodic re-plans.
@@ -242,9 +254,13 @@ class Fleet {
       const FleetPlan& plan, const workload::BatchDistribution& mix,
       serving::EvalOptions eval_options = {}) const;
 
-  /// Serves every model of `plan` *online*, co-simulated as shards of one
-  /// shared event loop (one sim::Simulator; a single global clock orders
-  /// all models' arrivals, completions, snapshots and reallocations).
+  /// Serves every model of `plan` *online*, co-simulated on one shared
+  /// window grid. Each model is a shard — its own engine on its own
+  /// clock — and all shards advance concurrently (serve_threads workers)
+  /// to each barrier of the merged window/reallocation grid, join, run
+  /// the shared step (window snapshots, budget reallocation) on the
+  /// driving thread, and repeat; shards share no mutable state between
+  /// barriers, so the results are bit-identical for every thread count.
   /// Each model streams from a registry-built QuerySource — its named
   /// trace mix when set, PRODUCTION otherwise — at
   /// base_rate_qps * arrival_scale_i, Poisson arrivals. FleetLoadShifts
@@ -274,7 +290,7 @@ class Fleet {
 
   const cloud::Catalog& catalog_;
   FleetOptions options_;
-  std::vector<std::string> names_;    ///< canonical model names
+  std::vector<std::string> names_;    ///< fleet-unique serving names
   std::vector<FleetModelOptions> model_options_;  ///< same order
   std::vector<double> budgets_;       ///< prior (weight-proportional) shares
   std::vector<double> floors_;        ///< effective per-model floors, $/hr

@@ -1,8 +1,14 @@
 #include "search/search.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace kairos::search {
+
+std::size_t FrontierWidth(std::size_t eval_threads) {
+  return ParallelismFor(eval_threads,
+                        std::numeric_limits<std::size_t>::max());
+}
 
 CountingEvaluator::CountingEvaluator(EvalFn fn) : fn_(std::move(fn)) {
   if (!fn_) throw std::invalid_argument("CountingEvaluator: null EvalFn");
@@ -10,7 +16,13 @@ CountingEvaluator::CountingEvaluator(EvalFn fn) : fn_(std::move(fn)) {
 
 double CountingEvaluator::operator()(const cloud::Config& config) {
   if (auto it = memo_.find(config); it != memo_.end()) return it->second;
-  const double qps = fn_(config);
+  double qps;
+  if (auto staged = staged_.find(config); staged != staged_.end()) {
+    qps = staged->second;  // commit the speculative result
+    staged_.erase(staged);
+  } else {
+    qps = fn_(config);
+  }
   memo_.emplace(config, qps);
   history_.push_back(EvalRecord{config, qps});
   if (qps > best_qps_ || history_.size() == 1) {
@@ -18,6 +30,44 @@ double CountingEvaluator::operator()(const cloud::Config& config) {
     best_config_ = config;
   }
   return qps;
+}
+
+void CountingEvaluator::EvaluateBatch(
+    const std::vector<cloud::Config>& configs, std::size_t threads) {
+  // Distinct configs not yet known; memoized and staged entries are paid
+  // for already. Frontiers are small (≈ the worker count), so the linear
+  // duplicate scan is cheaper than a set.
+  std::vector<const cloud::Config*> missing;
+  missing.reserve(configs.size());
+  for (const cloud::Config& c : configs) {
+    if (memo_.count(c) > 0 || staged_.count(c) > 0) continue;
+    const bool dup = std::any_of(
+        missing.begin(), missing.end(),
+        [&](const cloud::Config* seen) { return *seen == c; });
+    if (!dup) missing.push_back(&c);
+  }
+  if (missing.empty()) return;
+
+  std::vector<double> values(missing.size());
+  const std::size_t workers = ParallelismFor(threads, missing.size());
+  if (workers == 1) {
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      values[i] = fn_(*missing[i]);
+    }
+  } else {
+    // Size the pool for the *requested* width, not this batch's (a first
+    // batch that dedups down to 2 configs must not cap an 8-thread search
+    // at 2 workers forever); grow it if a later call asks wider.
+    const std::size_t width = FrontierWidth(threads);
+    if (pool_ == nullptr || pool_->thread_count() < width) {
+      pool_ = std::make_unique<ThreadPool>(width);
+    }
+    ParallelFor(*pool_, missing.size(),
+                [&](std::size_t i) { values[i] = fn_(*missing[i]); });
+  }
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    staged_.emplace(*missing[i], values[i]);
+  }
 }
 
 SearchResult CountingEvaluator::ToResult() const {

@@ -13,13 +13,18 @@ EvalResult AllowableThroughput(const SystemFactory& factory,
                                double qos_ms, const EvalOptions& options) {
   Rng rng(options.seed);
   const workload::PoissonArrivals unit_rate(1.0);
+  // The batch-size sequence is generated once per evaluation; every
+  // bracketing/bisection trial below replays it retimed into one reused
+  // scratch trace (no per-trial allocation — this is the hot inner loop of
+  // every search evaluation).
   const workload::Trace base =
       workload::Trace::Generate(unit_rate, mix, options.queries, rng);
+  workload::Trace trial;
 
   EvalResult result;
   auto passes = [&](double rate) {
     ++result.trials;
-    const workload::Trace trial = base.Retimed(rate);
+    base.RetimedInto(rate, &trial);
     const RunResult run = factory()->Run(trial);
     return run.QosMet(qos_ms);
   };

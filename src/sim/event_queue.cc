@@ -1,42 +1,74 @@
 #include "sim/event_queue.h"
 
 #include <cassert>
+#include <utility>
 
 namespace kairos::sim {
+namespace {
+constexpr std::uint64_t kSlotMask = 0xffffffffull;
+}  // namespace
 
 EventId EventQueue::Schedule(Time at, EventFn fn) {
-  const EventId id = fns_.size();
-  fns_.push_back(std::move(fn));
-  cancelled_.push_back(false);
-  heap_.push(Entry{at, next_seq_++, id});
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  heap_.push(Entry{at, next_seq_++, slot, s.generation});
   ++live_;
-  return id;
+  return (static_cast<EventId>(s.generation) << 32) | slot;
+}
+
+void EventQueue::Release(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  // Generation 0xFFFFFFFF is a retirement sentinel: once a slot exhausts
+  // its generation space it is never reused, so a hoarded stale id can
+  // never wrap around onto a future event (no ABA even across 2^32
+  // schedules of one slot). Costs one dead slot per 2^32 firings.
+  if (++s.generation != 0xFFFFFFFFu) free_.push_back(slot);
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (id >= cancelled_.size() || cancelled_[id] || !fns_[id]) return false;
-  cancelled_[id] = true;
+  const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].generation != generation) {
+    return false;  // already fired, already cancelled, or slot recycled
+  }
+  // The heap entry stays behind; DropStaleHead discards it lazily by
+  // generation mismatch once it reaches the head.
+  Release(slot);
   assert(live_ > 0);
   --live_;
   return true;
 }
 
-void EventQueue::DropCancelledHead() const {
-  while (!heap_.empty() && cancelled_[heap_.top().id]) heap_.pop();
+void EventQueue::DropStaleHead() const {
+  while (!heap_.empty() &&
+         slots_[heap_.top().slot].generation != heap_.top().generation) {
+    heap_.pop();
+  }
 }
 
 Time EventQueue::NextTime() const {
-  DropCancelledHead();
+  DropStaleHead();
   return heap_.empty() ? kTimeInfinity : heap_.top().at;
 }
 
 Time EventQueue::RunNext() {
-  DropCancelledHead();
+  DropStaleHead();
   assert(!heap_.empty());
   const Entry entry = heap_.top();
   heap_.pop();
-  EventFn fn = std::move(fns_[entry.id]);
-  fns_[entry.id] = nullptr;  // marks as fired
+  EventFn fn = std::move(slots_[entry.slot].fn);
+  // Recycle before firing: fn may schedule follow-up events and can take
+  // this very slot back under a fresh generation.
+  Release(entry.slot);
   --live_;
   fn();
   return entry.at;

@@ -1,5 +1,9 @@
 // Priority event queue for the discrete-event simulator. Ties in time break
-// by insertion sequence so replays are fully deterministic.
+// by insertion sequence so replays are fully deterministic. Fired and
+// cancelled events return their slots to a free list, so memory is bounded
+// by the number of *concurrently* pending events — long streaming runs
+// (serving::Engine sources re-scheduling forever) no longer grow without
+// bound.
 #pragma once
 
 #include <cstdint>
@@ -14,18 +18,23 @@ namespace kairos::sim {
 /// Callback executed when an event fires.
 using EventFn = std::function<void()>;
 
-/// Handle that allows cancelling a scheduled event.
+/// Handle that allows cancelling a scheduled event. Encodes a slot index
+/// plus the slot's generation at scheduling time, so a handle outlives its
+/// event safely: cancelling after the event fired — even after the slot
+/// was recycled for a newer event — is a guaranteed no-op.
 using EventId = std::uint64_t;
 
-/// Min-heap of timestamped events with stable ordering and O(log n)
-/// cancellation (lazy deletion).
+/// Min-heap of timestamped events with stable ordering, O(log n)
+/// cancellation (lazy deletion) and free-list slot reuse.
 class EventQueue {
  public:
   /// Schedules `fn` at absolute time `at`. Returns a cancellation handle.
   EventId Schedule(Time at, EventFn fn);
 
   /// Cancels a previously scheduled event. Cancelling an already-fired or
-  /// already-cancelled event is a no-op and returns false.
+  /// already-cancelled event is a no-op and returns false — including when
+  /// the event's slot has since been recycled for a newer event (the
+  /// generation tag in the id distinguishes them).
   bool Cancel(EventId id);
 
   /// True when no live events remain.
@@ -33,6 +42,11 @@ class EventQueue {
 
   /// Number of live (not cancelled, not fired) events.
   std::size_t Size() const { return live_; }
+
+  /// Slots currently backing the queue: the high-water mark of
+  /// *concurrently* scheduled events, not of events ever scheduled.
+  /// Bounded under steady-state churn (see sim_test's free-list case).
+  std::size_t SlotCount() const { return slots_.size(); }
 
   /// Time of the next live event; kTimeInfinity when empty.
   Time NextTime() const;
@@ -42,10 +56,15 @@ class EventQueue {
   Time RunNext();
 
  private:
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation = 0;  ///< bumped on release; stale ids no-op
+  };
   struct Entry {
     Time at;
     std::uint64_t seq;
-    EventId id;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -54,11 +73,16 @@ class EventQueue {
     }
   };
 
-  void DropCancelledHead() const;
+  /// Pops heap entries whose slot was already released (cancelled events,
+  /// detected by generation mismatch).
+  void DropStaleHead() const;
+
+  /// Recycles a slot: frees the callback, invalidates outstanding ids.
+  void Release(std::uint32_t slot);
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::vector<EventFn> fns_;        // indexed by EventId
-  std::vector<bool> cancelled_;     // indexed by EventId
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  ///< recycled slot indices
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
 };

@@ -38,15 +38,26 @@ Trace Trace::Generate(const ArrivalProcess& arrivals,
 }
 
 Trace Trace::Retimed(double new_rate_qps) const {
+  Trace out;
+  RetimedInto(new_rate_qps, &out);
+  return out;
+}
+
+void Trace::RetimedInto(double new_rate_qps, Trace* out) const {
   if (new_rate_qps <= 0.0) {
     throw std::invalid_argument("Trace::Retimed: rate must be positive");
   }
+  if (out == this) {
+    throw std::invalid_argument("Trace::RetimedInto: out aliases this");
+  }
   const double old_rate = OfferedRate();
-  if (old_rate <= 0.0) return *this;
+  // assign() reuses out's capacity; scaling by a positive factor preserves
+  // the sorted-by-arrival invariant, so the checking constructor is not
+  // needed here.
+  out->queries_.assign(queries_.begin(), queries_.end());
+  if (old_rate <= 0.0) return;
   const double scale = old_rate / new_rate_qps;
-  std::vector<Query> retimed = queries_;
-  for (Query& q : retimed) q.arrival *= scale;
-  return Trace(std::move(retimed));
+  for (Query& q : out->queries_) q.arrival *= scale;
 }
 
 }  // namespace kairos::workload

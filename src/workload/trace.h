@@ -40,6 +40,13 @@ class Trace {
   /// allowable-throughput evaluator so each rate trial sees the same mix.
   Trace Retimed(double new_rate_qps) const;
 
+  /// The allocation-free form of Retimed(): writes the retimed sequence
+  /// into `*out`, reusing its storage. The allowable-throughput evaluator
+  /// calls this once per bracketing/bisection trial against one scratch
+  /// trace instead of materializing a fresh query vector every trial.
+  /// Produces exactly Retimed(new_rate_qps); `out` must not alias `this`.
+  void RetimedInto(double new_rate_qps, Trace* out) const;
+
  private:
   std::vector<Query> queries_;
 };

@@ -5,7 +5,11 @@
 // baseline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
+#include <thread>
 
 #include "core/fleet.h"
 
@@ -178,6 +182,160 @@ TEST(FleetServeTest, ReallocationWorksWithEvaluationDrivenPlanners) {
   const auto result = fleet->ServeAll(*plan, serve);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->reallocations, 1u);
+}
+
+/// Field-by-field bitwise equality of two serve results (windows, totals,
+/// shares): the sharded loop must not leak any thread-count dependence.
+void ExpectBitIdentical(const FleetServeResult& a, const FleetServeResult& b) {
+  ASSERT_EQ(a.models.size(), b.models.size());
+  EXPECT_EQ(a.total_qps, b.total_qps);
+  EXPECT_EQ(a.total_weighted_qps, b.total_weighted_qps);
+  EXPECT_EQ(a.reallocations, b.reallocations);
+  ASSERT_EQ(a.final_shares_per_hour.size(), b.final_shares_per_hour.size());
+  for (std::size_t j = 0; j < a.final_shares_per_hour.size(); ++j) {
+    EXPECT_EQ(a.final_shares_per_hour[j], b.final_shares_per_hour[j]);
+  }
+  for (std::size_t j = 0; j < a.models.size(); ++j) {
+    const FleetModelServe& ma = a.models[j];
+    const FleetModelServe& mb = b.models[j];
+    EXPECT_EQ(ma.model, mb.model);
+    EXPECT_EQ(ma.qps, mb.qps);
+    EXPECT_EQ(ma.totals.offered, mb.totals.offered);
+    EXPECT_EQ(ma.totals.served, mb.totals.served);
+    EXPECT_EQ(ma.totals.violations, mb.totals.violations);
+    EXPECT_EQ(ma.totals.p99_ms, mb.totals.p99_ms);
+    EXPECT_EQ(ma.totals.mean_ms, mb.totals.mean_ms);
+    EXPECT_EQ(ma.totals.makespan, mb.totals.makespan);
+    ASSERT_EQ(ma.windows.size(), mb.windows.size());
+    for (std::size_t w = 0; w < ma.windows.size(); ++w) {
+      EXPECT_EQ(ma.windows[w].start, mb.windows[w].start);
+      EXPECT_EQ(ma.windows[w].end, mb.windows[w].end);
+      EXPECT_EQ(ma.windows[w].offered, mb.windows[w].offered);
+      EXPECT_EQ(ma.windows[w].served, mb.windows[w].served);
+      EXPECT_EQ(ma.windows[w].violations, mb.windows[w].violations);
+      EXPECT_EQ(ma.windows[w].p99_ms, mb.windows[w].p99_ms);
+      EXPECT_EQ(ma.windows[w].mean_ms, mb.windows[w].mean_ms);
+      EXPECT_EQ(ma.windows[w].offered_qps, mb.windows[w].offered_qps);
+      EXPECT_EQ(ma.windows[w].qps, mb.windows[w].qps);
+    }
+  }
+}
+
+TEST(FleetServeTest, ServeThreadsAreBitIdentical) {
+  const Fleet fleet = MakeFleet();
+  const auto plan = fleet.PlanAll();
+  ASSERT_TRUE(plan.ok());
+
+  // A demanding schedule: load shift + periodic reallocation, so barrier
+  // interleaving (windows, rebalances, engine reconfigurations) is all
+  // exercised under threading.
+  FleetServeOptions serve;
+  serve.duration_s = 30.0;
+  serve.base_rate_qps = 18.0;
+  serve.window_s = 5.0;
+  serve.realloc_period_s = 10.0;
+  serve.launch_lag_s = 1.0;
+  serve.shifts = {FleetLoadShift{12.0, "RM2", 4.0}};
+
+  serve.serve_threads = 1;
+  const auto serial = fleet.ServeAll(*plan, serve);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    serve.serve_threads = threads;
+    const auto threaded = fleet.ServeAll(*plan, serve);
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+    ExpectBitIdentical(*serial, *threaded);
+  }
+}
+
+TEST(FleetServeTest, AliasesServeTheSameModelAsIndependentShards) {
+  static const cloud::Catalog catalog = cloud::Catalog::PaperPool();
+  FleetOptions options;
+  options.budget_per_hour = 8.0;
+  auto fleet = Fleet::Create(catalog,
+                             {FleetModelOptions{.model = "WND", .name = "WND-eu"},
+                              FleetModelOptions{.model = "WND", .name = "WND-us"},
+                              FleetModelOptions{.model = "NCF"}},
+                             options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  fleet->ObserveMixAll(workload::LogNormalBatches::Production());
+  const auto plan = fleet->PlanAll();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->models[0].model, "WND-eu");
+  EXPECT_EQ(plan->models[1].model, "WND-us");
+
+  FleetServeOptions serve = ShortServe();
+  serve.shifts = {FleetLoadShift{2.0, "WND-us", 3.0}};  // by serving name
+  const auto result = fleet->ServeAll(*plan, serve);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The shifted shard sees more traffic than its twin; the twin's stream
+  // is untouched (independent sources despite the shared zoo model).
+  EXPECT_GT(result->models[1].totals.offered, result->models[0].totals.offered);
+
+  // Duplicate serving names stay rejected.
+  auto dup = Fleet::Create(catalog,
+                           {FleetModelOptions{.model = "WND", .name = "X"},
+                            FleetModelOptions{.model = "NCF", .name = "X"}},
+                           options);
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The perf-opt acceptance property: sharding an 8-model fleet across 8
+// threads must cut ServeAll wall-clock by >= 2x vs one thread, with
+// bit-identical metrics. Wall-clock needs real cores; skip on small hosts
+// (bench/perf_suite measures the same thing into BENCH_perf.json anywhere).
+TEST(FleetServeTest, EightShardServeAllScalesAtLeastTwofold) {
+  if (std::thread::hardware_concurrency() < 8) {
+    GTEST_SKIP() << "needs >= 8 hardware threads for a meaningful speedup";
+  }
+  static const cloud::Catalog catalog = cloud::Catalog::PaperPool();
+  FleetOptions options;
+  options.budget_per_hour = 24.0;
+  auto fleet = Fleet::Create(
+      catalog,
+      {FleetModelOptions{.model = "NCF"}, FleetModelOptions{.model = "RM2"},
+       FleetModelOptions{.model = "WND"}, FleetModelOptions{.model = "MT-WND"},
+       FleetModelOptions{.model = "DIEN"},
+       FleetModelOptions{.model = "NCF", .name = "NCF-B"},
+       FleetModelOptions{.model = "WND", .name = "WND-B"},
+       FleetModelOptions{.model = "RM2", .name = "RM2-B"}},
+      options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  fleet->ObserveMixAll(workload::LogNormalBatches::Production());
+  const auto plan = fleet->PlanAll();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  FleetServeOptions serve;
+  serve.duration_s = 40.0;
+  serve.base_rate_qps = 60.0;
+  serve.window_s = 5.0;
+
+  // Best-of-two timing per thread count (after a warm-up pass) so a
+  // transient scheduling hiccup on a busy machine cannot fail the ratio.
+  const auto timed = [&](std::size_t threads) {
+    serve.serve_threads = threads;
+    double best_wall = std::numeric_limits<double>::infinity();
+    core::FleetServeResult last;
+    for (int rep = 0; rep < 2; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      auto result = fleet->ServeAll(*plan, serve);
+      const double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      best_wall = std::min(best_wall, wall);
+      last = *std::move(result);
+    }
+    return std::make_pair(std::move(last), best_wall);
+  };
+  // Warm-up pass so first-touch page faults don't bias the serial timing.
+  serve.serve_threads = 1;
+  (void)fleet->ServeAll(*plan, serve);
+  const auto [serial, serial_wall] = timed(1);
+  const auto [threaded, threaded_wall] = timed(8);
+  ExpectBitIdentical(serial, threaded);
+  EXPECT_GE(serial_wall / threaded_wall, 2.0)
+      << "serial " << serial_wall << "s vs 8-thread " << threaded_wall << "s";
 }
 
 TEST(FleetServeTest, InvalidOptionsAreRejected) {

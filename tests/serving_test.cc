@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "core/kairos.h"
@@ -259,6 +260,105 @@ TEST(ThroughputEvalTest, ImpossibleQosYieldsZero) {
       catalog, Config({1, 0}), truth, /*qos_ms=*/50.0,
       [] { return std::make_unique<policy::RibbonPolicy>(); }, mix, opt);
   EXPECT_DOUBLE_EQ(r.qps, 0.0);
+}
+
+// The reference form of AllowableThroughput before the scratch-trace
+// optimisation: a fresh Retimed() trace materialized per rate trial. The
+// optimized path must reproduce its EvalResult exactly.
+EvalResult ReferenceAllowableThroughput(const SystemFactory& factory,
+                                        const workload::BatchDistribution& mix,
+                                        double qos_ms,
+                                        const EvalOptions& options) {
+  Rng rng(options.seed);
+  const workload::PoissonArrivals unit_rate(1.0);
+  const Trace base =
+      Trace::Generate(unit_rate, mix, options.queries, rng);
+
+  EvalResult result;
+  auto passes = [&](double rate) {
+    ++result.trials;
+    const Trace trial = base.Retimed(rate);
+    const RunResult run = factory()->Run(trial);
+    return run.QosMet(qos_ms);
+  };
+
+  double lo = 0.0;
+  double hi = std::max(1e-3, options.rate_guess);
+  if (passes(hi)) {
+    for (int i = 0; i < 24; ++i) {
+      lo = hi;
+      hi *= 2.0;
+      if (!passes(hi)) break;
+      if (i == 23) return {hi, result.trials};
+    }
+  } else {
+    bool found_passing = false;
+    for (int i = 0; i < 24; ++i) {
+      hi /= 2.0;
+      if (passes(hi)) {
+        lo = hi;
+        hi *= 2.0;
+        found_passing = true;
+        break;
+      }
+      if (hi < 1e-3) break;
+    }
+    if (!found_passing) return {0.0, result.trials};
+  }
+  for (int i = 0; i < options.bisect_iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (passes(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.qps = lo;
+  return result;
+}
+
+TEST(ThroughputEvalTest, ScratchTraceReuseMatchesReferencePath) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  const auto policy = [] { return std::make_unique<policy::KairosPolicy>(); };
+  const SystemFactory factory = [&] {
+    SystemSpec spec;
+    spec.catalog = &catalog;
+    spec.config = Config({2, 1});
+    spec.truth = &truth;
+    spec.qos_ms = 200.0;
+    return std::make_unique<ServingSystem>(spec, policy(), PredictorOptions{},
+                                           RunOptions{});
+  };
+  const auto mix = workload::LogNormalBatches::Production();
+  for (const double guess : {5.0, 25.0, 80.0}) {
+    EvalOptions opt;
+    opt.queries = 250;
+    opt.rate_guess = guess;
+    const EvalResult got = AllowableThroughput(factory, mix, 200.0, opt);
+    const EvalResult want =
+        ReferenceAllowableThroughput(factory, mix, 200.0, opt);
+    EXPECT_EQ(got.qps, want.qps) << "guess " << guess;
+    EXPECT_EQ(got.trials, want.trials) << "guess " << guess;
+  }
+}
+
+TEST(TraceTest, RetimedIntoMatchesRetimed) {
+  Rng rng(11);
+  const auto mix = workload::LogNormalBatches::Production();
+  const workload::PoissonArrivals unit_rate(1.0);
+  const Trace base = Trace::Generate(unit_rate, mix, 300, rng);
+  Trace scratch;  // reused across rates, like the evaluator's inner loop
+  for (const double rate : {0.5, 3.0, 17.0, 250.0}) {
+    base.RetimedInto(rate, &scratch);
+    const Trace fresh = base.Retimed(rate);
+    ASSERT_EQ(scratch.size(), fresh.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      EXPECT_EQ(scratch.queries()[i].arrival, fresh.queries()[i].arrival);
+      EXPECT_EQ(scratch.queries()[i].batch_size, fresh.queries()[i].batch_size);
+      EXPECT_EQ(scratch.queries()[i].id, fresh.queries()[i].id);
+    }
+  }
 }
 
 TEST(ThroughputEvalTest, TrialsAreBounded) {

@@ -113,6 +113,68 @@ TEST(SimulatorTest, StepFiresExactlyOne) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(EventQueueTest, FreeListBoundsSlotGrowthUnderChurn) {
+  // A streaming run schedules and fires events forever (source pulls,
+  // completions). Slots must be recycled: the backing storage stays at the
+  // high-water mark of *concurrent* events, not of events ever scheduled.
+  EventQueue q;
+  int fired = 0;
+  std::function<void(Time)> chain = [&](Time at) {
+    q.Schedule(at, [&, at] {
+      ++fired;
+      if (fired < 10000) chain(at + 1.0);
+    });
+  };
+  chain(0.0);
+  q.Schedule(0.5, [] {});  // a second concurrent event at the start
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(fired, 10000);
+  EXPECT_LE(q.SlotCount(), 4u);  // bounded, not ~10000
+}
+
+TEST(EventQueueTest, CancelledSlotsAreRecycled) {
+  EventQueue q;
+  for (int round = 0; round < 1000; ++round) {
+    const EventId id = q.Schedule(1.0, [] {});
+    EXPECT_TRUE(q.Cancel(id));
+  }
+  EXPECT_LE(q.SlotCount(), 2u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, StaleCancelAfterSlotReuseIsANoOp) {
+  EventQueue q;
+  bool first_fired = false;
+  bool second_fired = false;
+  const EventId first = q.Schedule(1.0, [&] { first_fired = true; });
+  q.RunNext();  // fires and releases the slot
+  EXPECT_TRUE(first_fired);
+  // The recycled slot now backs a *different* event; the stale handle must
+  // not be able to cancel it.
+  const EventId second = q.Schedule(2.0, [&] { second_fired = true; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(q.Cancel(first));
+  EXPECT_EQ(q.Size(), 1u);
+  q.RunNext();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(EventQueueTest, OrderingSurvivesSlotReuse) {
+  // Tie-breaking stays insertion-ordered even when later events reuse the
+  // slots of earlier fired/cancelled ones.
+  EventQueue q;
+  std::vector<int> order;
+  const EventId a = q.Schedule(0.5, [] {});
+  q.Schedule(0.6, [&] { order.push_back(0); });
+  q.Cancel(a);       // slot of `a` goes to the free list
+  q.RunNext();       // fires 0; its slot is recycled too
+  q.Schedule(1.0, [&] { order.push_back(1); });  // reuses a slot
+  q.Schedule(1.0, [&] { order.push_back(2); });  // reuses a slot
+  q.Schedule(1.0, [&] { order.push_back(3); });  // fresh slot
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
 TEST(SimulatorTest, CascadedSchedulingIsDeterministic) {
   // Events spawning events at the same timestamp preserve FIFO order.
   Simulator sim;
