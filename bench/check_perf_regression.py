@@ -6,12 +6,36 @@ higher_is_better flag).
 
 Usage: check_perf_regression.py CURRENT BASELINE [--factor 2.0]
 
-Metrics present in only one of the files are reported but never fail the
-check (new metrics need a baseline refresh, retired ones need cleanup).
+The metric key sets must match: a metric present in only one of the files
+fails the check with the missing/extra names listed (a new metric needs a
+baseline refresh in the same change; a retired one needs cleanup), so a
+silently renamed metric can never sail through unenforced.
 """
 import argparse
 import json
 import sys
+
+
+def load_metrics(path: str, role: str) -> dict:
+    """Reads {"metrics": {name: {"value": ...}}} with clear errors instead
+    of KeyError tracebacks on malformed files."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {role} file {path}: {err}")
+    if (not isinstance(doc, dict) or "metrics" not in doc
+            or not isinstance(doc["metrics"], dict)):
+        sys.exit(f"error: {role} file {path} has no top-level \"metrics\" "
+                 "object (is it a BENCH_perf.json?)")
+    metrics = doc["metrics"]
+    for name, entry in metrics.items():
+        if (not isinstance(entry, dict) or "value" not in entry
+                or isinstance(entry["value"], bool)
+                or not isinstance(entry["value"], (int, float))):
+            sys.exit(f"error: {role} metric \"{name}\" in {path} has no "
+                     "numeric \"value\" field")
+    return metrics
 
 
 def main() -> int:
@@ -22,27 +46,24 @@ def main() -> int:
                         help="allowed slowdown factor (default 2.0)")
     args = parser.parse_args()
 
-    with open(args.current) as f:
-        current = json.load(f)["metrics"]
-    with open(args.baseline) as f:
-        baseline = json.load(f)["metrics"]
+    current = load_metrics(args.current, "current")
+    baseline = load_metrics(args.baseline, "baseline")
+
+    missing_from_current = sorted(set(baseline) - set(current))
+    missing_from_baseline = sorted(set(current) - set(baseline))
 
     failures = []
     print(f"{'metric':40} {'baseline':>12} {'current':>12}  verdict")
-    for name in sorted(set(current) | set(baseline)):
-        if name not in current:
-            print(f"{name:40} {baseline[name]['value']:12.6g} {'-':>12}  "
-                  "missing from current (not enforced)")
-            continue
-        if name not in baseline:
-            print(f"{name:40} {'-':>12} {current[name]['value']:12.6g}  "
-                  "not in baseline (not enforced)")
-            continue
+    for name in sorted(set(current) & set(baseline)):
         base = baseline[name]["value"]
         cur = current[name]["value"]
         higher = baseline[name].get("higher_is_better", True)
         if base <= 0:
             verdict = "skipped (non-positive baseline)"
+        elif not higher and cur <= 0:
+            # A zero wall-clock can only be timer resolution on a
+            # degenerate run — never a regression, never divide by it.
+            verdict = "skipped (non-positive current)"
         elif higher and cur < base / args.factor:
             verdict = f"FAIL (<{1 / args.factor:.2g}x baseline)"
             failures.append(name)
@@ -54,11 +75,24 @@ def main() -> int:
             verdict = f"ok ({ratio:.2f}x)"
         print(f"{name:40} {base:12.6g} {cur:12.6g}  {verdict}")
 
+    status = 0
+    if missing_from_current or missing_from_baseline:
+        print("\nmetric key sets diverge between baseline and current:",
+              file=sys.stderr)
+        if missing_from_current:
+            print("  missing from current (retired? clean the baseline): "
+                  + ", ".join(missing_from_current), file=sys.stderr)
+        if missing_from_baseline:
+            print("  missing from baseline (new? refresh "
+                  "bench/baselines/perf_baseline.json from this run): "
+                  + ", ".join(missing_from_baseline), file=sys.stderr)
+        status = 1
     if failures:
         print(f"\nperf regression in: {', '.join(failures)}", file=sys.stderr)
-        return 1
-    print("\nno perf regressions")
-    return 0
+        status = 1
+    if status == 0:
+        print("\nno perf regressions")
+    return status
 
 
 if __name__ == "__main__":

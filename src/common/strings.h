@@ -2,6 +2,7 @@
 // API surfaces (registries, planner backends, the Fleet facade).
 #pragma once
 
+#include <ios>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,6 +37,28 @@ inline std::string FormatDollarsPerHour(double dollars) {
   out.precision(3);
   out << "$" << dollars << "/hr";
   return out.str();
+}
+
+/// "7.5" with 3 significant digits, falling back to fixed notation for
+/// large magnitudes (control-log reasons must read "1183ms", never
+/// "1.18e+03ms"). The cutoff is 999.5 — where 3-significant-digit
+/// default notation itself rounds up and switches to scientific.
+inline std::string FormatNumber(double value) {
+  std::ostringstream out;
+  if (value >= 999.5 || value <= -999.5) {
+    out.precision(0);
+    out << std::fixed << value;
+  } else {
+    out.precision(3);
+    out << value;
+  }
+  return out.str();
+}
+
+/// "7.5s" with 3 significant digits — simulated-time formatting for
+/// control-plane reasons and error messages.
+inline std::string FormatSeconds(double seconds) {
+  return FormatNumber(seconds) + "s";
 }
 
 }  // namespace kairos

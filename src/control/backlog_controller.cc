@@ -1,0 +1,106 @@
+// "BACKLOG": engine-driven autoscaling — reallocate when a model's
+// backlog represents more than backlog_s seconds of work at the observed
+// arrival rate. Where QOS waits for latencies to actually violate,
+// backlog depth is a leading indicator: queues grow the instant offered
+// load exceeds capacity, before the first late completion lands
+// (ROADMAP: "engine-driven backlog autoscaling").
+#include <string>
+
+#include "common/strings.h"
+#include "control/controllers.h"
+
+namespace kairos::control {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+class BacklogController final : public FleetController {
+ public:
+  explicit BacklogController(BacklogControllerOptions options)
+      : options_(options) {}
+
+  std::string Name() const override { return "BACKLOG"; }
+
+  std::vector<ControlAction> Decide(const FleetTelemetry& telemetry) override {
+    if (!telemetry.window_closed) return {};
+    ++windows_since_fire_;
+
+    std::size_t worst = telemetry.models.size();
+    double worst_backlog_s = 0.0;
+    for (std::size_t j = 0; j < telemetry.models.size(); ++j) {
+      const ModelTelemetry& model = telemetry.models[j];
+      if (model.backlog < options_.min_backlog) continue;
+      if (model.windows == nullptr || model.windows->empty()) continue;
+      // The freshly closed window's offered rate is the sharpest demand
+      // signal (observed_rate_qps averages since the last reallocation).
+      // A stalled stream (no arrivals this window) is skipped outright:
+      // with zero observed demand a reallocation would *shrink* this
+      // model's share, and its residual backlog drains on the capacity
+      // it already has.
+      const double rate = model.windows->back().offered_qps;
+      if (rate <= kEps) continue;
+      const double backlog_seconds = static_cast<double>(model.backlog) / rate;
+      if (backlog_seconds > options_.backlog_s &&
+          backlog_seconds > worst_backlog_s) {
+        worst = j;
+        worst_backlog_s = backlog_seconds;
+      }
+    }
+
+    if (worst == telemetry.models.size()) return {};
+    if (windows_since_fire_ <= options_.cooldown_windows) return {};
+
+    windows_since_fire_ = 0;
+    ControlAction action;
+    action.kind = ControlActionKind::kReallocate;
+    action.reason = telemetry.models[worst].model + " backlog " +
+                    std::to_string(telemetry.models[worst].backlog) +
+                    " queries (" + FormatSeconds(worst_backlog_s) +
+                    " of work) over the " +
+                    FormatSeconds(options_.backlog_s) + " bound";
+    return {action};
+  }
+
+ private:
+  BacklogControllerOptions options_;
+  std::size_t windows_since_fire_ = 1u << 20;
+};
+
+const ControllerRegistrar kBacklog(
+    ControllerInfo{"BACKLOG",
+                   "reallocate when a model's engine backlog exceeds "
+                   "backlog_s seconds of work at the observed arrival "
+                   "rate",
+                   {{"backlog_s", 2.0},
+                    {"min_backlog", 8.0},
+                    {"cooldown_windows", 1.0}}},
+    [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<FleetController>> {
+      BacklogControllerOptions options;
+      options.backlog_s = knobs.at("backlog_s");
+      if (options.backlog_s <= 0.0) {
+        return Status::InvalidArgument(
+            "controller BACKLOG: backlog_s must be positive");
+      }
+      const double min_backlog = knobs.at("min_backlog");
+      if (min_backlog < 0.0) {
+        return Status::InvalidArgument(
+            "controller BACKLOG: min_backlog must be >= 0");
+      }
+      options.min_backlog = static_cast<std::size_t>(min_backlog);
+      const double cooldown = knobs.at("cooldown_windows");
+      if (cooldown < 0.0) {
+        return Status::InvalidArgument(
+            "controller BACKLOG: cooldown_windows must be >= 0");
+      }
+      options.cooldown_windows = static_cast<std::size_t>(cooldown);
+      return MakeBacklogController(options);
+    });
+
+}  // namespace
+
+std::unique_ptr<FleetController> MakeBacklogController(
+    BacklogControllerOptions options) {
+  return std::make_unique<BacklogController>(options);
+}
+
+}  // namespace kairos::control

@@ -1,0 +1,234 @@
+// The fleet control plane (DESIGN.md Sec. 10): pluggable strategies that
+// watch a running Fleet::ServeAll co-simulation and decide *when* the
+// fleet should react — re-split the budget and re-plan (reallocation), or
+// drop stale workload statistics (monitor reset). The paper's Kairos
+// reacts to workload change by re-reading the query monitor and
+// replanning; this subsystem generalizes the single hardwired trigger
+// (a fixed reallocation timer) into registry-selected controllers, the
+// same pattern PolicyRegistry / PlannerRegistry / AllocatorRegistry use:
+//
+//   * PERIODIC  — fire a reallocation every period_s (the pre-control-
+//                 plane Fleet::ServeAll behavior, reproduced bit for bit);
+//   * QOS       — fire when a model's windowed p99 violates its QoS
+//                 target for patience_windows consecutive windows;
+//   * BACKLOG   — fire when a model's engine backlog exceeds backlog_s
+//                 seconds of work at the observed arrival rate;
+//   * DRIFT     — fire a monitor reset + reallocation when the live
+//                 batch mix drifts from the planning-time snapshot;
+//   * COMPOSITE — chain any of the above, deduplicating actions.
+//
+// Controllers never touch engines or allocators. At every barrier of the
+// co-simulation the fleet hands them a read-only FleetTelemetry snapshot
+// and applies whatever typed ControlActions come back. Determinism
+// contract: Decide() must be a pure function of the telemetry and of
+// state accumulated from *previous Decide() calls* — no clocks, RNG, or
+// ambient state — so the action sequence is bit-identical for every
+// serve_threads value (asserted by tests/control_test.cc).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "policy/registry.h"  // KnobMap + CanonicalSchemeName
+#include "serving/engine.h"   // WindowedMetrics
+
+namespace kairos::control {
+
+/// Controllers reuse the policy registry's knob convention: named numeric
+/// tunables, booleans encoded as 0.0 / 1.0.
+using policy::KnobMap;
+
+/// ControlAction::model value meaning "the whole fleet".
+inline constexpr std::size_t kAllModels =
+    std::numeric_limits<std::size_t>::max();
+
+/// One served model's slice of the telemetry snapshot. Index order is the
+/// served plan's model order (FleetServeResult::models).
+struct ModelTelemetry {
+  std::string model;             ///< fleet-unique serving name
+  double arrival_scale = 1.0;    ///< configured demand prior
+  double share_per_hour = 0.0;   ///< current budget share in $/hr
+  double qos_ms = 0.0;           ///< effective QoS target
+  std::size_t offered = 0;       ///< cumulative arrivals accepted so far
+  std::size_t served = 0;        ///< cumulative completions so far
+  /// Engine backlog depth: queries accepted but not yet completed
+  /// (central queue + per-instance FIFOs + executing).
+  std::size_t backlog = 0;
+  /// Observed arrival rate since the last applied reallocation (or since
+  /// the start of the run), queries per simulated second.
+  double observed_rate_qps = 0.0;
+  /// Mean batch size of the planning-time monitor snapshot — what the
+  /// current configuration was planned against.
+  double plan_mean_batch = 0.0;
+  /// Mean batch size of the live arrival stream's sliding window.
+  double live_mean_batch = 0.0;
+  /// Samples behind live_mean_batch (drift tests should gate on this).
+  std::size_t live_queries = 0;
+  /// QueryMonitor::BatchMixDrift() of the live stream vs the planning
+  /// reference: |live - plan| / plan, 0 while unknown.
+  double drift = 0.0;
+  /// Closed WindowedMetrics history, shared grid across all models; the
+  /// pointer stays valid for the duration of the Decide() call.
+  const std::vector<serving::WindowedMetrics>* windows = nullptr;
+};
+
+/// Everything a controller may consult at one barrier.
+struct FleetTelemetry {
+  Time now = 0.0;                ///< barrier time, simulated seconds
+  double duration_s = 0.0;       ///< run horizon
+  double window_s = 0.0;         ///< window cadence
+  double budget_per_hour = 0.0;  ///< global envelope
+  /// True when this barrier just closed a WindowedMetrics window (the
+  /// snapshot runs before the controller is consulted, so windows->back()
+  /// is the freshly closed window).
+  bool window_closed = false;
+  std::size_t windows_closed = 0;  ///< closed windows so far
+  /// Time of the last applied reallocation; 0 when none ran yet.
+  Time last_reallocation = 0.0;
+  std::vector<ModelTelemetry> models;  ///< served-plan order
+};
+
+/// What a controller can ask the fleet to do.
+enum class ControlActionKind {
+  /// Re-split the global budget on observed demand, re-plan every model
+  /// inside its new share, and reconfigure the live engines (launch lag
+  /// modeled). Fleet-wide; `model` is ignored.
+  kReallocate,
+  /// Drop model `model`'s stale planning-time workload statistics and
+  /// plan subsequent reallocations against the live arrival stream's
+  /// sliding window instead (the paper's ResetMonitor regime change).
+  kResetMonitor,
+};
+
+/// Human-readable action name ("REALLOCATE", "RESET_MONITOR").
+const char* ControlActionName(ControlActionKind kind);
+
+/// One typed decision returned by FleetController::Decide.
+struct ControlAction {
+  ControlActionKind kind = ControlActionKind::kReallocate;
+  /// Target model index (telemetry order) for kResetMonitor; kAllModels
+  /// for fleet-wide actions.
+  std::size_t model = kAllModels;
+  /// kReallocate only: the measurement interval the demand rates should
+  /// be computed over, in simulated seconds; 0 = time since the previous
+  /// reallocation. PERIODIC pins this to its period so the refactored
+  /// loop reproduces the fixed-timer arithmetic bit for bit.
+  double interval_s = 0.0;
+  /// Why the controller fired — surfaced in FleetServeResult::control_log.
+  std::string reason;
+};
+
+/// The shape of one ServeAll run, offered to controllers that want their
+/// own barrier times merged into the window grid.
+struct ControlSchedule {
+  double duration_s = 0.0;
+  double window_s = 0.0;
+};
+
+/// A fleet control strategy. Implementations must uphold the determinism
+/// contract in the header comment; they may keep internal state across
+/// Decide() calls (cooldowns, consecutive-violation counters).
+class FleetController {
+ public:
+  virtual ~FleetController() = default;
+
+  /// Canonical controller name ("PERIODIC", ...).
+  virtual std::string Name() const = 0;
+
+  /// Extra barrier times (strictly inside (0, duration)) this controller
+  /// wants the fleet to stop at, beyond the window grid. The default —
+  /// none — means the controller decides on window boundaries only.
+  virtual std::vector<Time> DecisionTimes(const ControlSchedule&) const {
+    return {};
+  }
+
+  /// True when Decide() consults the live batch-mix fields
+  /// (live_mean_batch / live_queries / drift) or emits kResetMonitor.
+  /// Only then does the fleet tap every arrival into per-shard live
+  /// monitors — controllers that never read the mix (PERIODIC, QOS,
+  /// BACKLOG) keep the arrival hot path at its pre-control-plane cost,
+  /// and see those telemetry fields as zero.
+  virtual bool NeedsLiveMix() const { return false; }
+
+  /// Consulted at every barrier except the horizon (an action applied
+  /// there could never serve a query), after the window snapshot.
+  /// Returns the actions the fleet should apply; monitor resets are
+  /// applied before a same-barrier reallocation regardless of order.
+  virtual std::vector<ControlAction> Decide(const FleetTelemetry&) = 0;
+};
+
+/// Registration-time description of one controller.
+struct ControllerInfo {
+  std::string name;     ///< canonical name, e.g. "QOS" (upper-cased)
+  std::string summary;  ///< one-line description for listings
+  KnobMap knobs;        ///< supported knob names with their defaults
+};
+
+/// Builds a controller from a *complete* knob map (defaults merged with
+/// the caller's overrides). kInvalidArgument for an out-of-range value.
+using ControllerBuilder =
+    std::function<StatusOr<std::unique_ptr<FleetController>>(
+        const KnobMap& knobs)>;
+
+/// Process-wide name -> controller table, mirroring PolicyRegistry:
+/// static registrars populate it, lookup is case-insensitive, unknown
+/// names come back as kNotFound listing the alternatives.
+class ControllerRegistry {
+ public:
+  static ControllerRegistry& Global();
+
+  Status Register(ControllerInfo info, ControllerBuilder builder);
+
+  /// Canonical controller names, sorted alphabetically.
+  std::vector<std::string> ListNames() const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registration info (canonical name, summary, knobs).
+  StatusOr<ControllerInfo> Info(const std::string& name) const;
+
+  /// Builds a controller by (case-insensitive) name. `overrides` may set
+  /// any subset of the declared knobs; an undeclared knob name or an
+  /// out-of-range value is kInvalidArgument.
+  StatusOr<std::unique_ptr<FleetController>> Build(
+      const std::string& name, const KnobMap& overrides = {}) const;
+
+ private:
+  struct Entry {
+    ControllerInfo info;
+    ControllerBuilder builder;
+  };
+
+  StatusOr<Entry> Find(const std::string& name) const;
+
+  std::map<std::string, Entry> entries_;  ///< keyed by canonical name
+};
+
+/// Static-initialization helper, same pattern as PolicyRegistrar.
+class ControllerRegistrar {
+ public:
+  ControllerRegistrar(ControllerInfo info, ControllerBuilder builder) {
+    const Status status = ControllerRegistry::Global().Register(
+        std::move(info), std::move(builder));
+    if (!status.ok()) {
+      std::fprintf(stderr, "ControllerRegistrar: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
+};
+
+}  // namespace kairos::control
+
+namespace kairos {
+using control::ControllerRegistry;
+using control::FleetController;
+}  // namespace kairos

@@ -1,0 +1,73 @@
+// Direct construction of the built-in fleet controllers. Most callers
+// should build by name through ControllerRegistry (control/controller.h);
+// these factories exist for code that composes controllers
+// programmatically — COMPOSITE chaining a custom sub-controller set, or
+// tests pinning non-default thresholds without knob plumbing.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "control/controller.h"
+
+namespace kairos::control {
+
+/// "PERIODIC": one reallocation every `period_s` simulated seconds
+/// (0 = never). Reproduces the pre-control-plane Fleet::ServeAll
+/// fixed-timer behavior bit for bit, including computing the observed
+/// demand rates over exactly `period_s`.
+std::unique_ptr<FleetController> MakePeriodicController(double period_s);
+
+/// "QOS" thresholds.
+struct QosControllerOptions {
+  /// A window is a violation when its p99 exceeds p99_scale * qos_ms.
+  double p99_scale = 1.0;
+  /// Consecutive violation windows (per model) before firing.
+  std::size_t patience_windows = 1;
+  /// Closed windows to sit out after a fire before firing again.
+  std::size_t cooldown_windows = 1;
+  /// Windows with fewer completions than this never count as violations.
+  /// The default (1) only skips completion-free windows; raise it (e.g.
+  /// to 2+) when a lone straggler in an otherwise idle window should not
+  /// count as a QoS signal.
+  std::size_t min_served = 1;
+};
+std::unique_ptr<FleetController> MakeQosController(
+    QosControllerOptions options = {});
+
+/// "BACKLOG" thresholds.
+struct BacklogControllerOptions {
+  /// Fire when a model's backlog exceeds this many seconds of work at
+  /// the window's observed arrival rate.
+  double backlog_s = 2.0;
+  /// Absolute backlog floor below which the controller never fires.
+  std::size_t min_backlog = 8;
+  /// Closed windows to sit out after a fire before firing again.
+  std::size_t cooldown_windows = 1;
+};
+std::unique_ptr<FleetController> MakeBacklogController(
+    BacklogControllerOptions options = {});
+
+/// "DRIFT" thresholds.
+struct DriftControllerOptions {
+  /// Fire when |live mean batch - planning mean batch| / planning mean
+  /// exceeds this fraction.
+  double drift_fraction = 0.25;
+  /// Live-stream samples required before drift is trusted.
+  std::size_t min_queries = 200;
+  /// Closed windows to sit out after a fire before firing again.
+  std::size_t cooldown_windows = 2;
+};
+std::unique_ptr<FleetController> MakeDriftController(
+    DriftControllerOptions options = {});
+
+/// "COMPOSITE": consults `children` in order and concatenates their
+/// actions, keeping at most one kReallocate per barrier and one
+/// kResetMonitor per model. The registry-built COMPOSITE chains
+/// QOS + BACKLOG + DRIFT (toggles and period_s via knobs); this factory
+/// chains an arbitrary set.
+std::unique_ptr<FleetController> MakeCompositeController(
+    std::vector<std::unique_ptr<FleetController>> children);
+
+}  // namespace kairos::control

@@ -1,0 +1,97 @@
+// "DRIFT": batch-mix drift detection feeding the paper's ResetMonitor
+// regime change. Every configuration was planned against a monitor
+// snapshot; when the live arrival stream's mean batch size shifts more
+// than drift_fraction away from that planning-time reference, the stale
+// statistics are dropped (kResetMonitor — subsequent re-plans read the
+// live sliding window) and a reallocation is fired so the fleet replans
+// against the mix it is actually serving.
+#include <string>
+
+#include "common/strings.h"
+#include "control/controllers.h"
+
+namespace kairos::control {
+namespace {
+
+class DriftController final : public FleetController {
+ public:
+  explicit DriftController(DriftControllerOptions options)
+      : options_(options) {}
+
+  std::string Name() const override { return "DRIFT"; }
+
+  bool NeedsLiveMix() const override { return true; }
+
+  std::vector<ControlAction> Decide(const FleetTelemetry& telemetry) override {
+    if (!telemetry.window_closed) return {};
+    ++windows_since_fire_;
+    if (windows_since_fire_ <= options_.cooldown_windows) return {};
+
+    std::vector<ControlAction> actions;
+    for (std::size_t j = 0; j < telemetry.models.size(); ++j) {
+      const ModelTelemetry& model = telemetry.models[j];
+      if (model.live_queries < options_.min_queries) continue;
+      if (model.drift <= options_.drift_fraction) continue;
+      ControlAction reset;
+      reset.kind = ControlActionKind::kResetMonitor;
+      reset.model = j;
+      reset.reason = model.model + " live mean batch " +
+                     FormatNumber(model.live_mean_batch) + " drifted " +
+                     FormatNumber(100.0 * model.drift) +
+                     "% from the planning mix (mean " +
+                     FormatNumber(model.plan_mean_batch) + ")";
+      actions.push_back(std::move(reset));
+    }
+    if (actions.empty()) return {};
+
+    windows_since_fire_ = 0;
+    ControlAction realloc;
+    realloc.kind = ControlActionKind::kReallocate;
+    realloc.reason = "replan against the post-drift batch mix";
+    actions.push_back(std::move(realloc));
+    return actions;
+  }
+
+ private:
+  DriftControllerOptions options_;
+  std::size_t windows_since_fire_ = 1u << 20;
+};
+
+const ControllerRegistrar kDrift(
+    ControllerInfo{"DRIFT",
+                   "reset a model's monitor and reallocate when the live "
+                   "batch mix drifts drift_fraction from the "
+                   "planning-time snapshot",
+                   {{"drift_fraction", 0.25},
+                    {"min_queries", 200.0},
+                    {"cooldown_windows", 2.0}}},
+    [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<FleetController>> {
+      DriftControllerOptions options;
+      options.drift_fraction = knobs.at("drift_fraction");
+      if (options.drift_fraction <= 0.0) {
+        return Status::InvalidArgument(
+            "controller DRIFT: drift_fraction must be positive");
+      }
+      const double min_queries = knobs.at("min_queries");
+      if (min_queries < 1.0) {
+        return Status::InvalidArgument(
+            "controller DRIFT: min_queries must be >= 1");
+      }
+      options.min_queries = static_cast<std::size_t>(min_queries);
+      const double cooldown = knobs.at("cooldown_windows");
+      if (cooldown < 0.0) {
+        return Status::InvalidArgument(
+            "controller DRIFT: cooldown_windows must be >= 0");
+      }
+      options.cooldown_windows = static_cast<std::size_t>(cooldown);
+      return MakeDriftController(options);
+    });
+
+}  // namespace
+
+std::unique_ptr<FleetController> MakeDriftController(
+    DriftControllerOptions options) {
+  return std::make_unique<DriftController>(options);
+}
+
+}  // namespace kairos::control

@@ -1,0 +1,112 @@
+// "QOS": reallocate when a model's windowed p99 violates its QoS target.
+// The fixed-timer loop reacts up to one full period late; this controller
+// watches every freshly closed window and fires the moment a model has
+// been in violation for patience_windows consecutive windows, so the
+// fleet re-splits its budget within roughly one window of a load spike
+// (ROADMAP: "QoS-aware reallocation triggers").
+#include <string>
+
+#include "common/strings.h"
+#include "control/controllers.h"
+
+namespace kairos::control {
+namespace {
+
+class QosController final : public FleetController {
+ public:
+  explicit QosController(QosControllerOptions options) : options_(options) {}
+
+  std::string Name() const override { return "QOS"; }
+
+  std::vector<ControlAction> Decide(const FleetTelemetry& telemetry) override {
+    if (!telemetry.window_closed) return {};
+    consecutive_bad_.resize(telemetry.models.size(), 0);
+    ++windows_since_fire_;
+
+    // Update per-model violation streaks from the freshly closed window.
+    std::size_t worst = telemetry.models.size();
+    double worst_p99 = 0.0;
+    for (std::size_t j = 0; j < telemetry.models.size(); ++j) {
+      const ModelTelemetry& model = telemetry.models[j];
+      if (model.windows == nullptr || model.windows->empty()) continue;
+      const serving::WindowedMetrics& window = model.windows->back();
+      const bool violated =
+          window.served >= options_.min_served &&
+          window.p99_ms > options_.p99_scale * model.qos_ms;
+      consecutive_bad_[j] = violated ? consecutive_bad_[j] + 1 : 0;
+      if (consecutive_bad_[j] >= options_.patience_windows &&
+          window.p99_ms > worst_p99) {
+        worst = j;
+        worst_p99 = window.p99_ms;
+      }
+    }
+
+    if (worst == telemetry.models.size()) return {};
+    if (windows_since_fire_ <= options_.cooldown_windows) return {};
+
+    windows_since_fire_ = 0;
+    for (std::size_t& streak : consecutive_bad_) streak = 0;
+    ControlAction action;
+    action.kind = ControlActionKind::kReallocate;
+    action.reason = telemetry.models[worst].model + " p99 " +
+                    FormatNumber(worst_p99) + "ms over the " +
+                    FormatNumber(options_.p99_scale *
+                                 telemetry.models[worst].qos_ms) +
+                    "ms QoS bound for " +
+                    std::to_string(options_.patience_windows) + " window(s)";
+    return {action};
+  }
+
+ private:
+  QosControllerOptions options_;
+  std::vector<std::size_t> consecutive_bad_;  ///< per model, telemetry order
+  /// Closed windows since the last fire; starts beyond any cooldown so
+  /// the first violation is actionable immediately.
+  std::size_t windows_since_fire_ = 1u << 20;
+};
+
+const ControllerRegistrar kQos(
+    ControllerInfo{"QOS",
+                   "reallocate when a model's windowed p99 exceeds "
+                   "p99_scale * QoS for patience_windows consecutive "
+                   "windows",
+                   {{"p99_scale", 1.0},
+                    {"patience_windows", 1.0},
+                    {"cooldown_windows", 1.0},
+                    {"min_served", 1.0}}},
+    [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<FleetController>> {
+      QosControllerOptions options;
+      options.p99_scale = knobs.at("p99_scale");
+      if (options.p99_scale <= 0.0) {
+        return Status::InvalidArgument(
+            "controller QOS: p99_scale must be positive");
+      }
+      const double patience = knobs.at("patience_windows");
+      if (patience < 1.0) {
+        return Status::InvalidArgument(
+            "controller QOS: patience_windows must be >= 1");
+      }
+      options.patience_windows = static_cast<std::size_t>(patience);
+      const double cooldown = knobs.at("cooldown_windows");
+      if (cooldown < 0.0) {
+        return Status::InvalidArgument(
+            "controller QOS: cooldown_windows must be >= 0");
+      }
+      options.cooldown_windows = static_cast<std::size_t>(cooldown);
+      const double min_served = knobs.at("min_served");
+      if (min_served < 0.0) {
+        return Status::InvalidArgument(
+            "controller QOS: min_served must be >= 0");
+      }
+      options.min_served = static_cast<std::size_t>(min_served);
+      return MakeQosController(options);
+    });
+
+}  // namespace
+
+std::unique_ptr<FleetController> MakeQosController(
+    QosControllerOptions options) {
+  return std::make_unique<QosController>(options);
+}
+
+}  // namespace kairos::control

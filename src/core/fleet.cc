@@ -8,6 +8,7 @@
 
 #include "common/parallel.h"
 #include "common/strings.h"
+#include "control/controllers.h"
 #include "latency/model_zoo.h"
 #include "policy/registry.h"
 #include "sim/simulator.h"
@@ -50,6 +51,25 @@ StatusOr<std::unique_ptr<workload::BatchDistribution>> MakeTrace(
   return Status::NotFound("unknown trace \"" + name +
                           "\"; named traces: GAUSSIAN, PRODUCTION "
                           "(or \"\" for the caller-provided mix)");
+}
+
+/// Wires the real-measurement evaluator of an evaluation-driven backend
+/// (KAIROS+, BRUTE-FORCE) into `request`: configs are measured against a
+/// snapshot of `monitor`'s mix in a nested simulation. An empty window
+/// comes back as a Status without model context — each caller prefixes
+/// the model name exactly once. Shared by PlanAll and the in-serve
+/// rebalance so the two paths cannot drift.
+Status WireEvaluator(const Kairos& session,
+                     const workload::QueryMonitor& monitor,
+                     PlanRequest& request) {
+  auto mix = monitor.Snapshot();
+  if (!mix.ok()) return mix.status();
+  request.eval = [&session,
+                  mix = *std::move(mix)](const cloud::Config& config) {
+    serving::EvalOptions eval_options;
+    return session.MeasureThroughput(config, mix, eval_options).qps;
+  };
+  return Status::Ok();
 }
 
 }  // namespace
@@ -293,12 +313,12 @@ StatusOr<FleetPlan> Fleet::PlanAll(const search::SearchOptions& search) const {
     request.monitor = &session.monitor();
     request.search = search;
     if ((*backend)->NeedsEvaluations()) {
-      // Evaluate against the model's own monitored workload.
-      const workload::EmpiricalBatches mix = session.monitor().Snapshot();
-      request.eval = [&session, mix](const cloud::Config& config) {
-        serving::EvalOptions eval_options;
-        return session.MeasureThroughput(config, mix, eval_options).qps;
-      };
+      // Evaluate against the model's own monitored workload. The empty-
+      // window precondition was checked above, so a failure here would be
+      // a programming error — still surfaced as this model's Status.
+      // The result loop below adds the "model X:" prefix.
+      statuses[i] = WireEvaluator(session, session.monitor(), request);
+      if (!statuses[i].ok()) return;
     }
     auto outcome = (*backend)->Plan(ctx, request);
     if (!outcome.ok()) {
@@ -369,18 +389,59 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     }
   }
 
-  const bool realloc = options.realloc_period_s > 0.0;
+  // Resolve the control plane. "" keeps the legacy wiring: a PERIODIC
+  // controller at realloc_period_s when positive, no control loop
+  // otherwise (frozen allocation). A named controller that declares a
+  // "period_s" knob inherits realloc_period_s unless overridden.
+  std::unique_ptr<control::FleetController> controller;
+  if (options.controller.empty() && !options.controller_knobs.empty()) {
+    // Knobs without a controller would be dropped silently — the legacy
+    // PERIODIC wiring takes no knobs; misconfiguration fails loudly like
+    // every other knob path.
+    return Status::InvalidArgument(
+        "controller_knobs were given but no controller is named; set "
+        "FleetServeOptions::controller (registered controllers: " +
+        JoinComma(control::ControllerRegistry::Global().ListNames()) + ")");
+  }
+  if (!options.controller.empty()) {
+    control::KnobMap knobs = options.controller_knobs;
+    auto info = control::ControllerRegistry::Global().Info(options.controller);
+    if (!info.ok()) return info.status();
+    if (options.realloc_period_s > 0.0) {
+      // The period must land somewhere: a controller without a period_s
+      // knob (QOS, BACKLOG, DRIFT) cannot honor it, and dropping it
+      // silently would strip the periodic safety net the caller asked
+      // for. COMPOSITE chains such a controller with a PERIODIC net.
+      if (info->knobs.count("period_s") == 0) {
+        return Status::InvalidArgument(
+            "controller " + info->name +
+            " has no period_s knob, so realloc_period_s would be ignored; "
+            "drop it, or chain the controller with a PERIODIC safety net "
+            "via COMPOSITE");
+      }
+      if (knobs.count("period_s") == 0) {
+        knobs["period_s"] = options.realloc_period_s;
+      }
+    }
+    auto built =
+        control::ControllerRegistry::Global().Build(options.controller, knobs);
+    if (!built.ok()) return built.status();
+    controller = *std::move(built);
+  } else if (options.realloc_period_s > 0.0) {
+    controller = control::MakePeriodicController(options.realloc_period_s);
+  }
+
   auto backend = PlannerRegistry::Global().Build(options_.planner);
   if (!backend.ok()) return backend.status();
   auto allocator = AllocatorRegistry::Global().Build(options_.allocator);
   if (!allocator.ok()) return allocator.status();
-  if (realloc) {
+  if (controller != nullptr) {
     for (const std::size_t i : indices) {
       if (sessions_[i].monitor().Count() == 0) {
         return Status::FailedPrecondition(
             "model " + names_[i] +
-            ": monitor is empty; call ObserveMix before ServeAll with "
-            "periodic reallocation");
+            ": monitor is empty; call ObserveMix before ServeAll with a "
+            "reallocation controller");
       }
     }
   }
@@ -446,13 +507,33 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     }
   }
 
+  // Live batch-mix monitors, one per shard, fed in-shard (one Observe per
+  // arrival, between barriers, by the shard's own worker) so they stay
+  // deterministic under any serve_threads. Their planning reference is
+  // the session monitor's mean — what the initial plan was built against;
+  // a kResetMonitor swaps the shard's planning mix to this live window.
+  // Only mix-reading controllers (DRIFT, a COMPOSITE containing it) pay
+  // the per-arrival tap; everyone else keeps the arrival path untouched.
+  std::vector<workload::QueryMonitor> live_monitors;
+  if (controller != nullptr && controller->NeedsLiveMix()) {
+    live_monitors.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t i = indices[j];
+      live_monitors.emplace_back(model_options_[i].monitor_warmup);
+      live_monitors.back().MarkPlanningReference(
+          sessions_[i].monitor().MeanBatch());
+      engines[j]->SetMonitorTap(&live_monitors.back());
+    }
+  }
+
   // The barrier grid: window boundaries shared by every model (the horizon
   // always closes the last, possibly partial, window) merged with the
-  // reallocation points. Boundaries are computed as k * period — not
-  // accumulated — so a non-representable width cannot drift into a
+  // controller's own decision times. Boundaries are computed as k * width
+  // — not accumulated — so a non-representable width cannot drift into a
   // duplicate boundary just below the horizon; a coinciding window and
-  // reallocation boundary runs the window snapshot first.
-  enum : unsigned { kWindowBarrier = 1u, kReallocBarrier = 2u };
+  // decision boundary runs the window snapshot first, so controllers see
+  // the freshly closed window.
+  enum : unsigned { kWindowBarrier = 1u, kDecisionBarrier = 2u };
   std::map<Time, unsigned> barriers;
   for (std::size_t k = 1;; ++k) {
     const double t = static_cast<double>(k) * options.window_s;
@@ -460,25 +541,38 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     barriers[t] |= kWindowBarrier;
   }
   barriers[options.duration_s] |= kWindowBarrier;
-  if (realloc) {
-    for (std::size_t k = 1;; ++k) {
-      const double t = static_cast<double>(k) * options.realloc_period_s;
-      if (t >= options.duration_s - 1e-9) break;
-      barriers[t] |= kReallocBarrier;
+  if (controller != nullptr) {
+    const control::ControlSchedule schedule{options.duration_s,
+                                            options.window_s};
+    for (const Time t : controller->DecisionTimes(schedule)) {
+      if (t <= 0.0 || t >= options.duration_s - 1e-9) continue;
+      barriers[t] |= kDecisionBarrier;
     }
   }
 
-  // Periodic allocator re-invocation: observed arrival rates become the
-  // demand weights, the global budget is re-split, each model re-planned
-  // inside its new share, and the engines reconfigured in place.
+  // Control-plane state. The planning mix of model j starts as its
+  // session monitor (what the initial plan was built against) and moves
+  // to the live sliding window after a kResetMonitor.
   std::size_t reallocations = 0;
+  std::size_t monitor_resets = 0;
+  std::vector<FleetControlEvent> control_log;
   std::vector<double> shares(n);
   for (std::size_t j = 0; j < n; ++j) {
     shares[j] = plan.models[j].budget_per_hour;
   }
-  Status realloc_status;  // first failure inside the loop, if any
-  std::vector<std::size_t> offered_before(n, 0);
-  auto rebalance = [&] {
+  std::vector<const workload::QueryMonitor*> plan_monitors(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    plan_monitors[j] = &sessions_[indices[j]].monitor();
+  }
+  Status control_status;  // first failure inside the loop, if any
+  Time last_realloc_time = 0.0;
+  std::vector<std::size_t> offered_at_realloc(n, 0);
+
+  // kReallocate: observed arrival rates over `interval_s` become the
+  // demand weights, the global budget is re-split, each model re-planned
+  // inside its new share against its planning mix, and the engines
+  // reconfigured in place.
+  auto rebalance = [&](double interval_s) {
     AllocationProblem problem;
     problem.budget_per_hour = options_.budget_per_hour;
     problem.step_per_hour = options_.allocation_step_per_hour;
@@ -487,9 +581,9 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
       const std::size_t i = indices[j];
       const std::size_t offered_now = engines[j]->Offered();
       const double observed_rate =
-          static_cast<double>(offered_now - offered_before[j]) /
-          options.realloc_period_s;
-      offered_before[j] = offered_now;
+          static_cast<double>(offered_now - offered_at_realloc[j]) /
+          interval_s;
+      offered_at_realloc[j] = offered_now;
       problem.models.push_back(
           AllocModel{names_[i], model_options_[i].weight,
                      std::max(observed_rate, 1e-6), floors_[i],
@@ -500,7 +594,7 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
       PlannerContext ctx{&catalog_, &session.truth(), session.qos_ms(),
                          budget};
       PlanRequest request;
-      request.monitor = &session.monitor();
+      request.monitor = plan_monitors[j];
       request.search = options.search;
       auto outcome = (*backend)->Probe(ctx, request);
       if (!outcome.ok()) return outcome.status();
@@ -508,7 +602,7 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     };
     auto split = (*allocator)->Allocate(problem);
     if (!split.ok()) {
-      realloc_status = split.status();
+      control_status = split.status();
       return;
     }
     for (std::size_t j = 0; j < n; ++j) {
@@ -516,21 +610,23 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
       PlannerContext ctx{&catalog_, &session.truth(), session.qos_ms(),
                          (*split)[j]};
       PlanRequest request;
-      request.monitor = &session.monitor();
+      request.monitor = plan_monitors[j];
       request.search = options.search;
       if ((*backend)->NeedsEvaluations()) {
-        // Same wiring as PlanAll: evaluation-driven backends measure
-        // against the model's monitored mix (in a nested simulation —
-        // the co-simulation clock is untouched).
-        const workload::EmpiricalBatches mix = session.monitor().Snapshot();
-        request.eval = [&session, mix](const cloud::Config& config) {
-          serving::EvalOptions eval_options;
-          return session.MeasureThroughput(config, mix, eval_options).qps;
-        };
+        // Same wiring as PlanAll, against the model's planning mix (the
+        // nested measurement never touches the co-simulation clock).
+        const Status wired =
+            WireEvaluator(session, *plan_monitors[j], request);
+        if (!wired.ok()) {
+          control_status =
+              Status(wired.code(),
+                     "model " + names_[indices[j]] + ": " + wired.message());
+          return;
+        }
       }
       auto outcome = (*backend)->Plan(ctx, request);
       if (!outcome.ok()) {
-        realloc_status =
+        control_status =
             Status(outcome.status().code(), "model " + names_[indices[j]] +
                                                 ": " +
                                                 outcome.status().message());
@@ -539,19 +635,133 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
       const Status reconfigured =
           engines[j]->Reconfigure(outcome->config);
       if (!reconfigured.ok()) {
-        realloc_status = reconfigured;
+        control_status = reconfigured;
         return;
+      }
+      // A model already moved to the live window was just replanned
+      // against it: the window's current mean is the new planning-time
+      // reference, or plan_mean_batch / drift would keep describing a
+      // configuration this re-plan just replaced.
+      if (!live_monitors.empty() &&
+          plan_monitors[j] == &live_monitors[j]) {
+        live_monitors[j].MarkPlanningReference();
       }
     }
     shares = *std::move(split);
     ++reallocations;
   };
 
+  // Applies one barrier's worth of controller decisions. Monitor resets
+  // run before the barrier's reallocation no matter how the controller
+  // ordered the list — a same-barrier re-plan must read the post-reset
+  // mix (under COMPOSITE a QOS-triggered reallocation can precede
+  // DRIFT's resets in the list). At most one reallocation per barrier is
+  // honored (a re-split already replans every model).
+  auto apply_actions = [&](Time t,
+                           const std::vector<control::ControlAction>& actions) {
+    for (const control::ControlAction& action : actions) {
+      if (action.kind != control::ControlActionKind::kResetMonitor) continue;
+      if (action.model >= n) {
+        control_status = Status::InvalidArgument(
+            "controller " + controller->Name() +
+            " reset the monitor of model index " +
+            std::to_string(action.model) + ", but the served plan has " +
+            std::to_string(n) + " models");
+        return;
+      }
+      if (live_monitors.empty()) {
+        // Per the FleetController contract a reset-emitting controller
+        // must declare NeedsLiveMix(); silently dropping the reset here
+        // would leave replans on the stale mix with no trace.
+        control_status = Status::FailedPrecondition(
+            "controller " + controller->Name() +
+            " emitted kResetMonitor but NeedsLiveMix() is false, so no "
+            "live mix exists to reset to");
+        return;
+      }
+      // An empty live window would leave nothing to plan against; the
+      // reset waits until the stream has produced samples.
+      if (live_monitors[action.model].Count() == 0) continue;
+      plan_monitors[action.model] = &live_monitors[action.model];
+      live_monitors[action.model].MarkPlanningReference();
+      ++monitor_resets;
+      control_log.push_back(FleetControlEvent{
+          t, action.kind, names_[indices[action.model]], action.reason});
+    }
+    for (const control::ControlAction& action : actions) {
+      if (action.kind != control::ControlActionKind::kReallocate) continue;
+      const double interval = action.interval_s > 0.0
+                                  ? action.interval_s
+                                  : std::max(t - last_realloc_time, 1e-9);
+      rebalance(interval);
+      if (!control_status.ok()) return;
+      last_realloc_time = t;
+      control_log.push_back(
+          FleetControlEvent{t, action.kind, "", action.reason});
+      break;  // one re-split already replanned every model
+    }
+  };
+
+  // One FleetTelemetry reused across barriers; the per-model window
+  // vectors are stable (outer vector sized once), so the pointers stay
+  // valid for the duration of each Decide() call.
+  control::FleetTelemetry telemetry;
+  telemetry.duration_s = options.duration_s;
+  telemetry.window_s = options.window_s;
+  telemetry.budget_per_hour = options_.budget_per_hour;
+  telemetry.models.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // Run-invariant fields, filled once; the per-barrier snapshot below
+    // only refreshes what actually moves.
+    const std::size_t i = indices[j];
+    telemetry.models[j].model = names_[i];
+    telemetry.models[j].arrival_scale = model_options_[i].arrival_scale;
+    telemetry.models[j].qos_ms = sessions_[i].qos_ms();
+    telemetry.models[j].windows = &windows[j];
+  }
+  auto snapshot_telemetry = [&](Time t, bool window_closed) {
+    telemetry.now = t;
+    telemetry.window_closed = window_closed;
+    telemetry.windows_closed = n > 0 ? windows[0].size() : 0;
+    telemetry.last_reallocation = last_realloc_time;
+    for (std::size_t j = 0; j < n; ++j) {
+      control::ModelTelemetry& model = telemetry.models[j];
+      model.share_per_hour = shares[j];
+      model.offered = engines[j]->Offered();
+      model.served = engines[j]->Served();
+      model.backlog = engines[j]->Backlog();
+      const double elapsed = std::max(t - last_realloc_time, 1e-9);
+      model.observed_rate_qps =
+          static_cast<double>(model.offered - offered_at_realloc[j]) /
+          elapsed;
+      // After a kResetMonitor the planning monitor *is* the live window;
+      // what the current configuration was planned against is then the
+      // frozen reference, not the window's moving mean (which would make
+      // plan_mean_batch track live_mean_batch and contradict `drift`).
+      model.plan_mean_batch =
+          !live_monitors.empty() && plan_monitors[j] == &live_monitors[j]
+              ? live_monitors[j].reference_mean_batch()
+              : plan_monitors[j]->MeanBatch();
+      if (!live_monitors.empty()) {
+        model.live_mean_batch = live_monitors[j].MeanBatch();
+        model.live_queries = live_monitors[j].Count();
+        model.drift = live_monitors[j].BatchMixDrift();
+      } else {
+        model.live_mean_batch = 0.0;
+        model.live_queries = 0;
+        model.drift = 0.0;
+      }
+    }
+  };
+
   // The barrier drive loop. Advancing a shard fires its own arrivals,
-  // completions, policy rounds and load shifts up to the barrier — work
-  // that never touches another shard — so the shards run concurrently on
-  // a pool reused across barriers. Window snapshots and reallocation run
-  // joined, on this thread, exactly as the single-threaded walk would.
+  // completions, policy rounds, load shifts and live-monitor taps up to
+  // the barrier — work that never touches another shard — so the shards
+  // run concurrently on a pool reused across barriers. The shared step —
+  // window snapshots, telemetry, controller decisions, action
+  // application — runs joined, on this thread, exactly as the
+  // single-threaded walk would; the whole control loop is therefore
+  // bit-identical for every serve_threads value.
   const std::size_t workers = ParallelismFor(options.serve_threads, n);
   std::unique_ptr<ThreadPool> pool;
   if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
@@ -570,15 +780,21 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
         windows[j].push_back(engines[j]->TakeWindow());
       }
     }
-    if ((kinds & kReallocBarrier) != 0) {
-      rebalance();
-      if (!realloc_status.ok()) return realloc_status;
+    // The horizon barrier only closes the final window: an action applied
+    // there could never serve a query, so the controller is not consulted
+    // — centrally, rather than as a guard every controller must remember.
+    if (controller != nullptr && t < options.duration_s - 1e-9) {
+      snapshot_telemetry(t, (kinds & kWindowBarrier) != 0);
+      apply_actions(t, controller->Decide(telemetry));
+      if (!control_status.ok()) return control_status;
     }
   }
 
   FleetServeResult result;
   result.duration_s = options.duration_s;
   result.reallocations = reallocations;
+  result.monitor_resets = monitor_resets;
+  result.control_log = std::move(control_log);
   result.final_shares_per_hour = std::move(shares);
   for (std::size_t j = 0; j < n; ++j) {
     FleetModelServe serve;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "control/controller.h"
 #include "core/allocator.h"
 #include "core/kairos.h"
 #include "core/planner_backend.h"
@@ -145,14 +146,24 @@ struct FleetServeOptions {
   double base_rate_qps = 40.0;
   /// Cadence of per-model WindowedMetrics snapshots.
   double window_s = 5.0;
-  /// Period of allocator re-invocation: every period the fleet reads each
-  /// model's observed arrival rate over the elapsed period, re-splits the
-  /// global budget with the configured allocator (demand-weighted), re-plans
-  /// every model inside its new share, and reconfigures the live engines
-  /// (instance launches obey launch_lag_s). 0 = frozen allocation — the
-  /// initial plan serves the whole run (the baseline ServeAll compares
-  /// against).
+  /// Cadence of the "PERIODIC" controller when no `controller` is named:
+  /// every period the fleet reads each model's observed arrival rate over
+  /// the elapsed period, re-splits the global budget with the configured
+  /// allocator (demand-weighted), re-plans every model inside its new
+  /// share, and reconfigures the live engines (instance launches obey
+  /// launch_lag_s). 0 = frozen allocation — the initial plan serves the
+  /// whole run. With a named `controller` this only seeds its "period_s"
+  /// knob (when declared and not overridden in controller_knobs).
   double realloc_period_s = 0.0;
+  /// Control-plane strategy (ControllerRegistry name: PERIODIC, QOS,
+  /// BACKLOG, DRIFT, COMPOSITE). "" keeps the legacy wiring — "PERIODIC"
+  /// when realloc_period_s > 0, no control loop otherwise. The controller
+  /// is consulted at every barrier of the merged window/decision grid
+  /// with a FleetTelemetry snapshot and its ControlActions are applied to
+  /// the live engines (see control/controller.h).
+  std::string controller;
+  /// Knob overrides for the named controller (e.g. QOS's "p99_scale").
+  control::KnobMap controller_knobs;
   /// Engine launch lag for mid-run reconfigurations, simulated seconds.
   double launch_lag_s = 1.0;
   /// Threads advancing the per-model shards concurrently between barriers
@@ -180,6 +191,14 @@ struct FleetModelServe {
   double qps = 0.0;
 };
 
+/// One applied control-plane decision (FleetServeResult::control_log).
+struct FleetControlEvent {
+  Time time = 0.0;                  ///< barrier the action fired at
+  control::ControlActionKind kind = control::ControlActionKind::kReallocate;
+  std::string model;                ///< target serving name; "" = fleet-wide
+  std::string reason;               ///< the controller's stated trigger
+};
+
 /// The fleet co-simulation answer.
 struct FleetServeResult {
   std::vector<FleetModelServe> models;  ///< plan order
@@ -190,6 +209,12 @@ struct FleetServeResult {
   double total_weighted_qps = 0.0;
   /// Allocator re-invocations that actually ran.
   std::size_t reallocations = 0;
+  /// Monitor resets applied (DRIFT switching a model's planning mix to
+  /// the live stream).
+  std::size_t monitor_resets = 0;
+  /// Every applied ControlAction in barrier order. Deterministic: the
+  /// same sequence for every serve_threads value (tests/control_test.cc).
+  std::vector<FleetControlEvent> control_log;
   /// Per-model $/hr shares after the last reallocation (the initial plan's
   /// shares when none ran); plan order.
   std::vector<double> final_shares_per_hour;
@@ -257,22 +282,31 @@ class Fleet {
   /// Serves every model of `plan` *online*, co-simulated on one shared
   /// window grid. Each model is a shard — its own engine on its own
   /// clock — and all shards advance concurrently (serve_threads workers)
-  /// to each barrier of the merged window/reallocation grid, join, run
-  /// the shared step (window snapshots, budget reallocation) on the
-  /// driving thread, and repeat; shards share no mutable state between
-  /// barriers, so the results are bit-identical for every thread count.
-  /// Each model streams from a registry-built QuerySource — its named
-  /// trace mix when set, PRODUCTION otherwise — at
-  /// base_rate_qps * arrival_scale_i, Poisson arrivals. FleetLoadShifts
-  /// rescale a model's stream mid-run; with realloc_period_s > 0 the
-  /// configured allocator periodically re-splits the budget using the
-  /// *observed* per-model arrival rates as demand and the live engines
-  /// are reconfigured in place (launch lag modeled).
+  /// to each barrier of the merged window/decision grid, join, run the
+  /// shared step on the driving thread, and repeat; shards share no
+  /// mutable state between barriers, so the results are bit-identical
+  /// for every thread count. Each model streams from a registry-built
+  /// QuerySource — its named trace mix when set, PRODUCTION otherwise —
+  /// at base_rate_qps * arrival_scale_i, Poisson arrivals;
+  /// FleetLoadShifts rescale a model's stream mid-run.
+  ///
+  /// The shared barrier step is the control plane: window snapshots are
+  /// taken, a FleetTelemetry snapshot is built (windowed metrics
+  /// history, observed arrival rates, engine backlog depths, live
+  /// batch-mix statistics), and the configured FleetController decides.
+  /// kReallocate re-splits the global budget on the observed demand,
+  /// re-plans every model inside its new share and reconfigures the live
+  /// engines (launch lag modeled); kResetMonitor drops a model's stale
+  /// planning-time mix and re-plans it against the live stream's sliding
+  /// window from then on. The legacy wiring (controller == "",
+  /// realloc_period_s > 0) routes through "PERIODIC" and reproduces the
+  /// fixed-timer loop bit for bit (tests/fleet_serve_test.cc).
   ///
   /// Errors: kInvalidArgument (non-positive duration/rate/window/period,
   /// unknown shift model, shift scale <= 0, shift time outside the
-  /// horizon), kNotFound (plan model not in the fleet),
-  /// kFailedPrecondition (empty monitor when realloc_period_s > 0).
+  /// horizon, bad controller knobs), kNotFound (plan model not in the
+  /// fleet, unknown controller name), kFailedPrecondition (empty monitor
+  /// when a controller is configured).
   StatusOr<FleetServeResult> ServeAll(const FleetPlan& plan,
                                       FleetServeOptions options = {}) const;
 

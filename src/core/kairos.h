@@ -15,12 +15,16 @@
 // fleet budget splitting through kairos::AllocatorRegistry
 // (core/allocator.h: STATIC, MARGINAL), streaming query sources through
 // kairos::QuerySourceRegistry (workload/query_source.h: TRACE, POISSON,
-// UNIFORM, GAUSSIAN, PRODUCTION), and multi-model serving under one
+// UNIFORM, GAUSSIAN, PRODUCTION), fleet control-plane strategies through
+// kairos::ControllerRegistry (control/controller.h: PERIODIC, QOS,
+// BACKLOG, DRIFT, COMPOSITE), and multi-model serving under one
 // budget through kairos::Fleet (core/fleet.h). Online serving is the
 // serving::Engine (serving/engine.h, built via Runtime::MakeEngine or
 // co-simulated fleet-wide via Fleet::ServeAll); Runtime::Serve remains
 // as the batch compatibility shim. MakePolicyFactory below survives as
-// a deprecated shim over the policy registry.
+// a deprecated shim over the policy registry, and
+// QueryMonitor::Snapshot() now returns StatusOr instead of throwing —
+// the same Status migration, applied to the monitoring surface.
 #pragma once
 
 #include <memory>

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/stats.h"
+#include "workload/monitor.h"
 
 namespace kairos::serving {
 
@@ -322,10 +323,15 @@ WindowedMetrics Engine::TakeWindow() {
     window.offered_qps = static_cast<double>(window.offered) / span;
     window.qps = static_cast<double>(window.served) / span;
   }
+  if (window.offered > 0) {
+    window.mean_batch =
+        window_batch_sum_ / static_cast<double>(window.offered);
+  }
   window_start_ = window.end;
   window_offered_ = 0;
   window_served_ = 0;
   window_violations_ = 0;
+  window_batch_sum_ = 0.0;
   window_latencies_ms_.clear();
   return window;
 }
@@ -346,6 +352,8 @@ RunResult Engine::Totals() const {
 
 void Engine::OnArrival(const workload::Query& q) {
   ++window_offered_;
+  window_batch_sum_ += q.batch_size;
+  if (monitor_tap_ != nullptr) monitor_tap_->Observe(q.batch_size);
   waiting_.push_back(q);
   RunRound();
 }

@@ -37,6 +37,10 @@
 #include "sim/simulator.h"
 #include "workload/query_source.h"
 
+namespace kairos::workload {
+class QueryMonitor;  // workload/monitor.h — the live-mix tap target
+}  // namespace kairos::workload
+
 namespace kairos::serving {
 
 /// Engine lifecycle states (DESIGN.md Sec. 8).
@@ -61,6 +65,10 @@ struct WindowedMetrics {
   double mean_ms = 0.0;        ///< mean latency of the window's completions
   double offered_qps = 0.0;    ///< offered / (end - start)
   double qps = 0.0;            ///< served / (end - start)
+  /// Mean batch size of the window's *arrivals* (0 when none): the batch-
+  /// mix signal drift-aware controllers compare against the planning-time
+  /// monitor snapshot.
+  double mean_batch = 0.0;
 };
 
 /// Streaming-engine knobs.
@@ -176,6 +184,27 @@ class Engine {
   /// per-completion vectors); periodic pollers should read this.
   std::size_t Offered() const { return totals_.offered; }
 
+  /// Completions so far. Cheap, like Offered().
+  std::size_t Served() const { return totals_.served; }
+
+  /// Backlog depth: queries accepted but not yet completed. For
+  /// source-fed engines (emissions join the ledger on arrival) this is
+  /// exactly the in-system population — central queue + per-instance
+  /// FIFOs + executing — which is what backlog-autoscaling controllers
+  /// read at every barrier. Programmatic Submit()s count from
+  /// *submission* (batch semantics), so a trace scheduled ahead inflates
+  /// this until its arrivals fire.
+  std::size_t Backlog() const { return totals_.offered - totals_.served; }
+
+  /// Attaches a sliding-window monitor fed one Observe() per arrival
+  /// (batch sizes of the *live* stream, in arrival order). The monitor
+  /// must outlive the engine; nullptr detaches. Used by the fleet
+  /// control plane to compare the live batch mix against the planning-
+  /// time snapshot and to re-plan after a monitor reset.
+  void SetMonitorTap(workload::QueryMonitor* monitor) {
+    monitor_tap_ = monitor;
+  }
+
   /// The configuration the engine is moving toward (pending launches
   /// included); equals the live configuration once they are online.
   const cloud::Config& target_config() const { return target_config_; }
@@ -240,6 +269,7 @@ class Engine {
   cloud::Config target_config_;
 
   EngineState state_ = EngineState::kServing;
+  workload::QueryMonitor* monitor_tap_ = nullptr;  ///< live-mix observer
   Rng rng_;
   double arrival_scale_ = 1.0;
   workload::QueryId next_source_id_ = 1u << 20;  ///< clear of trace ids
@@ -252,6 +282,7 @@ class Engine {
   std::size_t window_offered_ = 0;
   std::size_t window_served_ = 0;
   std::size_t window_violations_ = 0;
+  double window_batch_sum_ = 0.0;  ///< sum of arrival batch sizes
   std::vector<double> window_latencies_ms_;
 };
 

@@ -1,6 +1,7 @@
 #include "workload/monitor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "latency/latency_model.h"
@@ -62,11 +63,23 @@ double QueryMonitor::MeanBatchAbove(int s) const {
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
-EmpiricalBatches QueryMonitor::Snapshot() const {
+StatusOr<EmpiricalBatches> QueryMonitor::Snapshot() const {
   if (recent_.empty()) {
-    throw std::logic_error("QueryMonitor::Snapshot: empty window");
+    return Status::FailedPrecondition(
+        "QueryMonitor::Snapshot: empty window; Observe() queries (or warm "
+        "from a mix) before snapshotting");
   }
   return EmpiricalBatches(std::vector<int>(recent_.begin(), recent_.end()));
+}
+
+void QueryMonitor::MarkPlanningReference(double reference_mean) {
+  reference_mean_batch_ = reference_mean;
+}
+
+double QueryMonitor::BatchMixDrift() const {
+  if (reference_mean_batch_ <= 0.0 || total_in_window_ == 0) return 0.0;
+  return std::abs(MeanBatch() - reference_mean_batch_) /
+         reference_mean_batch_;
 }
 
 void QueryMonitor::Reset() {

@@ -8,6 +8,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/status.h"
 #include "workload/batch_dist.h"
 
 namespace kairos::workload {
@@ -37,12 +38,32 @@ class QueryMonitor {
   /// Mean batch size restricted to queries with batch > s (0 if none).
   double MeanBatchAbove(int s) const;
 
-  /// Snapshot of the window as an empirical distribution; throws when the
-  /// window is empty.
-  EmpiricalBatches Snapshot() const;
+  /// Snapshot of the window as an empirical distribution.
+  /// kFailedPrecondition when the window is empty (warm the monitor
+  /// first). Until PR 5 this threw std::logic_error; it now follows the
+  /// Status-based error convention of the rest of the public API (the
+  /// same migration MakePolicyFactory -> PolicyRegistry::Build went
+  /// through — see the deprecation note in core/kairos.h).
+  StatusOr<EmpiricalBatches> Snapshot() const;
+
+  /// Marks `reference_mean` as the planning-time batch mix that
+  /// BatchMixDrift() measures against. The no-argument form freezes the
+  /// monitor's own current MeanBatch() — call it right after planning.
+  void MarkPlanningReference(double reference_mean);
+  void MarkPlanningReference() { MarkPlanningReference(MeanBatch()); }
+
+  /// The marked planning-time mean batch size; 0 when never marked.
+  double reference_mean_batch() const { return reference_mean_batch_; }
+
+  /// Windowed drift statistic: |MeanBatch() - reference| / reference —
+  /// the relative shift of the current window's mean batch size from the
+  /// planning-time snapshot. 0 while the window is empty or no reference
+  /// is marked, so callers can gate on it without extra emptiness checks.
+  double BatchMixDrift() const;
 
   /// Clears the window (used when the workload regime changes and stale
-  /// statistics should be dropped).
+  /// statistics should be dropped). The planning reference survives — it
+  /// describes the plan, not the window.
   void Reset();
 
  private:
@@ -51,6 +72,7 @@ class QueryMonitor {
   std::vector<std::size_t> histogram_;  // index = batch size, 0 unused
   std::size_t total_in_window_ = 0;
   double sum_in_window_ = 0.0;
+  double reference_mean_batch_ = 0.0;
 };
 
 }  // namespace kairos::workload

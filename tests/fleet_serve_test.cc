@@ -191,6 +191,14 @@ void ExpectBitIdentical(const FleetServeResult& a, const FleetServeResult& b) {
   EXPECT_EQ(a.total_qps, b.total_qps);
   EXPECT_EQ(a.total_weighted_qps, b.total_weighted_qps);
   EXPECT_EQ(a.reallocations, b.reallocations);
+  EXPECT_EQ(a.monitor_resets, b.monitor_resets);
+  ASSERT_EQ(a.control_log.size(), b.control_log.size());
+  for (std::size_t e = 0; e < a.control_log.size(); ++e) {
+    EXPECT_EQ(a.control_log[e].time, b.control_log[e].time);
+    EXPECT_EQ(a.control_log[e].kind, b.control_log[e].kind);
+    EXPECT_EQ(a.control_log[e].model, b.control_log[e].model);
+    EXPECT_EQ(a.control_log[e].reason, b.control_log[e].reason);
+  }
   ASSERT_EQ(a.final_shares_per_hour.size(), b.final_shares_per_hour.size());
   for (std::size_t j = 0; j < a.final_shares_per_hour.size(); ++j) {
     EXPECT_EQ(a.final_shares_per_hour[j], b.final_shares_per_hour[j]);
@@ -217,7 +225,43 @@ void ExpectBitIdentical(const FleetServeResult& a, const FleetServeResult& b) {
       EXPECT_EQ(ma.windows[w].mean_ms, mb.windows[w].mean_ms);
       EXPECT_EQ(ma.windows[w].offered_qps, mb.windows[w].offered_qps);
       EXPECT_EQ(ma.windows[w].qps, mb.windows[w].qps);
+      EXPECT_EQ(ma.windows[w].mean_batch, mb.windows[w].mean_batch);
     }
+  }
+}
+
+// The PR 5 refactor contract: the legacy spelling (realloc_period_s > 0,
+// no named controller) and the explicit "PERIODIC" controller must be the
+// same loop — windows, totals, shares and control log bit-identical for
+// every serve_threads. (The pre-refactor fixed-timer loop itself was
+// fingerprinted at full precision before the control plane landed and the
+// PERIODIC path reproduces it exactly; this test keeps the two spellings
+// pinned together from here on.)
+TEST(FleetServeTest, ExplicitPeriodicControllerEqualsLegacyWiring) {
+  const Fleet fleet = MakeFleet();
+  const auto plan = fleet.PlanAll();
+  ASSERT_TRUE(plan.ok());
+
+  FleetServeOptions legacy;
+  legacy.duration_s = 30.0;
+  legacy.base_rate_qps = 18.0;
+  legacy.window_s = 5.0;
+  legacy.realloc_period_s = 7.5;  // off the window grid on purpose
+  legacy.launch_lag_s = 1.0;
+  legacy.shifts = {FleetLoadShift{12.0, "RM2", 4.0}};
+
+  FleetServeOptions explicit_periodic = legacy;
+  explicit_periodic.controller = "PERIODIC";  // period_s inherited
+
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    legacy.serve_threads = threads;
+    explicit_periodic.serve_threads = threads;
+    const auto a = fleet.ServeAll(*plan, legacy);
+    const auto b = fleet.ServeAll(*plan, explicit_periodic);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->reallocations, 3u);
+    ExpectBitIdentical(*a, *b);
   }
 }
 

@@ -195,15 +195,44 @@ TEST(QueryMonitorTest, EmptyWindowIsZeroes) {
   QueryMonitor mon(10);
   EXPECT_DOUBLE_EQ(mon.FractionAtOrBelow(500), 0.0);
   EXPECT_DOUBLE_EQ(mon.MeanBatch(), 0.0);
-  EXPECT_THROW(mon.Snapshot(), std::logic_error);
+  // Status-based since PR 5 (was a std::logic_error throw).
+  const auto snap = mon.Snapshot();
+  EXPECT_EQ(snap.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(QueryMonitorTest, SnapshotReplaysWindow) {
   QueryMonitor mon(100);
   for (int i = 0; i < 50; ++i) mon.Observe(42);
-  const EmpiricalBatches snap = mon.Snapshot();
+  const auto snap = mon.Snapshot();
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
   Rng rng(15);
-  EXPECT_EQ(snap.Sample(rng), 42);
+  EXPECT_EQ(snap->Sample(rng), 42);
+}
+
+TEST(QueryMonitorTest, BatchMixDriftMeasuresShiftFromPlanningReference) {
+  QueryMonitor mon(100);
+  for (int i = 0; i < 10; ++i) mon.Observe(100);
+  EXPECT_DOUBLE_EQ(mon.BatchMixDrift(), 0.0);  // no reference marked yet
+  mon.MarkPlanningReference();
+  EXPECT_DOUBLE_EQ(mon.reference_mean_batch(), 100.0);
+  EXPECT_DOUBLE_EQ(mon.BatchMixDrift(), 0.0);
+
+  // The live mix shifts lighter: ten 50s join the ten 100s.
+  for (int i = 0; i < 10; ++i) mon.Observe(50);
+  EXPECT_DOUBLE_EQ(mon.MeanBatch(), 75.0);
+  EXPECT_DOUBLE_EQ(mon.BatchMixDrift(), 0.25);
+
+  // An explicit reference (e.g. another monitor's planning-time mean).
+  mon.MarkPlanningReference(150.0);
+  EXPECT_DOUBLE_EQ(mon.BatchMixDrift(), 0.5);
+
+  // Reset drops the window but keeps the reference: drift reads 0 until
+  // fresh samples arrive, then measures against the surviving reference.
+  mon.Reset();
+  EXPECT_DOUBLE_EQ(mon.BatchMixDrift(), 0.0);
+  EXPECT_DOUBLE_EQ(mon.reference_mean_batch(), 150.0);
+  mon.Observe(75);
+  EXPECT_DOUBLE_EQ(mon.BatchMixDrift(), 0.5);
 }
 
 TEST(QueryMonitorTest, ResetClears) {
