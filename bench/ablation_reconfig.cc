@@ -94,7 +94,7 @@ int main() {
       for (const cloud::ReconfigPhase& phase :
            cloud::PlanReconfiguration(current, next, launch_delay, hold)) {
         serve_on(phase.active, phase.duration);
-        meter.Accrue(phase.billed, phase.duration);
+        bench::OrDie(meter.Accrue(phase.billed, phase.duration));
       }
       current = next;
       clock += hold;

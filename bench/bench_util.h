@@ -33,6 +33,14 @@ T OrDie(StatusOr<T> result) {
   return *std::move(result);
 }
 
+/// Status flavor, for fallible calls without a payload.
+inline void OrDie(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "bench: " << status.ToString() << "\n";
+    std::abort();
+  }
+}
+
 /// Table-3 model order used by every multi-model figure.
 inline const std::vector<std::string>& Models() {
   static const std::vector<std::string> models = {"NCF", "RM2", "WND",

@@ -16,7 +16,7 @@ import json
 import sys
 
 
-def load_metrics(path: str, role: str) -> dict:
+def load_doc(path: str, role: str) -> dict:
     """Reads {"metrics": {name: {"value": ...}}} with clear errors instead
     of KeyError tracebacks on malformed files."""
     try:
@@ -35,7 +35,7 @@ def load_metrics(path: str, role: str) -> dict:
                 or not isinstance(entry["value"], (int, float))):
             sys.exit(f"error: {role} metric \"{name}\" in {path} has no "
                      "numeric \"value\" field")
-    return metrics
+    return doc
 
 
 def main() -> int:
@@ -46,8 +46,21 @@ def main() -> int:
                         help="allowed slowdown factor (default 2.0)")
     args = parser.parse_args()
 
-    current = load_metrics(args.current, "current")
-    baseline = load_metrics(args.baseline, "baseline")
+    current_doc = load_doc(args.current, "current")
+    baseline_doc = load_doc(args.baseline, "baseline")
+    current = current_doc["metrics"]
+    baseline = baseline_doc["metrics"]
+
+    # A single-core baseline cannot anchor the threaded-speedup metrics:
+    # serve_all_speedup_* degenerates to ~1x however good the sharded loop
+    # is. Warn (non-fatal) so a baseline refreshed on a starved machine is
+    # caught at review instead of silently lowering the bar.
+    if baseline_doc.get("hardware_concurrency") == 1:
+        print("warning: baseline was recorded with hardware_concurrency=1 "
+              "(single-core machine); threaded speedup metrics are "
+              "meaningless at this concurrency — refresh "
+              "bench/baselines/perf_baseline.json on a multi-core machine "
+              "when one is available", file=sys.stderr)
 
     missing_from_current = sorted(set(baseline) - set(current))
     missing_from_baseline = sorted(set(current) - set(baseline))

@@ -1,0 +1,157 @@
+// "COMPOSITE": a scripted *combination* of injectors run on one schedule.
+// Arm() arms every child (any failure aborts the arm), FaultTimes() is the
+// union of the children's timelines, Apply() runs the children in the
+// order given so a deterministic storm mixes spot reclamations, abrupt
+// deaths and fabric degradation without the children knowing about each
+// other. Market() surfaces the first child quoting a market for a model.
+#include <string>
+#include <utility>
+
+#include "chaos/injectors.h"
+
+namespace kairos::chaos {
+namespace {
+
+class CompositeChaos final : public ChaosInjector {
+ public:
+  explicit CompositeChaos(std::vector<std::unique_ptr<ChaosInjector>> children)
+      : children_(std::move(children)) {}
+
+  std::string Name() const override { return "COMPOSITE"; }
+
+  Status Arm(const ChaosSchedule& schedule) override {
+    if (children_.empty()) {
+      return Status::InvalidArgument(
+          "COMPOSITE chaos built with every child toggled off; enable at "
+          "least one of spot / death / net");
+    }
+    for (const auto& child : children_) {
+      if (child == nullptr) {
+        return Status::InvalidArgument("COMPOSITE chaos given a null child");
+      }
+      const Status armed = child->Arm(schedule);
+      if (!armed.ok()) {
+        return Status(armed.code(), "COMPOSITE child " + child->Name() +
+                                        ": " + armed.message());
+      }
+    }
+    return Status::Ok();
+  }
+
+  std::vector<Time> FaultTimes() const override {
+    std::vector<Time> times;
+    for (const auto& child : children_) {
+      const std::vector<Time> child_times = child->FaultTimes();
+      times.insert(times.end(), child_times.begin(), child_times.end());
+    }
+    return times;  // the fleet dedups barrier times itself
+  }
+
+  std::vector<ChaosEvent> Apply(Time now, ChaosTarget& target) override {
+    std::vector<ChaosEvent> events;
+    for (const auto& child : children_) {
+      std::vector<ChaosEvent> child_events = child->Apply(now, target);
+      events.insert(events.end(),
+                    std::make_move_iterator(child_events.begin()),
+                    std::make_move_iterator(child_events.end()));
+    }
+    return events;
+  }
+
+  const cloud::SpotMarket* Market(std::size_t model) const override {
+    for (const auto& child : children_) {
+      if (const cloud::SpotMarket* market = child->Market(model)) {
+        return market;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ChaosInjector>> children_;
+};
+
+const ChaosRegistrar kComposite(
+    ChaosInfo{"COMPOSITE",
+              "combination storm: spot/death/net toggle the children; the "
+              "remaining knobs parameterize whichever children are on "
+              "(model -1 targets every model, seed 0 derives from the run "
+              "seed)",
+              {{"spot", 1.0},
+               {"death", 0.0},
+               {"net", 0.0},
+               {"rate_per_hour", 30.0},
+               {"notice_s", 2.0},
+               {"discount", 0.35},
+               {"death_rate_per_hour", 10.0},
+               {"net_start_s", 0.0},
+               {"net_end_s", 0.0},
+               {"base_us", 2000.0},
+               {"jitter_sigma", 0.5},
+               {"loss_prob", 0.05},
+               {"model", -1.0},
+               {"seed", 0.0}}},
+    [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<ChaosInjector>> {
+      const double model_knob = knobs.at("model");
+      const std::size_t model =
+          model_knob < 0.0 ? kAllModels
+                           : static_cast<std::size_t>(model_knob);
+      const auto seed = static_cast<std::uint64_t>(knobs.at("seed"));
+      std::vector<std::unique_ptr<ChaosInjector>> children;
+      if (knobs.at("spot") != 0.0) {
+        SpotPreemptionOptions spot;
+        spot.market.reclaim_rate_per_hour = knobs.at("rate_per_hour");
+        spot.market.notice_s = knobs.at("notice_s");
+        spot.market.discount = knobs.at("discount");
+        const Status market = spot.market.Validate();
+        if (!market.ok()) {
+          return Status(market.code(),
+                        "chaos injector COMPOSITE: " + market.message());
+        }
+        spot.model = model;
+        spot.seed = seed;
+        children.push_back(MakeSpotPreemption(spot));
+      }
+      if (knobs.at("death") != 0.0) {
+        InstanceDeathOptions death;
+        death.rate_per_hour = knobs.at("death_rate_per_hour");
+        if (death.rate_per_hour < 0.0) {
+          return Status::InvalidArgument(
+              "chaos injector COMPOSITE: death_rate_per_hour must be >= 0");
+        }
+        death.model = model;
+        death.seed = seed;
+        children.push_back(MakeInstanceDeath(death));
+      }
+      if (knobs.at("net") != 0.0) {
+        NetDegradeOptions net;
+        net.start_s = knobs.at("net_start_s");
+        net.end_s = knobs.at("net_end_s");
+        net.base_us = knobs.at("base_us");
+        net.jitter_sigma = knobs.at("jitter_sigma");
+        net.loss_prob = knobs.at("loss_prob");
+        const Status fabric = rpc::NetworkModel::Validate(
+            net.base_us, net.jitter_sigma, net.loss_prob);
+        if (!fabric.ok()) {
+          return Status(fabric.code(),
+                        "chaos injector COMPOSITE: " + fabric.message());
+        }
+        net.model = model;
+        children.push_back(MakeNetDegrade(net));
+      }
+      if (children.empty()) {
+        return Status::InvalidArgument(
+            "chaos injector COMPOSITE: every child is toggled off; set at "
+            "least one of spot, death, net to 1");
+      }
+      return MakeCompositeChaos(std::move(children));
+    });
+
+}  // namespace
+
+std::unique_ptr<ChaosInjector> MakeCompositeChaos(
+    std::vector<std::unique_ptr<ChaosInjector>> children) {
+  return std::make_unique<CompositeChaos>(std::move(children));
+}
+
+}  // namespace kairos::chaos

@@ -1,76 +1,75 @@
-#include "control/controller.h"
+#include "chaos/injector.h"
 
 #include <utility>
 
 #include "common/strings.h"
 
-namespace kairos::control {
+namespace kairos::chaos {
 
-const char* ControlActionName(ControlActionKind kind) {
+const char* ChaosEventName(ChaosEventKind kind) {
   switch (kind) {
-    case ControlActionKind::kReallocate: return "REALLOCATE";
-    case ControlActionKind::kResetMonitor: return "RESET_MONITOR";
-    case ControlActionKind::kRespread: return "RESPREAD";
-    case ControlActionKind::kFailover: return "FAILOVER";
+    case ChaosEventKind::kPreemptionNotice: return "PREEMPTION_NOTICE";
+    case ChaosEventKind::kPreemption: return "PREEMPTION";
+    case ChaosEventKind::kInstanceDeath: return "INSTANCE_DEATH";
+    case ChaosEventKind::kNetDegrade: return "NET_DEGRADE";
+    case ChaosEventKind::kNetRestore: return "NET_RESTORE";
   }
   return "UNKNOWN";
 }
 
-ControllerRegistry& ControllerRegistry::Global() {
-  static ControllerRegistry* registry = new ControllerRegistry();
+ChaosRegistry& ChaosRegistry::Global() {
+  static ChaosRegistry* registry = new ChaosRegistry();
   return *registry;
 }
 
-Status ControllerRegistry::Register(ControllerInfo info,
-                                    ControllerBuilder builder) {
+Status ChaosRegistry::Register(ChaosInfo info, ChaosBuilder builder) {
   const std::string canonical = policy::CanonicalSchemeName(info.name);
   if (canonical.empty()) {
-    return Status::InvalidArgument("controller registration with empty name");
+    return Status::InvalidArgument("chaos registration with empty name");
   }
   if (builder == nullptr) {
-    return Status::InvalidArgument("controller " + canonical +
+    return Status::InvalidArgument("chaos injector " + canonical +
                                    " registered without a builder");
   }
   info.name = canonical;
   const auto [it, inserted] =
       entries_.emplace(canonical, Entry{std::move(info), std::move(builder)});
   if (!inserted) {
-    return Status::InvalidArgument("controller " + it->first +
+    return Status::InvalidArgument("chaos injector " + it->first +
                                    " registered twice");
   }
   return Status::Ok();
 }
 
-std::vector<std::string> ControllerRegistry::ListNames() const {
+std::vector<std::string> ChaosRegistry::ListNames() const {
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
   return names;
 }
 
-bool ControllerRegistry::Contains(const std::string& name) const {
+bool ChaosRegistry::Contains(const std::string& name) const {
   return entries_.count(policy::CanonicalSchemeName(name)) > 0;
 }
 
-StatusOr<ControllerRegistry::Entry> ControllerRegistry::Find(
+StatusOr<ChaosRegistry::Entry> ChaosRegistry::Find(
     const std::string& name) const {
   const auto it = entries_.find(policy::CanonicalSchemeName(name));
   if (it == entries_.end()) {
-    return Status::NotFound("unknown controller \"" + name +
-                            "\"; registered controllers: " +
+    return Status::NotFound("unknown chaos injector \"" + name +
+                            "\"; registered injectors: " +
                             JoinComma(ListNames()));
   }
   return it->second;
 }
 
-StatusOr<ControllerInfo> ControllerRegistry::Info(
-    const std::string& name) const {
+StatusOr<ChaosInfo> ChaosRegistry::Info(const std::string& name) const {
   auto entry = Find(name);
   if (!entry.ok()) return entry.status();
   return entry->info;
 }
 
-StatusOr<std::unique_ptr<FleetController>> ControllerRegistry::Build(
+StatusOr<std::unique_ptr<ChaosInjector>> ChaosRegistry::Build(
     const std::string& name, const KnobMap& overrides) const {
   auto entry = Find(name);
   if (!entry.ok()) return entry.status();
@@ -82,7 +81,7 @@ StatusOr<std::unique_ptr<FleetController>> ControllerRegistry::Build(
       declared.reserve(knobs.size());
       for (const auto& [k, v] : knobs) declared.push_back(k);
       return Status::InvalidArgument(
-          "controller " + entry->info.name + " has no knob \"" + knob +
+          "chaos injector " + entry->info.name + " has no knob \"" + knob +
           "\"; declared knobs: " +
           (declared.empty() ? "(none)" : JoinComma(declared)));
     }
@@ -91,4 +90,4 @@ StatusOr<std::unique_ptr<FleetController>> ControllerRegistry::Build(
   return entry->builder(knobs);
 }
 
-}  // namespace kairos::control
+}  // namespace kairos::chaos

@@ -1,0 +1,216 @@
+// The chaos subsystem (DESIGN.md Sec. 11): seeded, deterministic fault
+// injectors for the fleet co-simulation. ROADMAP's "chaos and failure
+// scenarios" item — the cost-efficiency story only matters if it survives
+// what production actually does: spot reclamation, instance death,
+// degraded networks. Injectors are registry-selected like every other
+// strategy in the repo (PolicyRegistry / ControllerRegistry / ...):
+//
+//   * SPOT_PREEMPTION — a preemptible market (cloud::SpotMarket): Poisson
+//                       reclamation timelines with a notice window and a
+//                       spot discount on the model's billed spend;
+//   * INSTANCE_DEATH  — abrupt Poisson kills, no notice, no discount;
+//   * NET_DEGRADE     — swap a degraded rpc::NetworkModel (base/jitter/
+//                       loss) under the dispatcher<->instance fabric for
+//                       a time window;
+//   * COMPOSITE       — schedule any of the above together on one
+//                       timeline (scripted timelines go through
+//                       MakeScriptedChaos, chaos/injectors.h).
+//
+// Determinism contract: Arm() precomputes the whole fault timeline from
+// the schedule seed (forked per injector and per model — never shared
+// with workload or policy streams); FaultTimes() turns the timeline into
+// co-simulation barriers; Apply() runs on the driving thread with every
+// shard quiesced at the barrier and must be a pure function of the armed
+// state. Fault application is therefore bit-identical for every
+// serve_threads value, and a run with no injector (or an injector armed
+// at rate 0) is bit-identical to a chaos-free build (tests/chaos_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/billing.h"    // SpotMarket
+#include "common/status.h"
+#include "common/time.h"
+#include "policy/registry.h"  // KnobMap + CanonicalSchemeName
+
+namespace kairos::rpc {
+class NetworkModel;  // rpc/netem.h
+}  // namespace kairos::rpc
+
+namespace kairos::chaos {
+
+/// Injectors reuse the policy registry's knob convention: named numeric
+/// tunables, booleans encoded as 0.0 / 1.0.
+using policy::KnobMap;
+
+/// Injector "model" target meaning "every served model".
+inline constexpr std::size_t kAllModels =
+    std::numeric_limits<std::size_t>::max();
+
+/// What one applied fault was (FleetServeResult::chaos_log).
+enum class ChaosEventKind {
+  kPreemptionNotice,  ///< spot reclamation notice; the hard kill follows
+  kPreemption,        ///< the reclamation's hard kill
+  kInstanceDeath,     ///< abrupt kill, no notice
+  kNetDegrade,        ///< degraded fabric installed
+  kNetRestore,        ///< pristine fabric restored
+};
+
+/// Human-readable event name ("PREEMPTION_NOTICE", ...).
+const char* ChaosEventName(ChaosEventKind kind);
+
+/// One fault the chaos plane applied.
+struct ChaosEvent {
+  Time time = 0.0;            ///< when the fault landed
+  ChaosEventKind kind = ChaosEventKind::kInstanceDeath;
+  std::size_t model = 0;      ///< served-plan model index
+  std::size_t instances = 0;  ///< instances noticed / killed (0 for net)
+  std::string detail;         ///< human-readable specifics
+};
+
+/// The shape of one ServeAll run, handed to Arm().
+struct ChaosSchedule {
+  double duration_s = 0.0;
+  double window_s = 0.0;
+  std::uint64_t seed = 0;      ///< the fleet seed; injectors fork from it
+  std::size_t num_models = 0;  ///< served-plan model count
+};
+
+/// The fleet surface a firing injector mutates. Implemented inside
+/// Fleet::ServeAll over the live shard engines; every call happens at a
+/// barrier, on the driving thread, with all shards quiesced.
+class ChaosTarget {
+ public:
+  virtual ~ChaosTarget() = default;
+
+  virtual std::size_t NumModels() const = 0;
+  virtual const std::string& ModelName(std::size_t model) const = 0;
+
+  /// Assignable (live, non-retiring) instances of `model` right now.
+  virtual std::size_t LiveInstances(std::size_t model) const = 0;
+
+  /// Issues `count` spot reclamation notices: each target stops taking
+  /// work immediately and is hard-killed notice_s seconds later unless it
+  /// drained first. Returns notices actually issued (the engine spares
+  /// its last assignable instance).
+  virtual std::size_t Preempt(std::size_t model, std::size_t count,
+                              double notice_s) = 0;
+
+  /// Hard-kills `count` instances right now; same survivor guarantee.
+  /// Returns the kills applied.
+  virtual std::size_t Kill(std::size_t model, std::size_t count) = 0;
+
+  /// Installs a copy of `net` as `model`'s dispatcher<->instance fabric.
+  virtual void DegradeNetwork(std::size_t model,
+                              const rpc::NetworkModel& net) = 0;
+
+  /// Restores `model`'s pristine zero-delay fabric.
+  virtual void RestoreNetwork(std::size_t model) = 0;
+};
+
+/// A fault-injection strategy. Implementations must uphold the
+/// determinism contract in the header comment.
+class ChaosInjector {
+ public:
+  virtual ~ChaosInjector() = default;
+
+  /// Canonical injector name ("SPOT_PREEMPTION", ...).
+  virtual std::string Name() const = 0;
+
+  /// Called once per ServeAll run, before serving starts. Must *fully*
+  /// reset per-run state (a programmatic injector may be reused across
+  /// runs) and precompute the seeded fault timeline. kInvalidArgument for
+  /// a target model index outside [0, num_models) or invalid parameters.
+  virtual Status Arm(const ChaosSchedule& schedule) = 0;
+
+  /// Times (inside [0, duration)) where armed faults are due; the fleet
+  /// merges them into its barrier grid. May be empty (rate 0).
+  virtual std::vector<Time> FaultTimes() const = 0;
+
+  /// Applies every armed fault with time <= now that has not fired yet;
+  /// returns what was done. Hard kills triggered by an earlier notice are
+  /// *not* reported here — they fire on the shard clock and surface
+  /// through serving::Engine::Faults().
+  virtual std::vector<ChaosEvent> Apply(Time now, ChaosTarget& target) = 0;
+
+  /// The spot market covering `model`; nullptr when the model rents on
+  /// demand. Fleet::ServeAll prices each model's billed spend with this.
+  virtual const cloud::SpotMarket* Market(std::size_t model) const {
+    (void)model;
+    return nullptr;
+  }
+};
+
+/// Registration-time description of one injector.
+struct ChaosInfo {
+  std::string name;     ///< canonical name, e.g. "SPOT_PREEMPTION"
+  std::string summary;  ///< one-line description for listings
+  KnobMap knobs;        ///< supported knob names with their defaults
+};
+
+/// Builds an injector from a *complete* knob map (defaults merged with
+/// the caller's overrides). kInvalidArgument for an out-of-range value.
+using ChaosBuilder = std::function<StatusOr<std::unique_ptr<ChaosInjector>>(
+    const KnobMap& knobs)>;
+
+/// Process-wide name -> injector table, mirroring ControllerRegistry:
+/// static registrars populate it, lookup is case-insensitive, unknown
+/// names come back as kNotFound listing the alternatives.
+class ChaosRegistry {
+ public:
+  static ChaosRegistry& Global();
+
+  Status Register(ChaosInfo info, ChaosBuilder builder);
+
+  /// Canonical injector names, sorted alphabetically.
+  std::vector<std::string> ListNames() const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registration info (canonical name, summary, knobs).
+  StatusOr<ChaosInfo> Info(const std::string& name) const;
+
+  /// Builds an injector by (case-insensitive) name. `overrides` may set
+  /// any subset of the declared knobs; an undeclared knob name or an
+  /// out-of-range value is kInvalidArgument.
+  StatusOr<std::unique_ptr<ChaosInjector>> Build(
+      const std::string& name, const KnobMap& overrides = {}) const;
+
+ private:
+  struct Entry {
+    ChaosInfo info;
+    ChaosBuilder builder;
+  };
+
+  StatusOr<Entry> Find(const std::string& name) const;
+
+  std::map<std::string, Entry> entries_;  ///< keyed by canonical name
+};
+
+/// Static-initialization helper, same pattern as ControllerRegistrar.
+class ChaosRegistrar {
+ public:
+  ChaosRegistrar(ChaosInfo info, ChaosBuilder builder) {
+    const Status status =
+        ChaosRegistry::Global().Register(std::move(info), std::move(builder));
+    if (!status.ok()) {
+      std::fprintf(stderr, "ChaosRegistrar: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+  }
+};
+
+}  // namespace kairos::chaos
+
+namespace kairos {
+using chaos::ChaosInjector;
+using chaos::ChaosRegistry;
+}  // namespace kairos

@@ -1,0 +1,84 @@
+// Direct construction of the built-in chaos injectors. Most callers
+// should build by name through ChaosRegistry (chaos/injector.h); these
+// factories exist for code that composes fault plans programmatically —
+// COMPOSITE over a custom injector set, scripted timelines pinning exact
+// scenarios in tests, or benches wiring a cloud::SpotMarket directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chaos/injector.h"
+#include "rpc/netem.h"
+
+namespace kairos::chaos {
+
+/// "SPOT_PREEMPTION" parameters.
+struct SpotPreemptionOptions {
+  /// The market the targeted models rent from: discount on billed spend,
+  /// Poisson reclamation intensity, notice window.
+  cloud::SpotMarket market{0.35, 30.0, 2.0};
+  /// Served-plan model index to target; kAllModels = every model (each
+  /// gets its own independent reclamation timeline).
+  std::size_t model = kAllModels;
+  /// Fault-timeline seed; 0 = derive from the run's ChaosSchedule seed.
+  std::uint64_t seed = 0;
+};
+std::unique_ptr<ChaosInjector> MakeSpotPreemption(
+    SpotPreemptionOptions options = {});
+
+/// "INSTANCE_DEATH" parameters.
+struct InstanceDeathOptions {
+  /// Expected abrupt deaths per hour per targeted model.
+  double rate_per_hour = 10.0;
+  std::size_t model = kAllModels;
+  /// Cap on total kills across the run; 0 = unbounded.
+  std::size_t max_faults = 0;
+  /// Fault-timeline seed; 0 = derive from the run's ChaosSchedule seed.
+  std::uint64_t seed = 0;
+};
+std::unique_ptr<ChaosInjector> MakeInstanceDeath(
+    InstanceDeathOptions options = {});
+
+/// "NET_DEGRADE" parameters.
+struct NetDegradeOptions {
+  double start_s = 0.0;  ///< when the degraded fabric goes in
+  double end_s = 0.0;    ///< when it is restored; 0 = the horizon
+  /// The degraded fabric (validated at Arm through NetworkModel::Validate).
+  double base_us = 2000.0;
+  double jitter_sigma = 0.5;
+  double loss_prob = 0.05;
+  std::size_t model = kAllModels;
+};
+std::unique_ptr<ChaosInjector> MakeNetDegrade(NetDegradeOptions options = {});
+
+/// "COMPOSITE": arms every child on the same schedule, merges their fault
+/// timelines and applies them in child order at each barrier. The first
+/// child with a spot market for a model prices that model's spend.
+std::unique_ptr<ChaosInjector> MakeCompositeChaos(
+    std::vector<std::unique_ptr<ChaosInjector>> children);
+
+/// One step of a scripted chaos timeline.
+struct ScriptedFault {
+  double time_s = 0.0;
+  /// What to do: kPreemptionNotice (Preempt), kInstanceDeath (Kill),
+  /// kNetDegrade, kNetRestore. kPreemption is invalid here — the hard
+  /// kill follows the notice automatically.
+  ChaosEventKind kind = ChaosEventKind::kInstanceDeath;
+  std::size_t model = 0;       ///< served-plan model index; kAllModels = every model
+  std::size_t count = 1;       ///< instances (notice / kill steps)
+  double notice_s = 0.0;       ///< kPreemptionNotice only
+  rpc::NetworkModel net;       ///< kNetDegrade only
+};
+
+/// "SCRIPTED": replays a hand-written fault list (sorted by time at Arm).
+/// Programmatic-only — scripts are not knob-expressible — and the way
+/// tests pin exact chaos scenarios. An optional `market` prices every
+/// model's spend (scripted preemptions model a spot fleet).
+std::unique_ptr<ChaosInjector> MakeScriptedChaos(
+    std::vector<ScriptedFault> script, cloud::SpotMarket market = {1.0, 0.0,
+                                                                   0.0});
+
+}  // namespace kairos::chaos

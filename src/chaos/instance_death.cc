@@ -1,0 +1,118 @@
+// "INSTANCE_DEATH": abrupt hardware attrition. Each targeted model loses
+// instances as a Poisson process — no notice, no discount, the executing
+// query and FIFO bounce back to the central queue with their original
+// arrival stamps. The kills themselves surface through the engine fault
+// ledger (serving::Engine::Faults), which the fleet drains into
+// FleetServeResult::chaos_log; Apply() reports nothing on its own.
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "chaos/injectors.h"
+#include "common/rng.h"
+
+namespace kairos::chaos {
+namespace {
+
+class InstanceDeathInjector final : public ChaosInjector {
+ public:
+  explicit InstanceDeathInjector(InstanceDeathOptions options)
+      : options_(options) {}
+
+  std::string Name() const override { return "INSTANCE_DEATH"; }
+
+  Status Arm(const ChaosSchedule& schedule) override {
+    if (options_.rate_per_hour < 0.0) {
+      return Status::InvalidArgument(
+          "INSTANCE_DEATH: rate_per_hour must be >= 0, got " +
+          std::to_string(options_.rate_per_hour));
+    }
+    if (options_.model != kAllModels &&
+        options_.model >= schedule.num_models) {
+      return Status::InvalidArgument(
+          "INSTANCE_DEATH targets model index " +
+          std::to_string(options_.model) + ", but the served plan has " +
+          std::to_string(schedule.num_models) + " models");
+    }
+    timeline_.clear();
+    next_ = 0;
+    const double rate_per_s = options_.rate_per_hour / 3600.0;
+    if (rate_per_s <= 0.0) return Status::Ok();  // armed, but a no-op
+    const std::uint64_t base_seed =
+        options_.seed != 0 ? options_.seed : schedule.seed ^ 0x44454144ULL;
+    for (std::size_t j = 0; j < schedule.num_models; ++j) {
+      if (options_.model != kAllModels && options_.model != j) continue;
+      Rng rng(base_seed + 0x9E3779B97F4A7C15ULL * (j + 1));
+      for (Time t = rng.Exponential(rate_per_s); t < schedule.duration_s;
+           t += rng.Exponential(rate_per_s)) {
+        timeline_.push_back({t, j});
+      }
+    }
+    std::sort(timeline_.begin(), timeline_.end());
+    if (options_.max_faults > 0 && timeline_.size() > options_.max_faults) {
+      timeline_.resize(options_.max_faults);
+    }
+    return Status::Ok();
+  }
+
+  std::vector<Time> FaultTimes() const override {
+    std::vector<Time> times;
+    times.reserve(timeline_.size());
+    for (const auto& [t, j] : timeline_) times.push_back(t);
+    return times;
+  }
+
+  std::vector<ChaosEvent> Apply(Time now, ChaosTarget& target) override {
+    for (; next_ < timeline_.size() && timeline_[next_].first <= now + 1e-9;
+         ++next_) {
+      // The kill is synchronous; the engine fault ledger records it (with
+      // the requeue count), so no event is duplicated here.
+      target.Kill(timeline_[next_].second, 1);
+    }
+    return {};
+  }
+
+ private:
+  InstanceDeathOptions options_;
+  /// (time, model) deaths, sorted; rebuilt by every Arm().
+  std::vector<std::pair<Time, std::size_t>> timeline_;
+  std::size_t next_ = 0;  ///< first timeline entry not yet applied
+};
+
+const ChaosRegistrar kInstanceDeath(
+    ChaosInfo{"INSTANCE_DEATH",
+              "abrupt Poisson instance kills (rate_per_hour), no notice, "
+              "no discount; max_faults 0 = unbounded, model -1 targets "
+              "every model, seed 0 derives from the run seed",
+              {{"rate_per_hour", 10.0},
+               {"model", -1.0},
+               {"max_faults", 0.0},
+               {"seed", 0.0}}},
+    [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<ChaosInjector>> {
+      InstanceDeathOptions options;
+      options.rate_per_hour = knobs.at("rate_per_hour");
+      if (options.rate_per_hour < 0.0) {
+        return Status::InvalidArgument(
+            "chaos injector INSTANCE_DEATH: rate_per_hour must be >= 0");
+      }
+      const double max_faults = knobs.at("max_faults");
+      if (max_faults < 0.0) {
+        return Status::InvalidArgument(
+            "chaos injector INSTANCE_DEATH: max_faults must be >= 0");
+      }
+      options.max_faults = static_cast<std::size_t>(max_faults);
+      const double model = knobs.at("model");
+      options.model =
+          model < 0.0 ? kAllModels : static_cast<std::size_t>(model);
+      options.seed = static_cast<std::uint64_t>(knobs.at("seed"));
+      return MakeInstanceDeath(options);
+    });
+
+}  // namespace
+
+std::unique_ptr<ChaosInjector> MakeInstanceDeath(
+    InstanceDeathOptions options) {
+  return std::make_unique<InstanceDeathInjector>(options);
+}
+
+}  // namespace kairos::chaos

@@ -1,0 +1,144 @@
+// "NET_DEGRADE": swap a degraded rpc::NetworkModel under the targeted
+// models' dispatcher<->instance fabric for [start_s, end_s), then restore
+// the pristine zero-delay fabric — netem for the co-simulation. Every
+// execution inside the window pays two sampled hops (dispatch + reply),
+// so windowed p99 rises and recovers on restore; hop draws come from each
+// engine's dedicated network RNG, leaving arrival/policy streams intact.
+#include <string>
+#include <utility>
+
+#include "chaos/injectors.h"
+#include "common/strings.h"
+
+namespace kairos::chaos {
+namespace {
+
+class NetDegradeInjector final : public ChaosInjector {
+ public:
+  explicit NetDegradeInjector(NetDegradeOptions options)
+      : options_(options) {}
+
+  std::string Name() const override { return "NET_DEGRADE"; }
+
+  Status Arm(const ChaosSchedule& schedule) override {
+    const Status net = rpc::NetworkModel::Validate(
+        options_.base_us, options_.jitter_sigma, options_.loss_prob);
+    if (!net.ok()) {
+      return Status(net.code(), "NET_DEGRADE: " + net.message());
+    }
+    if (options_.model != kAllModels &&
+        options_.model >= schedule.num_models) {
+      return Status::InvalidArgument(
+          "NET_DEGRADE targets model index " +
+          std::to_string(options_.model) + ", but the served plan has " +
+          std::to_string(schedule.num_models) + " models");
+    }
+    if (options_.start_s < 0.0) {
+      return Status::InvalidArgument("NET_DEGRADE: start_s must be >= 0");
+    }
+    end_s_ = options_.end_s > 0.0 ? options_.end_s : schedule.duration_s;
+    if (end_s_ <= options_.start_s) {
+      return Status::InvalidArgument(
+          "NET_DEGRADE: the degradation window [" +
+          FormatNumber(options_.start_s) + "s, " + FormatNumber(end_s_) +
+          "s) is empty");
+    }
+    duration_s_ = schedule.duration_s;
+    degraded_ = false;
+    restored_ = false;
+    return Status::Ok();
+  }
+
+  std::vector<Time> FaultTimes() const override {
+    std::vector<Time> times;
+    times.push_back(options_.start_s);
+    if (end_s_ < duration_s_) times.push_back(end_s_);
+    return times;
+  }
+
+  std::vector<ChaosEvent> Apply(Time now, ChaosTarget& target) override {
+    std::vector<ChaosEvent> events;
+    if (!degraded_ && now + 1e-9 >= options_.start_s) {
+      degraded_ = true;
+      const rpc::NetworkModel net(options_.base_us, options_.jitter_sigma,
+                                  options_.loss_prob);
+      for (std::size_t j = 0; j < target.NumModels(); ++j) {
+        if (options_.model != kAllModels && options_.model != j) continue;
+        target.DegradeNetwork(j, net);
+        ChaosEvent event;
+        event.time = options_.start_s;
+        event.kind = ChaosEventKind::kNetDegrade;
+        event.model = j;
+        event.detail = "fabric degraded: base " +
+                       FormatNumber(options_.base_us) + "us, jitter sigma " +
+                       FormatNumber(options_.jitter_sigma) + ", loss " +
+                       FormatNumber(options_.loss_prob);
+        events.push_back(std::move(event));
+      }
+    }
+    if (degraded_ && !restored_ && end_s_ < duration_s_ &&
+        now + 1e-9 >= end_s_) {
+      restored_ = true;
+      for (std::size_t j = 0; j < target.NumModels(); ++j) {
+        if (options_.model != kAllModels && options_.model != j) continue;
+        target.RestoreNetwork(j);
+        ChaosEvent event;
+        event.time = end_s_;
+        event.kind = ChaosEventKind::kNetRestore;
+        event.model = j;
+        event.detail = "pristine fabric restored";
+        events.push_back(std::move(event));
+      }
+    }
+    return events;
+  }
+
+ private:
+  NetDegradeOptions options_;
+  Time end_s_ = 0.0;       ///< resolved restore time (horizon when open)
+  Time duration_s_ = 0.0;  ///< of the armed schedule
+  bool degraded_ = false;
+  bool restored_ = false;
+};
+
+const ChaosRegistrar kNetDegrade(
+    ChaosInfo{"NET_DEGRADE",
+              "degraded dispatcher<->instance fabric (base_us / "
+              "jitter_sigma / loss_prob) over [start_s, end_s); end_s 0 = "
+              "until the horizon, model -1 targets every model",
+              {{"start_s", 0.0},
+               {"end_s", 0.0},
+               {"base_us", 2000.0},
+               {"jitter_sigma", 0.5},
+               {"loss_prob", 0.05},
+               {"model", -1.0}}},
+    [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<ChaosInjector>> {
+      NetDegradeOptions options;
+      options.start_s = knobs.at("start_s");
+      options.end_s = knobs.at("end_s");
+      options.base_us = knobs.at("base_us");
+      options.jitter_sigma = knobs.at("jitter_sigma");
+      options.loss_prob = knobs.at("loss_prob");
+      const Status net = rpc::NetworkModel::Validate(
+          options.base_us, options.jitter_sigma, options.loss_prob);
+      if (!net.ok()) {
+        return Status(net.code(),
+                      "chaos injector NET_DEGRADE: " + net.message());
+      }
+      if (options.start_s < 0.0 || options.end_s < 0.0) {
+        return Status::InvalidArgument(
+            "chaos injector NET_DEGRADE: start_s and end_s must be >= 0");
+      }
+      const double model = knobs.at("model");
+      options.model =
+          model < 0.0 ? kAllModels : static_cast<std::size_t>(model);
+      return MakeNetDegrade(options);
+    });
+
+}  // namespace
+
+std::unique_ptr<ChaosInjector> MakeNetDegrade(NetDegradeOptions options) {
+  return std::make_unique<NetDegradeInjector>(options);
+}
+
+}  // namespace kairos::chaos

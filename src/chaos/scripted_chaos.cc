@@ -1,0 +1,153 @@
+// "SCRIPTED": replays a hand-written fault list. No randomness at all —
+// the script *is* the timeline — which makes it the tool for tests that
+// pin an exact chaos scenario ("kill instance 2 of RM2 at t=3.5s, degrade
+// the fabric at 5s, restore at 8s") and for benches reproducing a
+// specific documented incident. Registry-built injectors can't express a
+// script, so this one is programmatic-only (MakeScriptedChaos).
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "chaos/injectors.h"
+#include "common/strings.h"
+
+namespace kairos::chaos {
+namespace {
+
+class ScriptedChaos final : public ChaosInjector {
+ public:
+  ScriptedChaos(std::vector<ScriptedFault> script, cloud::SpotMarket market)
+      : script_(std::move(script)), market_(market) {}
+
+  std::string Name() const override { return "SCRIPTED"; }
+
+  Status Arm(const ChaosSchedule& schedule) override {
+    const Status market = market_.Validate();
+    if (!market.ok()) {
+      return Status(market.code(), "SCRIPTED: " + market.message());
+    }
+    for (const ScriptedFault& fault : script_) {
+      if (fault.time_s < 0.0) {
+        return Status::InvalidArgument(
+            "SCRIPTED: fault scheduled at negative time " +
+            FormatNumber(fault.time_s) + "s");
+      }
+      if (fault.kind == ChaosEventKind::kPreemption) {
+        return Status::InvalidArgument(
+            "SCRIPTED: kPreemption is not scriptable; script the "
+            "kPreemptionNotice and the hard kill follows notice_s later");
+      }
+      if (fault.model != kAllModels && fault.model >= schedule.num_models) {
+        return Status::InvalidArgument(
+            "SCRIPTED: fault at " + FormatNumber(fault.time_s) +
+            "s targets model index " + std::to_string(fault.model) +
+            ", but the served plan has " +
+            std::to_string(schedule.num_models) + " models");
+      }
+      if ((fault.kind == ChaosEventKind::kPreemptionNotice ||
+           fault.kind == ChaosEventKind::kInstanceDeath) &&
+          fault.count == 0) {
+        return Status::InvalidArgument(
+            "SCRIPTED: fault at " + FormatNumber(fault.time_s) +
+            "s asks for zero instances");
+      }
+      if (fault.notice_s < 0.0) {
+        return Status::InvalidArgument(
+            "SCRIPTED: fault at " + FormatNumber(fault.time_s) +
+            "s has negative notice_s");
+      }
+    }
+    std::stable_sort(script_.begin(), script_.end(),
+                     [](const ScriptedFault& a, const ScriptedFault& b) {
+                       return a.time_s < b.time_s;
+                     });
+    next_ = 0;
+    return Status::Ok();
+  }
+
+  std::vector<Time> FaultTimes() const override {
+    std::vector<Time> times;
+    times.reserve(script_.size());
+    for (const ScriptedFault& fault : script_) times.push_back(fault.time_s);
+    return times;
+  }
+
+  std::vector<ChaosEvent> Apply(Time now, ChaosTarget& target) override {
+    std::vector<ChaosEvent> events;
+    for (; next_ < script_.size() && script_[next_].time_s <= now + 1e-9;
+         ++next_) {
+      const ScriptedFault& fault = script_[next_];
+      for (std::size_t j = 0; j < target.NumModels(); ++j) {
+        if (fault.model != kAllModels && fault.model != j) continue;
+        switch (fault.kind) {
+          case ChaosEventKind::kPreemptionNotice: {
+            const std::size_t noticed =
+                target.Preempt(j, fault.count, fault.notice_s);
+            if (noticed == 0) break;  // last assignable instance spared
+            ChaosEvent event;
+            event.time = fault.time_s;
+            event.kind = ChaosEventKind::kPreemptionNotice;
+            event.model = j;
+            event.instances = noticed;
+            event.detail = "scripted reclamation notice; hard kill in " +
+                           FormatNumber(fault.notice_s) + "s";
+            events.push_back(std::move(event));
+            break;
+          }
+          case ChaosEventKind::kInstanceDeath:
+            // The kill surfaces through the engine fault ledger.
+            target.Kill(j, fault.count);
+            break;
+          case ChaosEventKind::kNetDegrade: {
+            target.DegradeNetwork(j, fault.net);
+            ChaosEvent event;
+            event.time = fault.time_s;
+            event.kind = ChaosEventKind::kNetDegrade;
+            event.model = j;
+            event.detail = "scripted fabric degradation: base " +
+                           FormatNumber(fault.net.base_us()) +
+                           "us, jitter sigma " +
+                           FormatNumber(fault.net.jitter_sigma()) +
+                           ", loss " + FormatNumber(fault.net.loss_prob());
+            events.push_back(std::move(event));
+            break;
+          }
+          case ChaosEventKind::kNetRestore: {
+            target.RestoreNetwork(j);
+            ChaosEvent event;
+            event.time = fault.time_s;
+            event.kind = ChaosEventKind::kNetRestore;
+            event.model = j;
+            event.detail = "scripted fabric restore";
+            events.push_back(std::move(event));
+            break;
+          }
+          case ChaosEventKind::kPreemption:
+            break;  // rejected by Arm()
+        }
+      }
+    }
+    return events;
+  }
+
+  const cloud::SpotMarket* Market(std::size_t model) const override {
+    (void)model;
+    // discount 1.0 means "on-demand pricing": no market to quote.
+    if (market_.discount >= 1.0) return nullptr;
+    return &market_;
+  }
+
+ private:
+  std::vector<ScriptedFault> script_;  ///< sorted by time at Arm()
+  cloud::SpotMarket market_;
+  std::size_t next_ = 0;  ///< first script entry not yet applied
+};
+
+}  // namespace
+
+std::unique_ptr<ChaosInjector> MakeScriptedChaos(
+    std::vector<ScriptedFault> script, cloud::SpotMarket market) {
+  return std::make_unique<ScriptedChaos>(std::move(script), market);
+}
+
+}  // namespace kairos::chaos

@@ -1,0 +1,137 @@
+// "SPOT_PREEMPTION": the preemptible instance market as a fault plan.
+// Each targeted model's deployment is reclaimed as a Poisson process
+// (exponential inter-arrival gaps at reclaim_rate_per_hour), every
+// reclamation preceded by the market's notice window: the victim stops
+// taking work at the notice and is hard-killed at the deadline unless it
+// drained first. The discount side of the bargain is Market(): the fleet
+// prices a covered model's billed spend at discount * on-demand.
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "chaos/injectors.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace kairos::chaos {
+namespace {
+
+class SpotPreemptionInjector final : public ChaosInjector {
+ public:
+  explicit SpotPreemptionInjector(SpotPreemptionOptions options)
+      : options_(options) {}
+
+  std::string Name() const override { return "SPOT_PREEMPTION"; }
+
+  Status Arm(const ChaosSchedule& schedule) override {
+    const Status market = options_.market.Validate();
+    if (!market.ok()) {
+      return Status(market.code(), "SPOT_PREEMPTION: " + market.message());
+    }
+    if (options_.model != kAllModels &&
+        options_.model >= schedule.num_models) {
+      return Status::InvalidArgument(
+          "SPOT_PREEMPTION targets model index " +
+          std::to_string(options_.model) + ", but the served plan has " +
+          std::to_string(schedule.num_models) + " models");
+    }
+    timeline_.clear();
+    next_ = 0;
+    num_models_ = schedule.num_models;
+    const double rate_per_s =
+        options_.market.reclaim_rate_per_hour / 3600.0;
+    if (rate_per_s <= 0.0) return Status::Ok();  // armed, but a no-op
+    const std::uint64_t base_seed =
+        options_.seed != 0 ? options_.seed : schedule.seed ^ 0x53504F54ULL;
+    for (std::size_t j = 0; j < schedule.num_models; ++j) {
+      if (options_.model != kAllModels && options_.model != j) continue;
+      // One independent renewal timeline per model, forked from the base
+      // seed so adding a model never shifts another model's faults.
+      Rng rng(base_seed + 0x9E3779B97F4A7C15ULL * (j + 1));
+      for (Time t = rng.Exponential(rate_per_s); t < schedule.duration_s;
+           t += rng.Exponential(rate_per_s)) {
+        timeline_.push_back({t, j});
+      }
+    }
+    std::sort(timeline_.begin(), timeline_.end());
+    return Status::Ok();
+  }
+
+  std::vector<Time> FaultTimes() const override {
+    std::vector<Time> times;
+    times.reserve(timeline_.size());
+    for (const auto& [t, j] : timeline_) times.push_back(t);
+    return times;
+  }
+
+  std::vector<ChaosEvent> Apply(Time now, ChaosTarget& target) override {
+    std::vector<ChaosEvent> events;
+    for (; next_ < timeline_.size() && timeline_[next_].first <= now + 1e-9;
+         ++next_) {
+      const auto& [t, j] = timeline_[next_];
+      const std::size_t noticed =
+          target.Preempt(j, 1, options_.market.notice_s);
+      if (noticed == 0) continue;  // last assignable instance spared
+      ChaosEvent event;
+      event.time = t;
+      event.kind = ChaosEventKind::kPreemptionNotice;
+      event.model = j;
+      event.instances = noticed;
+      event.detail = "spot reclamation notice; hard kill in " +
+                     FormatNumber(options_.market.notice_s) + "s";
+      events.push_back(std::move(event));
+    }
+    return events;
+  }
+
+  const cloud::SpotMarket* Market(std::size_t model) const override {
+    if (options_.model != kAllModels && options_.model != model) {
+      return nullptr;
+    }
+    if (model >= num_models_) return nullptr;
+    return &options_.market;
+  }
+
+ private:
+  SpotPreemptionOptions options_;
+  /// (time, model) reclamations, sorted; rebuilt by every Arm().
+  std::vector<std::pair<Time, std::size_t>> timeline_;
+  std::size_t next_ = 0;        ///< first timeline entry not yet applied
+  std::size_t num_models_ = 0;  ///< of the armed schedule
+};
+
+const ChaosRegistrar kSpotPreemption(
+    ChaosInfo{"SPOT_PREEMPTION",
+              "Poisson spot reclamations (rate_per_hour) with a notice_s "
+              "warning and a spot discount on billed spend; model -1 "
+              "targets every model, seed 0 derives from the run seed",
+              {{"rate_per_hour", 30.0},
+               {"notice_s", 2.0},
+               {"discount", 0.35},
+               {"model", -1.0},
+               {"seed", 0.0}}},
+    [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<ChaosInjector>> {
+      SpotPreemptionOptions options;
+      options.market.reclaim_rate_per_hour = knobs.at("rate_per_hour");
+      options.market.notice_s = knobs.at("notice_s");
+      options.market.discount = knobs.at("discount");
+      const Status market = options.market.Validate();
+      if (!market.ok()) {
+        return Status(market.code(),
+                      "chaos injector SPOT_PREEMPTION: " + market.message());
+      }
+      const double model = knobs.at("model");
+      options.model =
+          model < 0.0 ? kAllModels : static_cast<std::size_t>(model);
+      options.seed = static_cast<std::uint64_t>(knobs.at("seed"));
+      return MakeSpotPreemption(options);
+    });
+
+}  // namespace
+
+std::unique_ptr<ChaosInjector> MakeSpotPreemption(
+    SpotPreemptionOptions options) {
+  return std::make_unique<SpotPreemptionInjector>(options);
+}
+
+}  // namespace kairos::chaos

@@ -2,17 +2,21 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace kairos::cloud {
 
 BillingMeter::BillingMeter(const Catalog& catalog) : catalog_(catalog) {}
 
-void BillingMeter::Accrue(const Config& config, Time duration) {
+Status BillingMeter::Accrue(const Config& config, Time duration) {
   if (duration < 0.0) {
-    throw std::invalid_argument("BillingMeter::Accrue: negative duration");
+    return Status::InvalidArgument(
+        "BillingMeter::Accrue: duration must be >= 0, got " +
+        std::to_string(duration));
   }
   total_usd_ += config.CostPerHour(catalog_) * duration / 3600.0;
   total_time_ += duration;
+  return Status::Ok();
 }
 
 double BillingMeter::AverageRatePerHour() const {
@@ -23,6 +27,28 @@ double BillingMeter::AverageRatePerHour() const {
 void BillingMeter::Reset() {
   total_usd_ = 0.0;
   total_time_ = 0.0;
+}
+
+Status SpotMarket::Validate() const {
+  if (!(discount > 0.0) || discount > 1.0) {
+    return Status::InvalidArgument(
+        "SpotMarket: discount must be in (0, 1], got " +
+        std::to_string(discount));
+  }
+  if (!(reclaim_rate_per_hour >= 0.0)) {
+    return Status::InvalidArgument(
+        "SpotMarket: reclaim_rate_per_hour must be >= 0, got " +
+        std::to_string(reclaim_rate_per_hour));
+  }
+  if (!(notice_s >= 0.0)) {
+    return Status::InvalidArgument("SpotMarket: notice_s must be >= 0, got " +
+                                   std::to_string(notice_s));
+  }
+  return Status::Ok();
+}
+
+double SpotCost(const SpotMarket& market, double ondemand_usd) {
+  return market.discount * ondemand_usd;
 }
 
 std::vector<ReconfigPhase> PlanReconfiguration(const Config& from,

@@ -1,13 +1,17 @@
 // Pay-as-you-go cost accounting (Sec. 3): cloud instances accrue cost per
 // second at their hourly price; the meter tracks spend across
 // configuration changes so experiments can report cost alongside
-// throughput, and enforce a spend ceiling.
+// throughput, and enforce a spend ceiling. The SpotMarket extends the
+// on-demand catalog with preemptible pricing (DESIGN.md Sec. 11): the
+// same instances at a discount, reclaimed by the provider at a Poisson
+// rate with a short warning before the hard kill.
 #pragma once
 
 #include <vector>
 
 #include "cloud/config.h"
 #include "cloud/instance_type.h"
+#include "common/status.h"
 #include "common/time.h"
 
 namespace kairos::cloud {
@@ -19,7 +23,8 @@ class BillingMeter {
   explicit BillingMeter(const Catalog& catalog);
 
   /// Charges for holding `config` for `duration` seconds.
-  void Accrue(const Config& config, Time duration);
+  /// kInvalidArgument for a negative duration (nothing is accrued).
+  Status Accrue(const Config& config, Time duration);
 
   /// Total accrued cost in USD.
   double TotalCost() const { return total_usd_; }
@@ -38,6 +43,27 @@ class BillingMeter {
   double total_usd_ = 0.0;
   Time total_time_ = 0.0;
 };
+
+/// A preemptible instance market: every catalog type is available at
+/// `discount` times its on-demand price, and the provider reclaims
+/// capacity as a Poisson process with `reclaim_rate_per_hour` expected
+/// reclamations per hour across a model's deployment, each preceded by a
+/// `notice_s`-second warning (the real spot/preemptible-VM contract).
+/// The chaos plane (src/chaos/) turns this into seeded fault timelines.
+struct SpotMarket {
+  double discount = 0.35;             ///< spot $/hr = discount * on-demand
+  double reclaim_rate_per_hour = 0.0; ///< expected reclamations per hour
+  double notice_s = 0.0;              ///< warning before the hard kill
+
+  /// kInvalidArgument unless discount is in (0, 1], the reclaim rate is
+  /// >= 0 and the notice window is >= 0.
+  Status Validate() const;
+};
+
+/// Spend at spot prices: `ondemand_usd` worth of on-demand capacity costs
+/// `market.discount * ondemand_usd` on the spot market. Kept next to the
+/// meter so effective-cost accounting has one authoritative definition.
+double SpotCost(const SpotMarket& market, double ondemand_usd);
 
 /// One step of a reconfiguration timeline (see PlanReconfiguration).
 struct ReconfigPhase {

@@ -1,11 +1,12 @@
 // "COMPOSITE": chains several controllers into one closed loop. Children
 // are consulted in order at every barrier; their actions concatenate with
-// two dedup rules — at most one kReallocate per barrier (the first
-// child's reason wins; one re-split already replans every model) and at
-// most one kResetMonitor per model. The registry build chains
-// QOS + BACKLOG + DRIFT (+ PERIODIC as a slow safety net when period_s
-// is set), each child with its default thresholds; custom chains go
-// through MakeCompositeController.
+// three dedup rules — at most one kReallocate per barrier (the first
+// child's reason wins; one re-split already replans every model), at
+// most one kResetMonitor per model, and at most one chaos recovery
+// (kRespread / kFailover) per model per barrier. The registry build
+// chains QOS + BACKLOG + DRIFT (+ FAILOVER when toggled on, + PERIODIC
+// as a slow safety net when period_s is set), each child with its
+// default thresholds; custom chains go through MakeCompositeController.
 #include <string>
 #include <utility>
 
@@ -44,6 +45,7 @@ class CompositeController final : public FleetController {
     std::vector<ControlAction> actions;
     bool reallocated = false;
     std::vector<bool> reset(telemetry.models.size(), false);
+    std::vector<bool> recovered(telemetry.models.size(), false);
     for (const auto& child : children_) {
       for (ControlAction& action : child->Decide(telemetry)) {
         if (action.kind == ControlActionKind::kReallocate) {
@@ -59,6 +61,16 @@ class CompositeController final : public FleetController {
             reset[action.model] = true;
           }
           action.reason = child->Name() + ": " + action.reason;
+        } else if (action.kind == ControlActionKind::kRespread ||
+                   action.kind == ControlActionKind::kFailover) {
+          // One recovery per model per barrier; children are consulted in
+          // order, so an earlier child's choice (respread vs failover)
+          // stands for this barrier.
+          if (action.model < recovered.size()) {
+            if (recovered[action.model]) continue;
+            recovered[action.model] = true;
+          }
+          action.reason = child->Name() + ": " + action.reason;
         }
         actions.push_back(std::move(action));
       }
@@ -72,17 +84,20 @@ class CompositeController final : public FleetController {
 
 const ControllerRegistrar kComposite(
     ControllerInfo{"COMPOSITE",
-                   "chain QOS + BACKLOG + DRIFT (toggles qos/backlog/"
-                   "drift; period_s > 0 adds a PERIODIC safety net; "
-                   "p99_scale/backlog_s/drift_fraction forward to the "
-                   "children), deduplicating actions per barrier",
+                   "chain QOS + BACKLOG + DRIFT (+ FAILOVER when the "
+                   "failover toggle is set; period_s > 0 adds a PERIODIC "
+                   "safety net; p99_scale/backlog_s/drift_fraction/"
+                   "storm_losses forward to the children), deduplicating "
+                   "actions per barrier",
                    {{"qos", 1.0},
                     {"backlog", 1.0},
                     {"drift", 1.0},
+                    {"failover", 0.0},
                     {"period_s", 0.0},
                     {"p99_scale", 1.0},
                     {"backlog_s", 2.0},
-                    {"drift_fraction", 0.25}}},
+                    {"drift_fraction", 0.25},
+                    {"storm_losses", 3.0}}},
     [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<FleetController>> {
       const double period = knobs.at("period_s");
       if (period < 0.0) {
@@ -110,6 +125,16 @@ const ControllerRegistrar kComposite(
         DriftControllerOptions drift;
         drift.drift_fraction = knobs.at("drift_fraction");
         children.push_back(MakeDriftController(drift));
+      }
+      if (knobs.at("failover") != 0.0) {
+        FailoverControllerOptions failover;
+        const double storm = knobs.at("storm_losses");
+        if (storm < 1.0) {
+          return Status::InvalidArgument(
+              "controller COMPOSITE: storm_losses must be >= 1");
+        }
+        failover.storm_losses = static_cast<std::size_t>(storm);
+        children.push_back(MakeFailoverController(failover));
       }
       if (period > 0.0) children.push_back(MakePeriodicController(period));
       if (children.empty()) {

@@ -75,6 +75,20 @@ struct ModelTelemetry {
   /// QueryMonitor::BatchMixDrift() of the live stream vs the planning
   /// reference: |live - plan| / plan, 0 while unknown.
   double drift = 0.0;
+  /// Assignable (live, non-retiring) instances right now.
+  std::size_t live_instances = 0;
+  /// Instances the current target configuration asks for.
+  std::size_t target_instances = 0;
+  /// Launches in flight (scheduled but not booted yet).
+  std::size_t pending_instances = 0;
+  /// Cumulative instances lost to chaos (preemption hard kills + abrupt
+  /// deaths) since the start of the run. 0 without a chaos injector.
+  std::size_t instances_lost = 0;
+  /// Cumulative spot reclamation notices issued since the start of the
+  /// run. A notice precedes its hard kill by the market's notice window,
+  /// so notices lead instances_lost — the failover controller's early
+  /// signal.
+  std::size_t preemption_notices = 0;
   /// Closed WindowedMetrics history, shared grid across all models; the
   /// pointer stays valid for the duration of the Decide() call.
   const std::vector<serving::WindowedMetrics>* windows = nullptr;
@@ -106,16 +120,28 @@ enum class ControlActionKind {
   /// plan subsequent reallocations against the live arrival stream's
   /// sliding window instead (the paper's ResetMonitor regime change).
   kResetMonitor,
+  /// Re-spread model `model`'s current target configuration across fresh
+  /// instances: re-issue the target so the engine schedules replacement
+  /// launches for capacity lost (or noticed as lost) to chaos, without
+  /// re-splitting the budget. Cheap and local — the fast first response
+  /// to a reclamation notice, fired while the victim is still draining.
+  kRespread,
+  /// Re-plan model `model` from scratch inside its current budget share
+  /// and reconfigure to the result. The heavy response to a preemption
+  /// storm: the survivor set may want a different instance mix than the
+  /// pre-storm plan. Skipped when a same-barrier kReallocate already
+  /// replans the whole fleet.
+  kFailover,
 };
 
-/// Human-readable action name ("REALLOCATE", "RESET_MONITOR").
+/// Human-readable action name ("REALLOCATE", "RESET_MONITOR", ...).
 const char* ControlActionName(ControlActionKind kind);
 
 /// One typed decision returned by FleetController::Decide.
 struct ControlAction {
   ControlActionKind kind = ControlActionKind::kReallocate;
-  /// Target model index (telemetry order) for kResetMonitor; kAllModels
-  /// for fleet-wide actions.
+  /// Target model index (telemetry order) for kResetMonitor / kRespread /
+  /// kFailover; kAllModels for fleet-wide actions.
   std::size_t model = kAllModels;
   /// kReallocate only: the measurement interval the demand rates should
   /// be computed over, in simulated seconds; 0 = time since the previous

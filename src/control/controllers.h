@@ -62,11 +62,22 @@ struct DriftControllerOptions {
 std::unique_ptr<FleetController> MakeDriftController(
     DriftControllerOptions options = {});
 
+/// "FAILOVER" thresholds.
+struct FailoverControllerOptions {
+  /// Chaos losses (hard kills + fresh notices) accumulated across the
+  /// fleet before escalating from a per-model kRespread to a kFailover
+  /// replan of the affected model. 1 = always replan.
+  std::size_t storm_losses = 3;
+};
+std::unique_ptr<FleetController> MakeFailoverController(
+    FailoverControllerOptions options = {});
+
 /// "COMPOSITE": consults `children` in order and concatenates their
-/// actions, keeping at most one kReallocate per barrier and one
-/// kResetMonitor per model. The registry-built COMPOSITE chains
-/// QOS + BACKLOG + DRIFT (toggles and period_s via knobs); this factory
-/// chains an arbitrary set.
+/// actions, keeping at most one kReallocate per barrier, one
+/// kResetMonitor per model, and one kRespread / kFailover per model
+/// (kFailover wins when both fire). The registry-built COMPOSITE chains
+/// QOS + BACKLOG + DRIFT + FAILOVER (toggles and period_s via knobs);
+/// this factory chains an arbitrary set.
 std::unique_ptr<FleetController> MakeCompositeController(
     std::vector<std::unique_ptr<FleetController>> children);
 

@@ -1,0 +1,99 @@
+// "FAILOVER": the chaos-aware controller. It watches the chaos counters
+// in ModelTelemetry — preemption_notices (the early signal: the victim is
+// still draining through its notice window) and instances_lost (the hard
+// kills) — and reacts per model the moment either moves:
+//
+//   * a fresh notice or loss fires kRespread, re-issuing the model's
+//     target configuration so replacement launches start booting while
+//     the victim drains; with launch lag <= notice window the replacement
+//     is live before the capacity actually disappears;
+//   * once storm_losses hard kills have accumulated fleet-wide, the next
+//     affected model gets kFailover instead — a full replan inside its
+//     current share, because the survivor set of a sustained storm may
+//     want a different instance mix than the pre-storm plan.
+//
+// Without chaos both counters stay zero and the controller never fires,
+// so wiring FAILOVER into a COMPOSITE costs nothing on clean runs.
+#include <string>
+
+#include "control/controllers.h"
+
+namespace kairos::control {
+namespace {
+
+class FailoverController final : public FleetController {
+ public:
+  explicit FailoverController(FailoverControllerOptions options)
+      : options_(options) {}
+
+  std::string Name() const override { return "FAILOVER"; }
+
+  std::vector<ControlAction> Decide(const FleetTelemetry& telemetry) override {
+    seen_lost_.resize(telemetry.models.size(), 0);
+    seen_notices_.resize(telemetry.models.size(), 0);
+
+    std::vector<ControlAction> actions;
+    for (std::size_t j = 0; j < telemetry.models.size(); ++j) {
+      const ModelTelemetry& model = telemetry.models[j];
+      const std::size_t lost_delta =
+          model.instances_lost - seen_lost_[j];
+      const std::size_t notice_delta =
+          model.preemption_notices - seen_notices_[j];
+      seen_lost_[j] = model.instances_lost;
+      seen_notices_[j] = model.preemption_notices;
+      if (lost_delta == 0 && notice_delta == 0) continue;
+
+      losses_since_failover_ += lost_delta;
+      ControlAction action;
+      action.model = j;
+      if (lost_delta > 0 && losses_since_failover_ >= options_.storm_losses) {
+        losses_since_failover_ = 0;
+        action.kind = ControlActionKind::kFailover;
+        action.reason = model.model + " lost " +
+                        std::to_string(lost_delta) +
+                        " instance(s); storm threshold reached, replanning "
+                        "under the survivor set";
+      } else {
+        action.kind = ControlActionKind::kRespread;
+        action.reason =
+            model.model + ": " + std::to_string(notice_delta) +
+            " reclamation notice(s), " + std::to_string(lost_delta) +
+            " instance(s) lost; re-spreading onto replacements";
+      }
+      actions.push_back(std::move(action));
+    }
+    return actions;
+  }
+
+ private:
+  FailoverControllerOptions options_;
+  std::vector<std::size_t> seen_lost_;     ///< per model, telemetry order
+  std::vector<std::size_t> seen_notices_;  ///< per model, telemetry order
+  std::size_t losses_since_failover_ = 0;  ///< fleet-wide hard-kill count
+};
+
+const ControllerRegistrar kFailover(
+    ControllerInfo{"FAILOVER",
+                   "chaos-aware: re-spread a model onto replacement "
+                   "launches on every reclamation notice or loss, and "
+                   "replan it once storm_losses hard kills accumulate",
+                   {{"storm_losses", 3.0}}},
+    [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<FleetController>> {
+      FailoverControllerOptions options;
+      const double storm = knobs.at("storm_losses");
+      if (storm < 1.0) {
+        return Status::InvalidArgument(
+            "controller FAILOVER: storm_losses must be >= 1");
+      }
+      options.storm_losses = static_cast<std::size_t>(storm);
+      return MakeFailoverController(options);
+    });
+
+}  // namespace
+
+std::unique_ptr<FleetController> MakeFailoverController(
+    FailoverControllerOptions options) {
+  return std::make_unique<FailoverController>(options);
+}
+
+}  // namespace kairos::control

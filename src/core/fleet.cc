@@ -6,11 +6,13 @@
 #include <map>
 #include <utility>
 
+#include "chaos/injector.h"
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "control/controllers.h"
 #include "latency/model_zoo.h"
 #include "policy/registry.h"
+#include "rpc/netem.h"
 #include "sim/simulator.h"
 #include "workload/query_source.h"
 
@@ -431,6 +433,28 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     controller = control::MakePeriodicController(options.realloc_period_s);
   }
 
+  // Resolve the chaos plane. No injector means no chaos code runs at all:
+  // no extra barriers, no fault reads, no network fabric — the run is
+  // bit-identical to a chaos-free build (tests/chaos_test.cc).
+  if (!options.chaos.empty() && options.injector != nullptr) {
+    return Status::InvalidArgument(
+        "both FleetServeOptions::chaos and ::injector are set; name a "
+        "registered injector or pass a programmatic one, not both");
+  }
+  if (options.chaos.empty() && !options.chaos_knobs.empty()) {
+    return Status::InvalidArgument(
+        "chaos_knobs were given but no chaos injector is named; set "
+        "FleetServeOptions::chaos (registered injectors: " +
+        JoinComma(chaos::ChaosRegistry::Global().ListNames()) + ")");
+  }
+  std::shared_ptr<chaos::ChaosInjector> injector = options.injector;
+  if (!options.chaos.empty()) {
+    auto built = chaos::ChaosRegistry::Global().Build(options.chaos,
+                                                      options.chaos_knobs);
+    if (!built.ok()) return built.status();
+    injector = *std::move(built);
+  }
+
   auto backend = PlannerRegistry::Global().Build(options_.planner);
   if (!backend.ok()) return backend.status();
   auto allocator = AllocatorRegistry::Global().Build(options_.allocator);
@@ -507,6 +531,56 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     }
   }
 
+  // The chaos plane. Serving names in plan order label chaos events; the
+  // fabric vector owns each model's installed degraded NetworkModel (the
+  // engine only borrows a pointer). Faults are applied through this
+  // adapter at barriers, on the driving thread, with every shard
+  // quiesced, so chaos runs stay bit-identical for every serve_threads.
+  std::vector<std::string> serve_names(n);
+  for (std::size_t j = 0; j < n; ++j) serve_names[j] = names_[indices[j]];
+  std::vector<std::unique_ptr<rpc::NetworkModel>> fabrics(n);
+  class ShardChaosTarget final : public chaos::ChaosTarget {
+   public:
+    ShardChaosTarget(const std::vector<std::unique_ptr<serving::Engine>>& e,
+                     const std::vector<std::string>& names,
+                     std::vector<std::unique_ptr<rpc::NetworkModel>>& f)
+        : engines_(e), names_(names), fabrics_(f) {}
+    std::size_t NumModels() const override { return engines_.size(); }
+    const std::string& ModelName(std::size_t m) const override {
+      return names_[m];
+    }
+    std::size_t LiveInstances(std::size_t m) const override {
+      return engines_[m]->AssignableInstances();
+    }
+    std::size_t Preempt(std::size_t m, std::size_t count,
+                        double notice_s) override {
+      return engines_[m]->PreemptInstances(count, notice_s);
+    }
+    std::size_t Kill(std::size_t m, std::size_t count) override {
+      return engines_[m]->KillInstances(count);
+    }
+    void DegradeNetwork(std::size_t m,
+                        const rpc::NetworkModel& net) override {
+      fabrics_[m] = std::make_unique<rpc::NetworkModel>(net);
+      engines_[m]->SetNetwork(fabrics_[m].get());
+    }
+    void RestoreNetwork(std::size_t m) override {
+      engines_[m]->SetNetwork(nullptr);
+    }
+
+   private:
+    const std::vector<std::unique_ptr<serving::Engine>>& engines_;
+    const std::vector<std::string>& names_;
+    std::vector<std::unique_ptr<rpc::NetworkModel>>& fabrics_;
+  };
+  ShardChaosTarget chaos_target(engines, serve_names, fabrics);
+  if (injector != nullptr) {
+    const chaos::ChaosSchedule schedule{options.duration_s, options.window_s,
+                                        options_.seed, n};
+    const Status armed = injector->Arm(schedule);
+    if (!armed.ok()) return armed;
+  }
+
   // Live batch-mix monitors, one per shard, fed in-shard (one Observe per
   // arrival, between barriers, by the shard's own worker) so they stay
   // deterministic under any serve_threads. Their planning reference is
@@ -533,7 +607,8 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   // duplicate boundary just below the horizon; a coinciding window and
   // decision boundary runs the window snapshot first, so controllers see
   // the freshly closed window.
-  enum : unsigned { kWindowBarrier = 1u, kDecisionBarrier = 2u };
+  enum : unsigned { kWindowBarrier = 1u, kDecisionBarrier = 2u,
+                    kChaosBarrier = 4u };
   std::map<Time, unsigned> barriers;
   for (std::size_t k = 1;; ++k) {
     const double t = static_cast<double>(k) * options.window_s;
@@ -549,13 +624,27 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
       barriers[t] |= kDecisionBarrier;
     }
   }
+  if (injector != nullptr) {
+    // Armed fault times become barriers of their own, so faults land at
+    // their scheduled time, not rounded to the next window boundary.
+    // Faults at t <= 0 are applied by the pre-loop drain below.
+    for (const Time t : injector->FaultTimes()) {
+      if (t <= 0.0 || t >= options.duration_s - 1e-9) continue;
+      barriers[t] |= kChaosBarrier;
+    }
+  }
 
   // Control-plane state. The planning mix of model j starts as its
   // session monitor (what the initial plan was built against) and moves
   // to the live sliding window after a kResetMonitor.
   std::size_t reallocations = 0;
   std::size_t monitor_resets = 0;
+  std::size_t respreads = 0;
+  std::size_t failovers = 0;
   std::vector<FleetControlEvent> control_log;
+  std::vector<FleetChaosEvent> chaos_log;
+  /// Engine fault-ledger entries already copied into chaos_log, per model.
+  std::vector<std::size_t> faults_drained(n, 0);
   std::vector<double> shares(n);
   for (std::size_t j = 0; j < n; ++j) {
     shares[j] = plan.models[j].budget_per_hour;
@@ -567,6 +656,44 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   Status control_status;  // first failure inside the loop, if any
   Time last_realloc_time = 0.0;
   std::vector<std::size_t> offered_at_realloc(n, 0);
+
+  // Re-plans model j inside `budget` against its planning mix and
+  // reconfigures its live engine in place. Shared by the fleet-wide
+  // rebalance and the per-model kFailover recovery so the two replan
+  // paths cannot drift.
+  auto replan_model = [&](std::size_t j, double budget) -> Status {
+    const Kairos& session = sessions_[indices[j]];
+    PlannerContext ctx{&catalog_, &session.truth(), session.qos_ms(),
+                       budget};
+    PlanRequest request;
+    request.monitor = plan_monitors[j];
+    request.search = options.search;
+    if ((*backend)->NeedsEvaluations()) {
+      // Same wiring as PlanAll, against the model's planning mix (the
+      // nested measurement never touches the co-simulation clock).
+      const Status wired = WireEvaluator(session, *plan_monitors[j], request);
+      if (!wired.ok()) {
+        return Status(wired.code(),
+                      "model " + names_[indices[j]] + ": " + wired.message());
+      }
+    }
+    auto outcome = (*backend)->Plan(ctx, request);
+    if (!outcome.ok()) {
+      return Status(outcome.status().code(),
+                    "model " + names_[indices[j]] + ": " +
+                        outcome.status().message());
+    }
+    const Status reconfigured = engines[j]->Reconfigure(outcome->config);
+    if (!reconfigured.ok()) return reconfigured;
+    // A model already moved to the live window was just replanned
+    // against it: the window's current mean is the new planning-time
+    // reference, or plan_mean_batch / drift would keep describing a
+    // configuration this re-plan just replaced.
+    if (!live_monitors.empty() && plan_monitors[j] == &live_monitors[j]) {
+      live_monitors[j].MarkPlanningReference();
+    }
+    return Status::Ok();
+  };
 
   // kReallocate: observed arrival rates over `interval_s` become the
   // demand weights, the global budget is re-split, each model re-planned
@@ -606,49 +733,48 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
       return;
     }
     for (std::size_t j = 0; j < n; ++j) {
-      const Kairos& session = sessions_[indices[j]];
-      PlannerContext ctx{&catalog_, &session.truth(), session.qos_ms(),
-                         (*split)[j]};
-      PlanRequest request;
-      request.monitor = plan_monitors[j];
-      request.search = options.search;
-      if ((*backend)->NeedsEvaluations()) {
-        // Same wiring as PlanAll, against the model's planning mix (the
-        // nested measurement never touches the co-simulation clock).
-        const Status wired =
-            WireEvaluator(session, *plan_monitors[j], request);
-        if (!wired.ok()) {
-          control_status =
-              Status(wired.code(),
-                     "model " + names_[indices[j]] + ": " + wired.message());
-          return;
-        }
-      }
-      auto outcome = (*backend)->Plan(ctx, request);
-      if (!outcome.ok()) {
-        control_status =
-            Status(outcome.status().code(), "model " + names_[indices[j]] +
-                                                ": " +
-                                                outcome.status().message());
+      const Status replanned = replan_model(j, (*split)[j]);
+      if (!replanned.ok()) {
+        control_status = replanned;
         return;
-      }
-      const Status reconfigured =
-          engines[j]->Reconfigure(outcome->config);
-      if (!reconfigured.ok()) {
-        control_status = reconfigured;
-        return;
-      }
-      // A model already moved to the live window was just replanned
-      // against it: the window's current mean is the new planning-time
-      // reference, or plan_mean_batch / drift would keep describing a
-      // configuration this re-plan just replaced.
-      if (!live_monitors.empty() &&
-          plan_monitors[j] == &live_monitors[j]) {
-        live_monitors[j].MarkPlanningReference();
       }
     }
     shares = *std::move(split);
     ++reallocations;
+  };
+
+  // Runs the chaos plane's barrier step: applies every armed fault due at
+  // `t` (on this thread, shards quiesced), then copies freshly landed
+  // hard kills out of each engine's fault ledger — those fire on shard
+  // clocks between barriers (a notice's delayed kill), so the ledger is
+  // the only deterministic way to observe them. chaos_log is re-sorted by
+  // time once, after the loop.
+  auto drain_chaos = [&](Time t) {
+    if (injector == nullptr) return;
+    if (t < options.duration_s - 1e-9) {
+      for (chaos::ChaosEvent& event : injector->Apply(t, chaos_target)) {
+        chaos_log.push_back(FleetChaosEvent{event.time, event.kind,
+                                            serve_names[event.model],
+                                            std::move(event.detail)});
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::vector<serving::Engine::InstanceFault>& faults =
+          engines[j]->Faults();
+      for (; faults_drained[j] < faults.size(); ++faults_drained[j]) {
+        const serving::Engine::InstanceFault& fault =
+            faults[faults_drained[j]];
+        FleetChaosEvent event;
+        event.time = fault.time;
+        event.kind = fault.preemption ? chaos::ChaosEventKind::kPreemption
+                                      : chaos::ChaosEventKind::kInstanceDeath;
+        event.model = serve_names[j];
+        event.detail = "hard kill; " + std::to_string(fault.requeued) +
+                       " in-flight quer" +
+                       (fault.requeued == 1 ? "y" : "ies") + " requeued";
+        chaos_log.push_back(std::move(event));
+      }
+    }
   };
 
   // Applies one barrier's worth of controller decisions. Monitor resets
@@ -688,6 +814,7 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
       control_log.push_back(FleetControlEvent{
           t, action.kind, names_[indices[action.model]], action.reason});
     }
+    bool reallocated_here = false;
     for (const control::ControlAction& action : actions) {
       if (action.kind != control::ControlActionKind::kReallocate) continue;
       const double interval = action.interval_s > 0.0
@@ -696,9 +823,54 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
       rebalance(interval);
       if (!control_status.ok()) return;
       last_realloc_time = t;
+      reallocated_here = true;
       control_log.push_back(
           FleetControlEvent{t, action.kind, "", action.reason});
       break;  // one re-split already replanned every model
+    }
+    // Chaos recoveries, after any reallocation: one per model per barrier
+    // (the first action on a model wins), and all of them skipped when a
+    // same-barrier re-split already replanned and reconfigured everything.
+    std::vector<bool> recovered(n, false);
+    for (const control::ControlAction& action : actions) {
+      if (action.kind != control::ControlActionKind::kRespread &&
+          action.kind != control::ControlActionKind::kFailover) {
+        continue;
+      }
+      if (action.model >= n) {
+        control_status = Status::InvalidArgument(
+            "controller " + controller->Name() + " targeted model index " +
+            std::to_string(action.model) + " with " +
+            control::ControlActionName(action.kind) +
+            ", but the served plan has " + std::to_string(n) + " models");
+        return;
+      }
+      if (recovered[action.model]) continue;
+      recovered[action.model] = true;
+      if (reallocated_here) continue;
+      const std::size_t j = action.model;
+      if (action.kind == control::ControlActionKind::kFailover) {
+        const Status replanned = replan_model(j, shares[j]);
+        if (!replanned.ok()) {
+          control_status = replanned;
+          return;
+        }
+        ++failovers;
+      } else {
+        // Re-issue the current target: lost (and retiring) capacity drops
+        // out of the live count, so the engine schedules replacement
+        // launches now — fired on a notice, the launch lag overlaps the
+        // victim's notice window.
+        const Status respread =
+            engines[j]->Reconfigure(engines[j]->target_config());
+        if (!respread.ok()) {
+          control_status = respread;
+          return;
+        }
+        ++respreads;
+      }
+      control_log.push_back(FleetControlEvent{
+          t, action.kind, names_[indices[j]], action.reason});
     }
   };
 
@@ -751,6 +923,12 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
         model.live_queries = 0;
         model.drift = 0.0;
       }
+      model.live_instances = engines[j]->AssignableInstances();
+      model.target_instances = static_cast<std::size_t>(
+          engines[j]->target_config().TotalInstances());
+      model.pending_instances = engines[j]->PendingInstances();
+      model.instances_lost = engines[j]->InstancesLost();
+      model.preemption_notices = engines[j]->PreemptionNotices();
     }
   };
 
@@ -773,6 +951,9 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
       for (std::size_t j = 0; j < n; ++j) engines[j]->AdvanceTo(t);
     }
   };
+  // Faults armed at t <= 0 (e.g. a NET_DEGRADE window opening at the
+  // start) land before the first arrival fires.
+  drain_chaos(0.0);
   for (const auto& [t, kinds] : barriers) {
     advance_all(t);
     if ((kinds & kWindowBarrier) != 0) {
@@ -780,6 +961,10 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
         windows[j].push_back(engines[j]->TakeWindow());
       }
     }
+    // Chaos lands before the controller looks: a loss applied here is in
+    // the telemetry of the same barrier's Decide(), so a chaos-aware
+    // controller reacts with zero barrier lag.
+    drain_chaos(t);
     // The horizon barrier only closes the final window: an action applied
     // there could never serve a query, so the controller is not consulted
     // — centrally, rather than as a guard every controller must remember.
@@ -794,7 +979,17 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   result.duration_s = options.duration_s;
   result.reallocations = reallocations;
   result.monitor_resets = monitor_resets;
+  result.respreads = respreads;
+  result.failovers = failovers;
   result.control_log = std::move(control_log);
+  // Ledger-drained kills interleave with injector events out of order
+  // (they fire on shard clocks between barriers); one stable sort
+  // restores time order deterministically.
+  std::stable_sort(chaos_log.begin(), chaos_log.end(),
+                   [](const FleetChaosEvent& a, const FleetChaosEvent& b) {
+                     return a.time < b.time;
+                   });
+  result.chaos_log = std::move(chaos_log);
   result.final_shares_per_hour = std::move(shares);
   for (std::size_t j = 0; j < n; ++j) {
     FleetModelServe serve;
@@ -802,11 +997,34 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     serve.totals = engines[j]->Totals();
     serve.windows = std::move(windows[j]);
     serve.qps = static_cast<double>(serve.totals.served) / options.duration_s;
+    serve.instances_lost = engines[j]->InstancesLost();
+    serve.preemption_notices = engines[j]->PreemptionNotices();
+    // Billed spend at on-demand prices from the engine's census, then the
+    // injector's spot market (when it quotes one for this model) applies
+    // its discount — the "effective cost" a preemptible fleet actually
+    // pays for the capacity it rented.
+    const std::vector<double> billed = engines[j]->BilledSecondsPerType();
+    double ondemand_usd = 0.0;
+    for (cloud::TypeId type = 0; type < catalog_.size(); ++type) {
+      ondemand_usd += billed[type] * catalog_[type].price_per_hour / 3600.0;
+    }
+    serve.ondemand_cost_usd = ondemand_usd;
+    const cloud::SpotMarket* market =
+        injector != nullptr ? injector->Market(j) : nullptr;
+    serve.effective_cost_usd =
+        market != nullptr ? cloud::SpotCost(*market, ondemand_usd)
+                          : ondemand_usd;
     result.total_qps += serve.qps;
     result.total_weighted_qps +=
         model_options_[indices[j]].arrival_scale * serve.qps;
+    result.instances_lost += serve.instances_lost;
+    result.preemption_notices += serve.preemption_notices;
+    result.ondemand_cost_usd += serve.ondemand_cost_usd;
+    result.effective_cost_usd += serve.effective_cost_usd;
     result.models.push_back(std::move(serve));
   }
+  result.effective_cost_per_hour =
+      result.effective_cost_usd * 3600.0 / options.duration_s;
   return result;
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/injector.h"
 #include "common/status.h"
 #include "control/controller.h"
 #include "core/allocator.h"
@@ -164,6 +165,20 @@ struct FleetServeOptions {
   std::string controller;
   /// Knob overrides for the named controller (e.g. QOS's "p99_scale").
   control::KnobMap controller_knobs;
+  /// Chaos injector (ChaosRegistry name: SPOT_PREEMPTION, INSTANCE_DEATH,
+  /// NET_DEGRADE, COMPOSITE). "" = no chaos — the run is bit-identical to
+  /// a build without the chaos subsystem (tests/chaos_test.cc). The
+  /// injector is armed on the run's schedule, its fault times become
+  /// extra barriers, and its faults are applied on the driving thread
+  /// with every shard quiesced, so chaos runs are bit-identical for every
+  /// serve_threads value too.
+  std::string chaos;
+  /// Knob overrides for the named injector (e.g. "rate_per_hour").
+  chaos::KnobMap chaos_knobs;
+  /// Programmatic injector (e.g. MakeScriptedChaos); mutually exclusive
+  /// with `chaos`. Shared so one injector can be compared across runs;
+  /// Arm() fully resets it per run.
+  std::shared_ptr<chaos::ChaosInjector> injector;
   /// Engine launch lag for mid-run reconfigurations, simulated seconds.
   double launch_lag_s = 1.0;
   /// Threads advancing the per-model shards concurrently between barriers
@@ -189,6 +204,20 @@ struct FleetModelServe {
   std::vector<serving::WindowedMetrics> windows;
   /// totals.served / duration_s.
   double qps = 0.0;
+  /// Instances lost to chaos (preemption hard kills + abrupt deaths).
+  std::size_t instances_lost = 0;
+  /// Spot reclamation notices issued against this model.
+  std::size_t preemption_notices = 0;
+  /// Billed spend at the catalog's on-demand prices over the run, from
+  /// the engine's billing census (pending launches bill while booting,
+  /// retired instances stop billing at the kill — the same doctrine as
+  /// cloud::PlanReconfiguration).
+  double ondemand_cost_usd = 0.0;
+  /// The same spend with the model's spot market discount applied when
+  /// the injector quotes one (cloud::SpotCost); equals ondemand_cost_usd
+  /// on on-demand models. "Equal effective cost" comparisons between
+  /// chaos-aware and chaos-blind runs use this.
+  double effective_cost_usd = 0.0;
 };
 
 /// One applied control-plane decision (FleetServeResult::control_log).
@@ -197,6 +226,14 @@ struct FleetControlEvent {
   control::ControlActionKind kind = control::ControlActionKind::kReallocate;
   std::string model;                ///< target serving name; "" = fleet-wide
   std::string reason;               ///< the controller's stated trigger
+};
+
+/// One applied chaos fault (FleetServeResult::chaos_log).
+struct FleetChaosEvent {
+  Time time = 0.0;  ///< when the fault landed (notice / kill / degrade)
+  chaos::ChaosEventKind kind = chaos::ChaosEventKind::kInstanceDeath;
+  std::string model;   ///< target serving name
+  std::string detail;  ///< injector- or engine-provided specifics
 };
 
 /// The fleet co-simulation answer.
@@ -212,12 +249,30 @@ struct FleetServeResult {
   /// Monitor resets applied (DRIFT switching a model's planning mix to
   /// the live stream).
   std::size_t monitor_resets = 0;
+  /// Chaos recoveries applied: target re-issues (kRespread) and per-model
+  /// replans (kFailover).
+  std::size_t respreads = 0;
+  std::size_t failovers = 0;
+  /// Instances lost to chaos across the fleet; sum over models.
+  std::size_t instances_lost = 0;
+  /// Spot reclamation notices issued across the fleet; sum over models.
+  std::size_t preemption_notices = 0;
   /// Every applied ControlAction in barrier order. Deterministic: the
   /// same sequence for every serve_threads value (tests/control_test.cc).
   std::vector<FleetControlEvent> control_log;
+  /// Every chaos fault in time order, notices and kills included. Same
+  /// determinism guarantee; empty without an injector.
+  std::vector<FleetChaosEvent> chaos_log;
   /// Per-model $/hr shares after the last reallocation (the initial plan's
   /// shares when none ran); plan order.
   std::vector<double> final_shares_per_hour;
+  /// Fleet billed spend over the run: catalog on-demand prices, and the
+  /// same with each model's spot discount applied (sums of the per-model
+  /// fields). Zero-chaos runs report both equal.
+  double ondemand_cost_usd = 0.0;
+  double effective_cost_usd = 0.0;
+  /// effective_cost_usd scaled to an hourly rate over duration_s.
+  double effective_cost_per_hour = 0.0;
 };
 
 /// A set of Kairos sessions planned and measured together.
@@ -302,11 +357,19 @@ class Fleet {
   /// realloc_period_s > 0) routes through "PERIODIC" and reproduces the
   /// fixed-timer loop bit for bit (tests/fleet_serve_test.cc).
   ///
+  /// Chaos: a named `chaos` injector (or a programmatic `injector`) is
+  /// armed on the run's schedule; its precomputed fault times become
+  /// extra barriers where spot reclamations, instance kills and fabric
+  /// degradation land (chaos/injector.h). Losses surface in the chaos
+  /// log, the chaos telemetry fields, and the billed-spend accounting
+  /// (effective vs on-demand cost under the injector's spot market).
+  ///
   /// Errors: kInvalidArgument (non-positive duration/rate/window/period,
   /// unknown shift model, shift scale <= 0, shift time outside the
-  /// horizon, bad controller knobs), kNotFound (plan model not in the
-  /// fleet, unknown controller name), kFailedPrecondition (empty monitor
-  /// when a controller is configured).
+  /// horizon, bad controller or chaos knobs, both `chaos` and `injector`
+  /// set), kNotFound (plan model not in the fleet, unknown controller or
+  /// chaos name), kFailedPrecondition (empty monitor when a controller is
+  /// configured).
   StatusOr<FleetServeResult> ServeAll(const FleetPlan& plan,
                                       FleetServeOptions options = {}) const;
 

@@ -2,20 +2,55 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace kairos::rpc {
+namespace {
 
-NetworkModel::NetworkModel(double base_us, double jitter_sigma)
-    : base_us_(base_us), jitter_sigma_(jitter_sigma) {
-  if (base_us < 0.0 || jitter_sigma < 0.0) {
-    throw std::invalid_argument("NetworkModel: negative parameter");
+/// Retransmission timeout as a multiple of the base one-way delay: the
+/// sender waits about two RTTs before giving up on an unacknowledged
+/// transmission, the classic minimum-RTO shape.
+constexpr double kRetransmitTimeoutFactor = 4.0;
+
+}  // namespace
+
+Status NetworkModel::Validate(double base_us, double jitter_sigma,
+                              double loss_prob) {
+  if (!(base_us >= 0.0)) {
+    return Status::InvalidArgument("NetworkModel: base_us must be >= 0, got " +
+                                   std::to_string(base_us));
   }
+  if (!(jitter_sigma >= 0.0)) {
+    return Status::InvalidArgument(
+        "NetworkModel: jitter_sigma must be >= 0, got " +
+        std::to_string(jitter_sigma));
+  }
+  if (!(loss_prob >= 0.0) || loss_prob >= 1.0) {
+    return Status::InvalidArgument(
+        "NetworkModel: loss_prob must be in [0, 1), got " +
+        std::to_string(loss_prob));
+  }
+  return Status::Ok();
+}
+
+NetworkModel::NetworkModel(double base_us, double jitter_sigma,
+                           double loss_prob)
+    : base_us_(base_us), jitter_sigma_(jitter_sigma), loss_prob_(loss_prob) {
+  const Status status = Validate(base_us, jitter_sigma, loss_prob);
+  if (!status.ok()) throw std::invalid_argument(status.message());
 }
 
 Time NetworkModel::SampleDelay(Rng& rng) const {
   double us = base_us_;
   if (jitter_sigma_ > 0.0) {
     us *= rng.LogNormal(0.0, jitter_sigma_);
+  }
+  if (loss_prob_ > 0.0) {
+    // Geometric retransmits: every lost copy burns one timeout before the
+    // (independently lossy) retry. loss_prob < 1 keeps this finite.
+    while (rng.Bernoulli(loss_prob_)) {
+      us += kRetransmitTimeoutFactor * base_us_;
+    }
   }
   return us * 1e-6;
 }

@@ -1,9 +1,13 @@
 // Network delay model for the in-process RPC fabric that stands in for the
 // paper's gRPC transport (Sec. 6). One-way delays are a base latency plus
-// log-normal jitter — the standard shape of intra-region cloud RTTs.
+// log-normal jitter — the standard shape of intra-region cloud RTTs — and
+// an optional packet-loss probability: each lost transmission costs one
+// retransmission timeout (a multiple of the base delay) before the retry,
+// so lossy links show the heavy latency tail netem produces on real NICs.
 #pragma once
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/time.h"
 
 namespace kairos::rpc {
@@ -11,18 +15,34 @@ namespace kairos::rpc {
 /// Samples one-way network delays.
 class NetworkModel {
  public:
-  /// `base_us` = deterministic one-way delay; `jitter_sigma` = sigma of the
-  /// log-normal multiplicative jitter (0 = deterministic network).
-  NetworkModel(double base_us = 20.0, double jitter_sigma = 0.0);
+  /// kInvalidArgument for a negative base/jitter or a loss probability
+  /// outside [0, 1). The throwing constructor routes through this, so
+  /// callers can pre-validate knob-derived parameters without try/catch.
+  static Status Validate(double base_us, double jitter_sigma,
+                         double loss_prob = 0.0);
 
-  /// One-way delay in simulator seconds.
+  /// `base_us` = deterministic one-way delay; `jitter_sigma` = sigma of the
+  /// log-normal multiplicative jitter (0 = deterministic network);
+  /// `loss_prob` = per-transmission loss probability in [0, 1). Throws
+  /// std::invalid_argument when Validate() rejects the parameters.
+  NetworkModel(double base_us = 20.0, double jitter_sigma = 0.0,
+               double loss_prob = 0.0);
+
+  /// One-way delay in simulator seconds, retransmission penalties
+  /// included. Deterministic per `rng` stream: the same seed replays the
+  /// identical delay/loss sequence (tests/rpc_test.cc). A loss-free model
+  /// draws nothing for loss, so adding the knob leaves pre-existing RNG
+  /// streams untouched.
   Time SampleDelay(Rng& rng) const;
 
   double base_us() const { return base_us_; }
+  double jitter_sigma() const { return jitter_sigma_; }
+  double loss_prob() const { return loss_prob_; }
 
  private:
   double base_us_;
   double jitter_sigma_;
+  double loss_prob_;
 };
 
 }  // namespace kairos::rpc

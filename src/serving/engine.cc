@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/stats.h"
+#include "rpc/netem.h"
 #include "workload/monitor.h"
 
 namespace kairos::serving {
@@ -94,6 +95,12 @@ Status Engine::Init() {
   totals_.per_type_busy.assign(spec_.catalog->size(), 0.0);
   totals_.per_type_served.assign(spec_.catalog->size(), 0);
   pending_by_type_.assign(spec_.catalog->size(), 0);
+  billed_seconds_.assign(spec_.catalog->size(), 0.0);
+  census_time_ = sim_->Now();
+  // Chaos network hops draw from their own stream: installing a degraded
+  // fabric must not perturb the arrival/policy RNG, and a zero-chaos run
+  // never touches this one.
+  net_rng_ = Rng(options_.seed ^ 0x6E657477696E6AULL);
   qos_sec_ = MsToSec(spec_.qos_ms);
   window_start_ = sim_->Now();
   policy_->Reset();
@@ -120,6 +127,120 @@ std::size_t Engine::ActiveInstances() const {
     if (!inst.retired) ++active;
   }
   return active;
+}
+
+std::size_t Engine::AssignableInstances() const {
+  std::size_t assignable = 0;
+  for (const Instance& inst : instances_) {
+    if (!inst.retired && !inst.retiring) ++assignable;
+  }
+  return assignable;
+}
+
+std::size_t Engine::PendingInstances() const {
+  std::size_t pending = 0;
+  for (const std::size_t count : pending_by_type_) pending += count;
+  return pending;
+}
+
+void Engine::AccrueBilling() {
+  const Time now = sim_->Now();
+  if (now > census_time_) {
+    const Time span = now - census_time_;
+    for (cloud::TypeId t = 0; t < spec_.catalog->size(); ++t) {
+      billed_seconds_[t] +=
+          static_cast<double>(pending_by_type_[t]) * span;
+    }
+    for (const Instance& inst : instances_) {
+      if (!inst.retired) billed_seconds_[inst.type] += span;
+    }
+  }
+  census_time_ = now;
+}
+
+std::vector<double> Engine::BilledSecondsPerType() const {
+  std::vector<double> billed = billed_seconds_;
+  const Time now = sim_->Now();
+  if (now > census_time_) {
+    const Time span = now - census_time_;
+    for (cloud::TypeId t = 0; t < spec_.catalog->size(); ++t) {
+      billed[t] += static_cast<double>(pending_by_type_[t]) * span;
+    }
+    for (const Instance& inst : instances_) {
+      if (!inst.retired) billed[inst.type] += span;
+    }
+  }
+  return billed;
+}
+
+std::vector<std::size_t> Engine::NewestAssignable(std::size_t count) const {
+  // Newest = highest index (instances_ grows append-only). The cap keeps
+  // one assignable survivor so chaos can degrade a model, never zero it.
+  const std::size_t assignable = AssignableInstances();
+  if (assignable <= 1) return {};
+  count = std::min(count, assignable - 1);
+  std::vector<std::size_t> victims;
+  for (std::size_t i = instances_.size(); i-- > 0 && victims.size() < count;) {
+    const Instance& inst = instances_[i];
+    if (!inst.retired && !inst.retiring) victims.push_back(i);
+  }
+  return victims;
+}
+
+std::size_t Engine::PreemptInstances(std::size_t count, double notice_s) {
+  if (state_ != EngineState::kServing || count == 0) return 0;
+  const std::vector<std::size_t> victims = NewestAssignable(count);
+  for (const std::size_t idx : victims) {
+    // The notice window: no new work from now (retiring drains what it
+    // holds), hard reclaim at the deadline unless it drained first.
+    instances_[idx].retiring = true;
+    ++preemption_notices_;
+    sim_->After(std::max(notice_s, 0.0),
+                [this, idx] { HardKill(idx, /*preemption=*/true); });
+  }
+  return victims.size();
+}
+
+std::size_t Engine::KillInstances(std::size_t count) {
+  if (state_ != EngineState::kServing || count == 0) return 0;
+  const std::vector<std::size_t> victims = NewestAssignable(count);
+  for (const std::size_t idx : victims) {
+    HardKill(idx, /*preemption=*/false);
+  }
+  return victims.size();
+}
+
+void Engine::HardKill(std::size_t instance_idx, bool preemption) {
+  Instance& inst = instances_[instance_idx];
+  if (inst.retired) return;  // drained inside the notice window
+  AccrueBilling();           // billed until the reclaim, not a tick longer
+
+  InstanceFault fault;
+  fault.time = sim_->Now();
+  fault.preemption = preemption;
+
+  std::deque<workload::Query> orphans;
+  if (inst.executing) {
+    sim_->Cancel(inst.completion_event);
+    // The interrupted query's remaining compute never happened.
+    inst.busy_time -= std::min(
+        inst.current_work, std::max(0.0, inst.current_finish - sim_->Now()));
+    inst.executing = false;
+    orphans.push_back(inst.current_query);
+  }
+  for (const workload::Query& q : inst.fifo) orphans.push_back(q);
+  inst.fifo.clear();
+  fault.requeued = orphans.size();
+  // Orphans re-enter at the *front* of the central queue: they arrived
+  // before anything queued behind them, and their original arrival stamps
+  // carry the preemption damage into the latency tail.
+  waiting_.insert(waiting_.begin(), orphans.begin(), orphans.end());
+
+  inst.retiring = false;
+  inst.retired = true;
+  faults_.push_back(fault);
+  // Survivors absorb the requeued work right away.
+  RunRound();
 }
 
 Status Engine::Submit(workload::Query q) {
@@ -257,6 +378,8 @@ Status Engine::Reconfigure(const cloud::Config& config) {
   }
 
   target_config_ = config;
+  // The billed set (live + pending) is about to change shape.
+  AccrueBilling();
 
   for (cloud::TypeId t = 0; t < spec_.catalog->size(); ++t) {
     const std::size_t target = static_cast<std::size_t>(config.Count(t));
@@ -446,10 +569,19 @@ void Engine::BeginExecution(std::size_t instance_idx,
   assert(!inst.executing);
   const Time start = sim_->Now();
   const Time actual = spec_.truth->Latency(inst.type, q.batch_size);
+  Time finish = start + actual;
+  if (network_ != nullptr) {
+    // Degraded fabric: the dispatch and the reply each ride one sampled
+    // hop. Compute time (busy_time) is unchanged — the instance is just
+    // occupied longer, which is exactly how netem slows a real fleet.
+    finish += network_->SampleDelay(net_rng_) + network_->SampleDelay(net_rng_);
+  }
   inst.executing = true;
-  inst.current_finish = start + actual;
+  inst.current_finish = finish;
+  inst.current_query = q;
+  inst.current_work = actual;
   inst.busy_time += actual;
-  sim_->At(inst.current_finish, [this, instance_idx, q, start] {
+  inst.completion_event = sim_->At(finish, [this, instance_idx, q, start] {
     OnCompletion(instance_idx, q, start);
   });
 }
@@ -504,6 +636,7 @@ void Engine::StartIfIdle(std::size_t instance_idx) {
     inst.fifo.pop_front();
     BeginExecution(instance_idx, next);
   } else if (inst.retiring && !inst.executing && inst.fifo.empty()) {
+    AccrueBilling();  // drained: this instance stops billing now
     inst.retiring = false;
     inst.retired = true;
   }

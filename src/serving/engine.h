@@ -41,6 +41,10 @@ namespace kairos::workload {
 class QueryMonitor;  // workload/monitor.h — the live-mix tap target
 }  // namespace kairos::workload
 
+namespace kairos::rpc {
+class NetworkModel;  // rpc/netem.h — the chaos-installable fabric
+}  // namespace kairos::rpc
+
 namespace kairos::serving {
 
 /// Engine lifecycle states (DESIGN.md Sec. 8).
@@ -212,6 +216,64 @@ class Engine {
   /// Live instances: launched, not retired (retiring-but-draining count).
   std::size_t ActiveInstances() const;
 
+  /// Assignable instances: live and not retiring (the set policies see).
+  std::size_t AssignableInstances() const;
+
+  /// Launches scheduled but not yet online.
+  std::size_t PendingInstances() const;
+
+  // --- Chaos hooks (DESIGN.md Sec. 11). Fleet::ServeAll drives these at
+  // barriers on the driving thread; kill events scheduled here fire on
+  // this engine's own clock, inside its shard advance. A zero-chaos run
+  // never calls them, and its event stream, RNG draws and results stay
+  // bit-identical to pre-chaos builds (tests/chaos_test.cc).
+
+  /// One chaos-induced capacity loss, in the order it happened.
+  struct InstanceFault {
+    Time time = 0.0;
+    bool preemption = false;   ///< spot reclamation (vs abrupt death)
+    std::size_t requeued = 0;  ///< queries pushed back to the central queue
+  };
+
+  /// Issues spot reclamation notices to the `count` newest assignable
+  /// instances: each stops taking new work immediately (retiring) and is
+  /// hard-killed `notice_s` seconds later unless it drained first. The
+  /// last assignable instance is spared so a model never self-destructs
+  /// to zero capacity. Returns the notices actually issued; no-op (0)
+  /// unless SERVING.
+  std::size_t PreemptInstances(std::size_t count, double notice_s);
+
+  /// Hard-kills the `count` newest assignable instances right now: the
+  /// executing query's completion is cancelled and it returns — with its
+  /// FIFO — to the *front* of the central queue, original arrival stamps
+  /// intact (the lost work is the preemption damage the latency tail
+  /// shows). The last assignable instance is spared. Returns the kills
+  /// applied; no-op (0) unless SERVING.
+  std::size_t KillInstances(std::size_t count);
+
+  /// Installs `net` as the dispatcher<->instance fabric: every execution
+  /// pays two sampled one-way hops (dispatch + reply) on top of compute.
+  /// nullptr restores the pristine zero-delay fabric. Hop draws come from
+  /// a dedicated RNG, so arrival and policy streams are untouched. `net`
+  /// must outlive the engine or the next SetNetwork call.
+  void SetNetwork(const rpc::NetworkModel* net) { network_ = net; }
+
+  /// Chaos kill ledger in time order (reclamations and deaths; notices
+  /// are counted separately). Fleet::ServeAll drains this at barriers.
+  const std::vector<InstanceFault>& Faults() const { return faults_; }
+
+  /// Faults().size(), for cheap telemetry polling.
+  std::size_t InstancesLost() const { return faults_.size(); }
+
+  /// Cumulative spot reclamation notices issued via PreemptInstances.
+  std::size_t PreemptionNotices() const { return preemption_notices_; }
+
+  /// Billed instance-seconds per catalog type up to Now(): every
+  /// non-retired instance plus every pending launch bills — launching
+  /// instances pay while they boot, exactly PlanReconfiguration's
+  /// doctrine. Passive accounting: reading it never perturbs the run.
+  std::vector<double> BilledSecondsPerType() const;
+
   const policy::Policy& GetPolicy() const { return *policy_; }
   const SystemSpec& spec() const { return spec_; }
 
@@ -237,6 +299,19 @@ class Engine {
   /// Views of the assignable instances; fills `view_to_instance_` with
   /// the matching instances_ indices.
   std::vector<InstanceView> SnapshotInstances();
+
+  /// Immediate kill of one instance: cancel + requeue + retire + log.
+  /// No-op when the instance already retired (a preemption notice whose
+  /// target drained in time).
+  void HardKill(std::size_t instance_idx, bool preemption);
+
+  /// Indices of the newest assignable instances, newest first, capped so
+  /// at least one assignable instance survives.
+  std::vector<std::size_t> NewestAssignable(std::size_t count) const;
+
+  /// Folds billed instance-seconds since the last census into
+  /// billed_seconds_; called before every mutation of the billed set.
+  void AccrueBilling();
 
   /// Appends one live instance of `type`.
   void AddInstance(cloud::TypeId type);
@@ -270,6 +345,12 @@ class Engine {
 
   EngineState state_ = EngineState::kServing;
   workload::QueryMonitor* monitor_tap_ = nullptr;  ///< live-mix observer
+  const rpc::NetworkModel* network_ = nullptr;     ///< chaos fabric; null = pristine
+  Rng net_rng_;                        ///< hop draws only, never shared
+  std::vector<InstanceFault> faults_;  ///< chaos kills, time order
+  std::size_t preemption_notices_ = 0;
+  std::vector<double> billed_seconds_;  ///< per type, up to census_time_
+  Time census_time_ = 0.0;
   Rng rng_;
   double arrival_scale_ = 1.0;
   workload::QueryId next_source_id_ = 1u << 20;  ///< clear of trace ids

@@ -4,6 +4,7 @@
 // like Clockwork) wait in the instance's FIFO.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 
 #include "cloud/instance_type.h"
@@ -21,6 +22,21 @@ struct Instance {
 
   /// Actual completion time of the executing query (valid when executing).
   Time current_finish = 0.0;
+
+  // The executing query's identity and schedule, kept so a chaos hard
+  // kill (Engine::KillInstances) can cancel the completion event, roll
+  // back the unexecuted compute and requeue the query. All three are
+  // valid only while `executing`.
+
+  /// The query running right now.
+  workload::Query current_query;
+
+  /// Pure compute seconds of the executing query (current_finish minus
+  /// network hops when a degraded fabric is installed).
+  Time current_work = 0.0;
+
+  /// Scheduled completion event (safe to Cancel after it fired).
+  std::uint64_t completion_event = 0;
 
   /// Queries committed to this instance but not yet started (early binding).
   std::deque<workload::Query> fifo;

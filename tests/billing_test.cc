@@ -28,11 +28,45 @@ TEST(BillingMeterTest, MixedConfigsAverage) {
   EXPECT_DOUBLE_EQ(meter.AverageRatePerHour(), 0.0);
 }
 
-TEST(BillingMeterTest, NegativeDurationThrows) {
+TEST(BillingMeterTest, NegativeDurationIsRejected) {
   const Catalog catalog = Catalog::PaperPool();
   BillingMeter meter(catalog);
-  EXPECT_THROW(meter.Accrue(Config({1, 0, 0, 0}), -1.0),
-               std::invalid_argument);
+  const Status rejected = meter.Accrue(Config({1, 0, 0, 0}), -1.0);
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  // Nothing accrued: the rejected call must not move the meter.
+  EXPECT_DOUBLE_EQ(meter.TotalCost(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.TotalTime(), 0.0);
+}
+
+TEST(SpotMarketTest, ValidatesItsParameters) {
+  SpotMarket market;
+  market.reclaim_rate_per_hour = 120.0;
+  market.notice_s = 2.0;
+  EXPECT_TRUE(market.Validate().ok());
+
+  SpotMarket bad_discount = market;
+  bad_discount.discount = 0.0;
+  EXPECT_EQ(bad_discount.Validate().code(), StatusCode::kInvalidArgument);
+  bad_discount.discount = 1.5;
+  EXPECT_EQ(bad_discount.Validate().code(), StatusCode::kInvalidArgument);
+
+  SpotMarket bad_rate = market;
+  bad_rate.reclaim_rate_per_hour = -1.0;
+  EXPECT_EQ(bad_rate.Validate().code(), StatusCode::kInvalidArgument);
+
+  SpotMarket bad_notice = market;
+  bad_notice.notice_s = -0.5;
+  EXPECT_EQ(bad_notice.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpotMarketTest, SpotCostAppliesTheDiscount) {
+  SpotMarket market;
+  market.discount = 0.35;
+  EXPECT_NEAR(SpotCost(market, 10.0), 3.5, 1e-12);
+  EXPECT_DOUBLE_EQ(SpotCost(market, 0.0), 0.0);
+  // On-demand parity: a discount of 1 changes nothing.
+  market.discount = 1.0;
+  EXPECT_DOUBLE_EQ(SpotCost(market, 7.25), 7.25);
 }
 
 TEST(PlanReconfigurationTest, GrowthPaysBeforeServing) {

@@ -1,0 +1,455 @@
+// Chaos subsystem coverage (DESIGN.md Sec. 11): the ChaosRegistry
+// contract, seeded fault-timeline determinism, notice-window semantics,
+// and the two acceptance properties of the fleet wiring — a zero-chaos
+// run is bit-identical to a run without the chaos plane, and a chaos run
+// is bit-identical for every serve_threads value.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/injector.h"
+#include "chaos/injectors.h"
+#include "core/fleet.h"
+
+namespace kairos::chaos {
+namespace {
+
+ChaosSchedule Schedule(double duration_s, std::size_t num_models,
+                       std::uint64_t seed = 42) {
+  ChaosSchedule schedule;
+  schedule.duration_s = duration_s;
+  schedule.window_s = duration_s / 4.0;
+  schedule.seed = seed;
+  schedule.num_models = num_models;
+  return schedule;
+}
+
+TEST(ChaosRegistryTest, ListsBuiltInInjectors) {
+  const std::vector<std::string> names = ChaosRegistry::Global().ListNames();
+  for (const char* expected :
+       {"COMPOSITE", "INSTANCE_DEATH", "NET_DEGRADE", "SPOT_PREEMPTION"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
+                names.end())
+        << expected << " not registered";
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  // Lookup is case-insensitive, like every other registry in the repo.
+  EXPECT_TRUE(ChaosRegistry::Global().Contains("spot_preemption"));
+  const auto info = ChaosRegistry::Global().Info("net_degrade");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->name, "NET_DEGRADE");
+  EXPECT_TRUE(info->knobs.count("loss_prob"));
+}
+
+TEST(ChaosRegistryTest, UnknownNameIsNotFoundListingAlternatives) {
+  const auto built = ChaosRegistry::Global().Build("VOLCANO");
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(built.status().message().find("SPOT_PREEMPTION"),
+            std::string::npos);
+}
+
+TEST(ChaosRegistryTest, UndeclaredKnobIsRejected) {
+  const auto built =
+      ChaosRegistry::Global().Build("INSTANCE_DEATH", {{"bogus", 1.0}});
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(built.status().message().find("bogus"), std::string::npos);
+}
+
+TEST(ChaosRegistryTest, OutOfRangeKnobIsRejected) {
+  const auto built =
+      ChaosRegistry::Global().Build("SPOT_PREEMPTION", {{"discount", 1.5}});
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ChaosRegistryTest, CompositeRequiresAtLeastOneChild) {
+  const auto none = ChaosRegistry::Global().Build(
+      "COMPOSITE", {{"spot", 0.0}, {"death", 0.0}, {"net", 0.0}});
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kInvalidArgument);
+
+  auto storm = ChaosRegistry::Global().Build(
+      "COMPOSITE", {{"spot", 1.0}, {"death", 1.0}, {"net", 1.0}});
+  ASSERT_TRUE(storm.ok()) << storm.status().ToString();
+  ASSERT_TRUE((*storm)->Arm(Schedule(60.0, 2)).ok());
+  // Spot + death timelines plus the net window bounds, merged.
+  EXPECT_GE((*storm)->FaultTimes().size(), 1u);
+  // The composite quotes the spot child's market for every model.
+  ASSERT_NE((*storm)->Market(0), nullptr);
+  EXPECT_DOUBLE_EQ((*storm)->Market(0)->discount, 0.35);
+}
+
+TEST(SpotPreemptionTest, SameSeedReplaysTheSameTimeline) {
+  const KnobMap knobs = {{"rate_per_hour", 720.0}, {"seed", 7.0}};
+  auto a = ChaosRegistry::Global().Build("SPOT_PREEMPTION", knobs);
+  auto b = ChaosRegistry::Global().Build("SPOT_PREEMPTION", knobs);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*a)->Arm(Schedule(120.0, 3)).ok());
+  ASSERT_TRUE((*b)->Arm(Schedule(120.0, 3)).ok());
+  const std::vector<Time> first = (*a)->FaultTimes();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, (*b)->FaultTimes());
+  // Arm() fully resets per-run state: re-arming the same injector on the
+  // same schedule replays the identical timeline.
+  ASSERT_TRUE((*a)->Arm(Schedule(120.0, 3)).ok());
+  EXPECT_EQ(first, (*a)->FaultTimes());
+  // A different run seed (knob seed 0 = derive from the schedule) moves
+  // the faults.
+  auto c = ChaosRegistry::Global().Build("SPOT_PREEMPTION",
+                                         {{"rate_per_hour", 720.0}});
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE((*c)->Arm(Schedule(120.0, 3, 1)).ok());
+  const std::vector<Time> seed1 = (*c)->FaultTimes();
+  ASSERT_TRUE((*c)->Arm(Schedule(120.0, 3, 2)).ok());
+  EXPECT_NE(seed1, (*c)->FaultTimes());
+}
+
+TEST(SpotPreemptionTest, RateZeroArmsAsANoOp) {
+  auto injector = ChaosRegistry::Global().Build("SPOT_PREEMPTION",
+                                                {{"rate_per_hour", 0.0}});
+  ASSERT_TRUE(injector.ok()) << injector.status().ToString();
+  ASSERT_TRUE((*injector)->Arm(Schedule(60.0, 3)).ok());
+  EXPECT_TRUE((*injector)->FaultTimes().empty());
+}
+
+TEST(SpotPreemptionTest, InterArrivalGapsMatchThePoissonRate) {
+  // One model, 360 reclamations/hr = one every 10s on average; a 20000s
+  // horizon gives ~2000 samples, plenty for a 10% tolerance.
+  auto injector = ChaosRegistry::Global().Build(
+      "SPOT_PREEMPTION", {{"rate_per_hour", 360.0}, {"model", 0.0}});
+  ASSERT_TRUE(injector.ok());
+  ASSERT_TRUE((*injector)->Arm(Schedule(20000.0, 1)).ok());
+  const std::vector<Time> times = (*injector)->FaultTimes();
+  ASSERT_GT(times.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  double sum = times.front();
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    sum += times[i] - times[i - 1];
+  }
+  const double mean_gap = sum / static_cast<double>(times.size());
+  EXPECT_NEAR(mean_gap, 10.0, 1.0);
+}
+
+TEST(SpotPreemptionTest, TargetModelMustBeInRange) {
+  auto injector =
+      ChaosRegistry::Global().Build("SPOT_PREEMPTION", {{"model", 5.0}});
+  ASSERT_TRUE(injector.ok());
+  const Status armed = (*injector)->Arm(Schedule(60.0, 3));
+  EXPECT_EQ(armed.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScriptedChaosTest, RejectsUnschedulableScripts) {
+  // kPreemption is the *consequence* of a notice, never a script step.
+  auto preemption = MakeScriptedChaos(
+      {ScriptedFault{1.0, ChaosEventKind::kPreemption, 0}});
+  EXPECT_EQ(preemption->Arm(Schedule(10.0, 1)).code(),
+            StatusCode::kInvalidArgument);
+  auto negative = MakeScriptedChaos(
+      {ScriptedFault{-1.0, ChaosEventKind::kInstanceDeath, 0}});
+  EXPECT_EQ(negative->Arm(Schedule(10.0, 1)).code(),
+            StatusCode::kInvalidArgument);
+  auto out_of_range = MakeScriptedChaos(
+      {ScriptedFault{1.0, ChaosEventKind::kInstanceDeath, 7}});
+  EXPECT_EQ(out_of_range->Arm(Schedule(10.0, 1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Fleet wiring -----------------------------------------------------
+
+/// The fig12/fig17 fleet: RM2, WND, double-traffic NCF under one $8/hr
+/// MARGINAL envelope (the same helper as tests/fleet_serve_test.cc).
+core::Fleet MakeFleet() {
+  static const cloud::Catalog catalog = cloud::Catalog::PaperPool();
+  core::FleetOptions options;
+  options.budget_per_hour = 8.0;
+  options.allocator = "MARGINAL";
+  auto fleet = core::Fleet::Create(
+      catalog,
+      {core::FleetModelOptions{.model = "RM2"},
+       core::FleetModelOptions{.model = "WND"},
+       core::FleetModelOptions{.model = "NCF", .arrival_scale = 2.0}},
+      options);
+  EXPECT_TRUE(fleet.ok()) << fleet.status().ToString();
+  fleet->ObserveMixAll(workload::LogNormalBatches::Production());
+  return *std::move(fleet);
+}
+
+core::FleetServeOptions ShortServe() {
+  core::FleetServeOptions options;
+  options.duration_s = 10.0;
+  options.base_rate_qps = 15.0;
+  options.window_s = 2.5;
+  return options;
+}
+
+/// Field-by-field equality of everything the serving loop computes —
+/// windows, totals, logs, chaos counters, billed spend. Bitwise: any
+/// thread-count or chaos-plane leak shows up as an exact mismatch.
+void ExpectSameRun(const core::FleetServeResult& a,
+                   const core::FleetServeResult& b) {
+  ASSERT_EQ(a.models.size(), b.models.size());
+  EXPECT_EQ(a.total_qps, b.total_qps);
+  EXPECT_EQ(a.total_weighted_qps, b.total_weighted_qps);
+  EXPECT_EQ(a.reallocations, b.reallocations);
+  EXPECT_EQ(a.respreads, b.respreads);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.instances_lost, b.instances_lost);
+  EXPECT_EQ(a.preemption_notices, b.preemption_notices);
+  EXPECT_EQ(a.ondemand_cost_usd, b.ondemand_cost_usd);
+  EXPECT_EQ(a.effective_cost_usd, b.effective_cost_usd);
+  ASSERT_EQ(a.control_log.size(), b.control_log.size());
+  for (std::size_t e = 0; e < a.control_log.size(); ++e) {
+    EXPECT_EQ(a.control_log[e].time, b.control_log[e].time);
+    EXPECT_EQ(a.control_log[e].kind, b.control_log[e].kind);
+    EXPECT_EQ(a.control_log[e].reason, b.control_log[e].reason);
+  }
+  ASSERT_EQ(a.chaos_log.size(), b.chaos_log.size());
+  for (std::size_t e = 0; e < a.chaos_log.size(); ++e) {
+    EXPECT_EQ(a.chaos_log[e].time, b.chaos_log[e].time);
+    EXPECT_EQ(a.chaos_log[e].kind, b.chaos_log[e].kind);
+    EXPECT_EQ(a.chaos_log[e].model, b.chaos_log[e].model);
+    EXPECT_EQ(a.chaos_log[e].detail, b.chaos_log[e].detail);
+  }
+  for (std::size_t j = 0; j < a.models.size(); ++j) {
+    const core::FleetModelServe& ma = a.models[j];
+    const core::FleetModelServe& mb = b.models[j];
+    EXPECT_EQ(ma.totals.offered, mb.totals.offered);
+    EXPECT_EQ(ma.totals.served, mb.totals.served);
+    EXPECT_EQ(ma.totals.p99_ms, mb.totals.p99_ms);
+    EXPECT_EQ(ma.totals.mean_ms, mb.totals.mean_ms);
+    EXPECT_EQ(ma.instances_lost, mb.instances_lost);
+    EXPECT_EQ(ma.preemption_notices, mb.preemption_notices);
+    EXPECT_EQ(ma.ondemand_cost_usd, mb.ondemand_cost_usd);
+    EXPECT_EQ(ma.effective_cost_usd, mb.effective_cost_usd);
+    ASSERT_EQ(ma.windows.size(), mb.windows.size());
+    for (std::size_t w = 0; w < ma.windows.size(); ++w) {
+      EXPECT_EQ(ma.windows[w].offered, mb.windows[w].offered);
+      EXPECT_EQ(ma.windows[w].served, mb.windows[w].served);
+      EXPECT_EQ(ma.windows[w].p99_ms, mb.windows[w].p99_ms);
+      EXPECT_EQ(ma.windows[w].mean_ms, mb.windows[w].mean_ms);
+    }
+  }
+}
+
+// The first acceptance property: arming an injector whose timeline is
+// empty must not perturb the run in any way — same windows, totals,
+// logs and on-demand spend as a run with no chaos plane at all, for
+// every serve_threads value.
+TEST(FleetChaosTest, RateZeroChaosIsBitIdenticalToNoChaos) {
+  const core::Fleet fleet = MakeFleet();
+  const auto plan = fleet.PlanAll();
+  ASSERT_TRUE(plan.ok());
+
+  core::FleetServeOptions clean = ShortServe();
+  core::FleetServeOptions armed = ShortServe();
+  armed.chaos = "SPOT_PREEMPTION";
+  armed.chaos_knobs = {{"rate_per_hour", 0.0}, {"discount", 1.0}};
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    clean.serve_threads = threads;
+    armed.serve_threads = threads;
+    const auto a = fleet.ServeAll(*plan, clean);
+    const auto b = fleet.ServeAll(*plan, armed);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ExpectSameRun(*a, *b);
+    EXPECT_TRUE(b->chaos_log.empty());
+    EXPECT_EQ(b->instances_lost, 0u);
+    // Without a discount the spot market prices on demand.
+    EXPECT_EQ(a->effective_cost_usd, a->ondemand_cost_usd);
+    EXPECT_EQ(b->effective_cost_usd, b->ondemand_cost_usd);
+  }
+}
+
+// The second acceptance property: a *live* storm is bit-identical for
+// every serve_threads value — faults land at barriers on the driving
+// thread, so thread count can never move a kill.
+TEST(FleetChaosTest, ChaosRunsAreBitIdenticalAcrossThreads) {
+  const core::Fleet fleet = MakeFleet();
+  const auto plan = fleet.PlanAll();
+  ASSERT_TRUE(plan.ok());
+
+  core::FleetServeOptions serve = ShortServe();
+  serve.chaos = "SPOT_PREEMPTION";
+  serve.chaos_knobs = {{"rate_per_hour", 1440.0}, {"notice_s", 0.5}};
+
+  serve.serve_threads = 1;
+  const auto serial = fleet.ServeAll(*plan, serve);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  // The storm is real: notices were issued, kills landed, and the spot
+  // discount shows up in the effective spend.
+  EXPECT_GT(serial->preemption_notices, 0u);
+  EXPECT_GT(serial->instances_lost, 0u);
+  EXPECT_FALSE(serial->chaos_log.empty());
+  EXPECT_LT(serial->effective_cost_usd, serial->ondemand_cost_usd);
+  bool saw_notice = false, saw_kill = false;
+  for (const core::FleetChaosEvent& event : serial->chaos_log) {
+    saw_notice |= event.kind == ChaosEventKind::kPreemptionNotice;
+    saw_kill |= event.kind == ChaosEventKind::kPreemption;
+  }
+  EXPECT_TRUE(saw_notice);
+  EXPECT_TRUE(saw_kill);
+
+  for (const std::size_t threads : {4u, 8u}) {
+    serve.serve_threads = threads;
+    const auto threaded = fleet.ServeAll(*plan, serve);
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+    ExpectSameRun(*serial, *threaded);
+  }
+}
+
+// Notice-window semantics at the fleet level: a notice whose deadline
+// lies beyond the run lets the victim drain — the notice is counted but
+// no instance is lost. An abrupt death on the same schedule is. The
+// target is the planned model with the most instances (a single-instance
+// deployment spares its last assignable instance by design).
+TEST(FleetChaosTest, GenerousNoticeLetsTheVictimDrain) {
+  const core::Fleet fleet = MakeFleet();
+  const auto plan = fleet.PlanAll();
+  ASSERT_TRUE(plan.ok());
+  std::size_t target = 0;
+  for (std::size_t j = 1; j < plan->models.size(); ++j) {
+    if (plan->models[j].outcome.config.TotalInstances() >
+        plan->models[target].outcome.config.TotalInstances()) {
+      target = j;
+    }
+  }
+  ASSERT_GE(plan->models[target].outcome.config.TotalInstances(), 2);
+
+  core::FleetServeOptions serve = ShortServe();
+  serve.injector = MakeScriptedChaos({ScriptedFault{
+      2.0, ChaosEventKind::kPreemptionNotice, target, 1, 30.0}});
+  const auto noticed = fleet.ServeAll(*plan, serve);
+  ASSERT_TRUE(noticed.ok()) << noticed.status().ToString();
+  EXPECT_EQ(noticed->preemption_notices, 1u);
+  EXPECT_EQ(noticed->models[target].preemption_notices, 1u);
+  EXPECT_EQ(noticed->instances_lost, 0u);
+
+  serve.injector = MakeScriptedChaos(
+      {ScriptedFault{2.0, ChaosEventKind::kInstanceDeath, target}});
+  const auto killed = fleet.ServeAll(*plan, serve);
+  ASSERT_TRUE(killed.ok()) << killed.status().ToString();
+  EXPECT_EQ(killed->instances_lost, 1u);
+  EXPECT_EQ(killed->models[target].instances_lost, 1u);
+  EXPECT_EQ(killed->preemption_notices, 0u);
+  bool saw_death = false;
+  for (const core::FleetChaosEvent& event : killed->chaos_log) {
+    if (event.kind == ChaosEventKind::kInstanceDeath) {
+      saw_death = true;
+      EXPECT_EQ(event.model, plan->models[target].model);
+      EXPECT_EQ(event.time, 2.0);
+    }
+  }
+  EXPECT_TRUE(saw_death);
+}
+
+// NET_DEGRADE windows: a heavy fabric over exactly one metrics window
+// raises that window's tail; before the degradation the run is
+// bit-identical to a clean one (the fabric RNG is untouched until the
+// fault lands), and after the restore the tail comes back down.
+TEST(FleetChaosTest, NetDegradeRaisesTheTailThenRestores) {
+  const core::Fleet fleet = MakeFleet();
+  const auto plan = fleet.PlanAll();
+  ASSERT_TRUE(plan.ok());
+
+  // Light load: the fleet has headroom, so the degraded window's queue
+  // drains before the final window and the tail visibly recovers.
+  core::FleetServeOptions light = ShortServe();
+  light.base_rate_qps = 8.0;
+  const auto clean = fleet.ServeAll(*plan, light);
+  ASSERT_TRUE(clean.ok());
+
+  // 20ms one-way hops, no jitter, no loss: each execution inside the
+  // window pays a deterministic +40ms.
+  core::FleetServeOptions serve = light;
+  serve.injector = MakeScriptedChaos(
+      {ScriptedFault{2.5, ChaosEventKind::kNetDegrade, kAllModels, 1, 0.0,
+                     rpc::NetworkModel(20000.0, 0.0, 0.0)},
+       ScriptedFault{5.0, ChaosEventKind::kNetRestore, kAllModels}});
+  const auto degraded = fleet.ServeAll(*plan, serve);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+
+  ASSERT_EQ(degraded->chaos_log.size(), 6u);  // 3 degrades + 3 restores
+  EXPECT_EQ(degraded->chaos_log.front().kind, ChaosEventKind::kNetDegrade);
+  EXPECT_EQ(degraded->chaos_log.back().kind, ChaosEventKind::kNetRestore);
+
+  for (std::size_t j = 0; j < 3; ++j) {
+    const auto& cw = clean->models[j].windows;
+    const auto& dw = degraded->models[j].windows;
+    ASSERT_EQ(dw.size(), cw.size());
+    // Window 0 predates the fault: bit-identical to the clean run.
+    EXPECT_EQ(dw[0].served, cw[0].served);
+    EXPECT_EQ(dw[0].p99_ms, cw[0].p99_ms);
+    // Window 1 is the degraded one: the tail carries the two hops.
+    EXPECT_GT(dw[1].p99_ms, cw[1].p99_ms + 30.0);
+    // The last window is clear of the degradation and its backlog.
+    EXPECT_LT(dw[3].p99_ms, cw[3].p99_ms + 30.0);
+  }
+}
+
+// The chaos-aware controller reacts to the storm: notices fire
+// kRespread (replacements launch while the victim drains), accumulated
+// losses escalate to kFailover.
+TEST(FleetChaosTest, FailoverControllerRespreadsAndEscalates) {
+  const core::Fleet fleet = MakeFleet();
+  const auto plan = fleet.PlanAll();
+  ASSERT_TRUE(plan.ok());
+
+  core::FleetServeOptions serve = ShortServe();
+  serve.launch_lag_s = 1.0;
+  serve.controller = "FAILOVER";
+  serve.controller_knobs = {{"storm_losses", 1.0}};
+  serve.chaos = "SPOT_PREEMPTION";
+  serve.chaos_knobs = {{"rate_per_hour", 1440.0}, {"notice_s", 0.5}};
+  const auto result = fleet.ServeAll(*plan, serve);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_GT(result->respreads, 0u);
+  EXPECT_GT(result->failovers, 0u);
+  bool saw_respread = false, saw_failover = false;
+  for (const core::FleetControlEvent& event : result->control_log) {
+    saw_respread |= event.kind == control::ControlActionKind::kRespread;
+    saw_failover |= event.kind == control::ControlActionKind::kFailover;
+  }
+  EXPECT_TRUE(saw_respread);
+  EXPECT_TRUE(saw_failover);
+
+  // Without chaos the controller never fires: the run stays clean.
+  core::FleetServeOptions quiet = ShortServe();
+  quiet.controller = "FAILOVER";
+  const auto idle = fleet.ServeAll(*plan, quiet);
+  ASSERT_TRUE(idle.ok()) << idle.status().ToString();
+  EXPECT_EQ(idle->respreads, 0u);
+  EXPECT_EQ(idle->failovers, 0u);
+  EXPECT_TRUE(idle->control_log.empty());
+}
+
+TEST(FleetChaosTest, InvalidChaosOptionsAreRejected) {
+  const core::Fleet fleet = MakeFleet();
+  const auto plan = fleet.PlanAll();
+  ASSERT_TRUE(plan.ok());
+
+  core::FleetServeOptions both = ShortServe();
+  both.chaos = "SPOT_PREEMPTION";
+  both.injector = MakeScriptedChaos({});
+  EXPECT_EQ(fleet.ServeAll(*plan, both).status().code(),
+            StatusCode::kInvalidArgument);
+
+  core::FleetServeOptions orphan_knobs = ShortServe();
+  orphan_knobs.chaos_knobs = {{"rate_per_hour", 10.0}};
+  EXPECT_EQ(fleet.ServeAll(*plan, orphan_knobs).status().code(),
+            StatusCode::kInvalidArgument);
+
+  core::FleetServeOptions unknown = ShortServe();
+  unknown.chaos = "VOLCANO";
+  EXPECT_EQ(fleet.ServeAll(*plan, unknown).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace kairos::chaos
