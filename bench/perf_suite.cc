@@ -11,14 +11,25 @@
 //   * plans_per_sec_kairos         — one-shot (zero-evaluation) planning
 //   * serve_all_wall_s_{1,2,4,8}t  — 8-shard fleet co-simulation wall-clock
 //   * serve_all_speedup_8t         — wall(1 thread) / wall(8 threads)
+//   * sustained_queries_per_sec    — STREAM-fed overload run, arrivals/s wall
+//   * sustained_shed_rate          — deadline-shed fraction of that run
+//   * sustained_p99_ms             — worst windowed p99 of that run
+//   * sustained_peak_rss_mb        — peak resident set after that run
 //
 // The co-simulation runs also assert the sharding contract: every thread
 // count must reproduce the 1-thread totals bit for bit, or the bench exits
+// non-zero. The sustained run asserts the scale contract: every generated
+// query is offered through the bounded-memory STREAM path and peak RSS
+// stays under a hard bound (DESIGN.md Sec. 12), or the bench exits
 // non-zero.
 //
-// Usage: perf_suite [output.json] [tiny|full]
-//   tiny — CI-sized inputs (seconds); the committed baseline uses tiny.
-//   full — larger inputs for local measurement.
+// Usage: perf_suite [output.json] [tiny|full|sustained]
+//   tiny      — CI-sized inputs (seconds); the committed baseline uses tiny.
+//   full      — larger inputs for local measurement.
+//   sustained — tiny-sized inputs plus a 10M-query sustained streaming run
+//               (also accepted as --sustained).
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -205,12 +216,123 @@ std::vector<Metric> ServeAllWallClock(double duration_s) {
   return metrics;
 }
 
+/// Peak resident set size of this process so far, in MB (Linux ru_maxrss
+/// is in KB).
+double PeakRssMb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// The million-user scale path under load: generates an overload trace CSV
+/// of `n_queries` rows, streams it through Fleet::ServeAll via the STREAM
+/// source (bounded-memory chunks, no materialization) with deadline
+/// shedding armed, and reports wall-clock arrival throughput, the shed
+/// fraction, the worst windowed p99 and peak RSS. Exits non-zero when a
+/// query is lost before admission (offered != n_queries) or peak RSS
+/// crosses the hard bound — the scale contract this bench exists to keep.
+std::vector<Metric> SustainedStreaming(std::size_t n_queries) {
+  constexpr double kRssBoundMb = 1024.0;
+  const std::string trace_path = "perf_sustained_trace.csv";
+
+  const cloud::Catalog catalog = cloud::Catalog::PaperPool();
+  core::FleetOptions options;
+  // A small config on purpose: saturated-regime wall cost is
+  // O(matcher_window x instances) per policy round, and this bench
+  // measures the streaming/admission path, not matcher scaling.
+  options.budget_per_hour = 1.0;
+  core::FleetModelOptions model;
+  model.model = "NCF";
+  model.trace = "STREAM";
+  model.trace_path = trace_path;
+  auto fleet = OrDie(core::Fleet::Create(catalog, {model}, options));
+  fleet.ObserveMixAll(workload::LogNormalBatches::Production());
+  const auto plan = OrDie(fleet.PlanAll());
+
+  // Offered rate: 2x the planner's expected allowable throughput, so the
+  // run is a sustained overload and the shed path actually runs.
+  const double expected_qps = plan.models[0].outcome.expected_qps;
+  const double rate_qps = 2.0 * (expected_qps > 0.0 ? expected_qps : 100.0);
+  {
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::cerr << "FATAL: cannot write " << trace_path << "\n";
+      std::exit(1);
+    }
+    std::fputs("id,arrival_s,batch\n", f);
+    for (std::size_t i = 0; i < n_queries; ++i) {
+      // Uniform arrivals; batches cycle 1..8 (a deterministic stand-in
+      // for the production mix the plan was built against).
+      std::fprintf(f, "%zu,%.9f,%d\n", i + 1,
+                   static_cast<double>(i + 1) / rate_qps,
+                   static_cast<int>(i % 8) + 1);
+    }
+    std::fclose(f);
+  }
+
+  core::FleetServeOptions serve;
+  serve.duration_s = 1.05 * static_cast<double>(n_queries) / rate_qps;
+  serve.window_s = serve.duration_s / 25.0;
+  serve.base_rate_qps = rate_qps;  // ignored by STREAM; must be positive
+  serve.keep_latencies = false;
+  // Degradation doctrine: shed what cannot meet 3x QoS, with a hard
+  // queue-depth backstop so resident memory is bounded whatever the
+  // overload factor.
+  serve.admission.deadline_s = 3.0 * plan.models[0].qos_ms / 1000.0;
+  serve.admission.max_queue = 100000;
+  serve.serve_threads = 1;
+
+  const auto start = Clock::now();
+  const auto result = OrDie(fleet.ServeAll(plan, serve));
+  const double wall = SecondsSince(start);
+  std::remove(trace_path.c_str());
+
+  const serving::RunResult& totals = result.models[0].totals;
+  if (totals.offered != n_queries) {
+    std::cerr << "FATAL: sustained run offered " << totals.offered << " of "
+              << n_queries << " generated queries (stream lost data)\n";
+    std::exit(1);
+  }
+  if (totals.served + totals.shed + totals.rejected > totals.offered) {
+    std::cerr << "FATAL: sustained run accounting is inconsistent: served "
+              << totals.served << " + shed " << totals.shed << " + rejected "
+              << totals.rejected << " > offered " << totals.offered << "\n";
+    std::exit(1);
+  }
+  double worst_p99 = 0.0;
+  for (const serving::WindowedMetrics& w : result.models[0].windows) {
+    worst_p99 = std::max(worst_p99, w.p99_ms);
+  }
+  const double peak_rss = PeakRssMb();
+  if (peak_rss > kRssBoundMb) {
+    std::cerr << "FATAL: peak RSS " << peak_rss << " MB crossed the "
+              << kRssBoundMb << " MB sustained-mode bound\n";
+    std::exit(1);
+  }
+  std::cout << "  sustained: " << totals.offered << " offered, "
+            << totals.served << " served, " << totals.shed << " shed, "
+            << totals.rejected << " rejected in " << wall << "s wall\n";
+  return {
+      {"sustained_queries_per_sec",
+       static_cast<double>(totals.offered) / wall, true},
+      {"sustained_shed_rate",
+       static_cast<double>(totals.shed) /
+           static_cast<double>(totals.offered), false},
+      {"sustained_p99_ms", worst_p99, false},
+      {"sustained_peak_rss_mb", peak_rss, false},
+  };
+}
+
 int Main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_perf.json";
-  const std::string mode = argc > 2 ? argv[2] : "full";
-  const bool tiny = mode == "tiny";
-  if (!tiny && mode != "full") {
-    std::cerr << "usage: perf_suite [output.json] [tiny|full]\n";
+  std::string mode = argc > 2 ? argv[2] : "full";
+  if (mode == "--sustained") mode = "sustained";
+  const bool sustained = mode == "sustained";
+  // Sustained mode sizes everything but the streaming run like tiny: the
+  // point is the 10M-query stream, not longer planner loops.
+  const bool tiny = mode == "tiny" || sustained;
+  if (mode != "tiny" && mode != "full" && !sustained) {
+    std::cerr << "usage: perf_suite [output.json] [tiny|full|sustained]\n";
     return 2;
   }
 
@@ -224,6 +346,10 @@ int Main(int argc, char** argv) {
     metrics.push_back(std::move(m));
   }
   for (Metric& m : ServeAllWallClock(tiny ? 120.0 : 480.0)) {
+    metrics.push_back(std::move(m));
+  }
+  for (Metric& m : SustainedStreaming(sustained ? 10000000
+                                                : tiny ? 200000 : 2000000)) {
     metrics.push_back(std::move(m));
   }
 

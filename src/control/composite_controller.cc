@@ -46,6 +46,7 @@ class CompositeController final : public FleetController {
     bool reallocated = false;
     std::vector<bool> reset(telemetry.models.size(), false);
     std::vector<bool> recovered(telemetry.models.size(), false);
+    std::vector<bool> shed_set(telemetry.models.size(), false);
     for (const auto& child : children_) {
       for (ControlAction& action : child->Decide(telemetry)) {
         if (action.kind == ControlActionKind::kReallocate) {
@@ -71,6 +72,14 @@ class CompositeController final : public FleetController {
             recovered[action.model] = true;
           }
           action.reason = child->Name() + ": " + action.reason;
+        } else if (action.kind == ControlActionKind::kSetShed) {
+          // One shed-knob change per model per barrier; the earlier
+          // child's deadline stands.
+          if (action.model < shed_set.size()) {
+            if (shed_set[action.model]) continue;
+            shed_set[action.model] = true;
+          }
+          action.reason = child->Name() + ": " + action.reason;
         }
         actions.push_back(std::move(action));
       }
@@ -84,8 +93,8 @@ class CompositeController final : public FleetController {
 
 const ControllerRegistrar kComposite(
     ControllerInfo{"COMPOSITE",
-                   "chain QOS + BACKLOG + DRIFT (+ FAILOVER when the "
-                   "failover toggle is set; period_s > 0 adds a PERIODIC "
+                   "chain QOS + BACKLOG + DRIFT (+ FAILOVER / SHED when "
+                   "their toggles are set; period_s > 0 adds a PERIODIC "
                    "safety net; p99_scale/backlog_s/drift_fraction/"
                    "storm_losses forward to the children), deduplicating "
                    "actions per barrier",
@@ -93,6 +102,7 @@ const ControllerRegistrar kComposite(
                     {"backlog", 1.0},
                     {"drift", 1.0},
                     {"failover", 0.0},
+                    {"shed", 0.0},
                     {"period_s", 0.0},
                     {"p99_scale", 1.0},
                     {"backlog_s", 2.0},
@@ -135,6 +145,11 @@ const ControllerRegistrar kComposite(
         }
         failover.storm_losses = static_cast<std::size_t>(storm);
         children.push_back(MakeFailoverController(failover));
+      }
+      if (knobs.at("shed") != 0.0) {
+        // Default thresholds; custom shed tuning goes through
+        // MakeCompositeController with a hand-built ShedController.
+        children.push_back(MakeShedController(ShedControllerOptions{}));
       }
       if (period > 0.0) children.push_back(MakePeriodicController(period));
       if (children.empty()) {

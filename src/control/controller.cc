@@ -12,6 +12,7 @@ const char* ControlActionName(ControlActionKind kind) {
     case ControlActionKind::kResetMonitor: return "RESET_MONITOR";
     case ControlActionKind::kRespread: return "RESPREAD";
     case ControlActionKind::kFailover: return "FAILOVER";
+    case ControlActionKind::kSetShed: return "SET_SHED";
   }
   return "UNKNOWN";
 }

@@ -89,6 +89,14 @@ struct ModelTelemetry {
   /// so notices lead instances_lost — the failover controller's early
   /// signal.
   std::size_t preemption_notices = 0;
+  /// Cumulative arrivals rejected at admission (bounded queue full).
+  std::size_t rejected = 0;
+  /// Cumulative queued queries dropped by deadline shedding.
+  std::size_t shed = 0;
+  /// The engine's active shed deadline in seconds; 0 = shedding off.
+  /// The SHED controller reads this to know which regime it is in even
+  /// across a controller swap.
+  double shed_deadline_s = 0.0;
   /// Closed WindowedMetrics history, shared grid across all models; the
   /// pointer stays valid for the duration of the Decide() call.
   const std::vector<serving::WindowedMetrics>* windows = nullptr;
@@ -132,6 +140,12 @@ enum class ControlActionKind {
   /// pre-storm plan. Skipped when a same-barrier kReallocate already
   /// replans the whole fleet.
   kFailover,
+  /// Set model `model`'s deadline-shedding knob to ControlAction::
+  /// deadline_s (seconds; 0 restores full admission). Graceful
+  /// degradation: the SHED controller arms shedding *before* a model
+  /// violates QoS and restores it once the backlog drains
+  /// (DESIGN.md Sec. 12). Other admission knobs are untouched.
+  kSetShed,
 };
 
 /// Human-readable action name ("REALLOCATE", "RESET_MONITOR", ...).
@@ -148,6 +162,9 @@ struct ControlAction {
   /// reallocation. PERIODIC pins this to its period so the refactored
   /// loop reproduces the fixed-timer arithmetic bit for bit.
   double interval_s = 0.0;
+  /// kSetShed only: the deadline to install (seconds past arrival after
+  /// which a queued query is dropped); 0 turns shedding off.
+  double deadline_s = 0.0;
   /// Why the controller fired — surfaced in FleetServeResult::control_log.
   std::string reason;
 };

@@ -72,6 +72,30 @@ struct FailoverControllerOptions {
 std::unique_ptr<FleetController> MakeFailoverController(
     FailoverControllerOptions options = {});
 
+/// "SHED" thresholds (graceful degradation, DESIGN.md Sec. 12).
+struct ShedControllerOptions {
+  /// Arm shedding when a window's p99 exceeds p99_scale * qos_ms — below
+  /// 1.0 so the model degrades *before* it violates QoS.
+  double p99_scale = 0.9;
+  /// Installed shed deadline = deadline_scale * the model's QoS target
+  /// (in seconds): queued queries that cannot finish within it are
+  /// dropped instead of poisoning the tail.
+  double deadline_scale = 1.5;
+  /// Also arm when the backlog exceeds this many seconds of work at the
+  /// window's observed arrival rate (pressure shows in the queue before
+  /// it shows in the served tail).
+  double backlog_s = 1.0;
+  /// Consecutive pressured windows (per model) before arming.
+  std::size_t patience_windows = 1;
+  /// Consecutive healthy windows (p99 back under the bound, backlog
+  /// drained) before restoring full admission.
+  std::size_t restore_windows = 2;
+  /// Windows with fewer completions than this never count as pressured.
+  std::size_t min_served = 1;
+};
+std::unique_ptr<FleetController> MakeShedController(
+    ShedControllerOptions options = {});
+
 /// "COMPOSITE": consults `children` in order and concatenates their
 /// actions, keeping at most one kReallocate per barrier, one
 /// kResetMonitor per model, and one kRespread / kFailover per model

@@ -1,0 +1,151 @@
+// "SHED": graceful degradation via deadline load shedding (DESIGN.md
+// Sec. 12). Reallocation-style controllers buy capacity when a model is
+// pressured; this one trades completeness for latency instead — when a
+// model's windowed p99 creeps toward its QoS bound (or its backlog grows
+// past what the current capacity can drain), it installs a per-query shed
+// deadline on that model's engine so doomed queries are dropped from the
+// queue instead of poisoning every query behind them. Once the model runs
+// healthy for restore_windows consecutive windows the deadline is lifted
+// and full admission resumes. Shed rates are reported next to p99 in
+// WindowedMetrics, so benches gate on "QoS met at X% shed" honestly.
+#include <string>
+
+#include "common/strings.h"
+#include "control/controllers.h"
+
+namespace kairos::control {
+namespace {
+
+class ShedController final : public FleetController {
+ public:
+  explicit ShedController(ShedControllerOptions options)
+      : options_(options) {}
+
+  std::string Name() const override { return "SHED"; }
+
+  std::vector<ControlAction> Decide(const FleetTelemetry& telemetry) override {
+    if (!telemetry.window_closed) return {};
+    pressured_streak_.resize(telemetry.models.size(), 0);
+    healthy_streak_.resize(telemetry.models.size(), 0);
+
+    std::vector<ControlAction> actions;
+    for (std::size_t j = 0; j < telemetry.models.size(); ++j) {
+      const ModelTelemetry& model = telemetry.models[j];
+      if (model.windows == nullptr || model.windows->empty()) continue;
+      const serving::WindowedMetrics& window = model.windows->back();
+
+      const double p99_bound = options_.p99_scale * model.qos_ms;
+      const bool tail_pressure = window.served >= options_.min_served &&
+                                 window.p99_ms > p99_bound;
+      // Queue pressure: backlog deeper than backlog_s seconds of the
+      // window's observed arrival stream. Pressure shows here first when
+      // the tail is masked (e.g. every served query was a fresh one).
+      const bool queue_pressure =
+          window.offered_qps > 0.0 &&
+          static_cast<double>(model.backlog) >
+              options_.backlog_s * window.offered_qps;
+      const bool pressured = tail_pressure || queue_pressure;
+      const bool shedding = model.shed_deadline_s > 0.0;
+
+      pressured_streak_[j] = pressured ? pressured_streak_[j] + 1 : 0;
+      healthy_streak_[j] = pressured ? 0 : healthy_streak_[j] + 1;
+
+      if (!shedding &&
+          pressured_streak_[j] >= options_.patience_windows) {
+        ControlAction action;
+        action.kind = ControlActionKind::kSetShed;
+        action.model = j;
+        action.deadline_s =
+            options_.deadline_scale * MsToSec(model.qos_ms);
+        action.reason =
+            model.model + (tail_pressure ? " p99 " : " backlog ") +
+            (tail_pressure
+                 ? FormatNumber(window.p99_ms) + "ms over the " +
+                       FormatNumber(p99_bound) + "ms shed bound"
+                 : FormatNumber(static_cast<double>(model.backlog)) +
+                       " queries at " + FormatNumber(window.offered_qps) +
+                       " qps") +
+            "; shedding at deadline " + FormatNumber(action.deadline_s) +
+            "s";
+        actions.push_back(action);
+        pressured_streak_[j] = 0;
+      } else if (shedding &&
+                 healthy_streak_[j] >= options_.restore_windows) {
+        ControlAction action;
+        action.kind = ControlActionKind::kSetShed;
+        action.model = j;
+        action.deadline_s = 0.0;
+        action.reason = model.model + " healthy for " +
+                        std::to_string(options_.restore_windows) +
+                        " window(s); restoring full admission";
+        actions.push_back(action);
+        healthy_streak_[j] = 0;
+      }
+    }
+    return actions;
+  }
+
+ private:
+  ShedControllerOptions options_;
+  std::vector<std::size_t> pressured_streak_;  ///< per model
+  std::vector<std::size_t> healthy_streak_;    ///< per model
+};
+
+const ControllerRegistrar kShed(
+    ControllerInfo{"SHED",
+                   "graceful degradation: install a deadline-shedding "
+                   "knob when a model's p99 nears QoS (p99_scale) or its "
+                   "backlog passes backlog_s, restore after "
+                   "restore_windows healthy windows",
+                   {{"p99_scale", 0.9},
+                    {"deadline_scale", 1.5},
+                    {"backlog_s", 1.0},
+                    {"patience_windows", 1.0},
+                    {"restore_windows", 2.0},
+                    {"min_served", 1.0}}},
+    [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<FleetController>> {
+      ShedControllerOptions options;
+      options.p99_scale = knobs.at("p99_scale");
+      if (options.p99_scale <= 0.0) {
+        return Status::InvalidArgument(
+            "controller SHED: p99_scale must be positive");
+      }
+      options.deadline_scale = knobs.at("deadline_scale");
+      if (options.deadline_scale <= 0.0) {
+        return Status::InvalidArgument(
+            "controller SHED: deadline_scale must be positive");
+      }
+      options.backlog_s = knobs.at("backlog_s");
+      if (options.backlog_s <= 0.0) {
+        return Status::InvalidArgument(
+            "controller SHED: backlog_s must be positive");
+      }
+      const double patience = knobs.at("patience_windows");
+      if (patience < 1.0) {
+        return Status::InvalidArgument(
+            "controller SHED: patience_windows must be >= 1");
+      }
+      options.patience_windows = static_cast<std::size_t>(patience);
+      const double restore = knobs.at("restore_windows");
+      if (restore < 1.0) {
+        return Status::InvalidArgument(
+            "controller SHED: restore_windows must be >= 1");
+      }
+      options.restore_windows = static_cast<std::size_t>(restore);
+      const double min_served = knobs.at("min_served");
+      if (min_served < 0.0) {
+        return Status::InvalidArgument(
+            "controller SHED: min_served must be >= 0");
+      }
+      options.min_served = static_cast<std::size_t>(min_served);
+      return MakeShedController(options);
+    });
+
+}  // namespace
+
+std::unique_ptr<FleetController> MakeShedController(
+    ShedControllerOptions options) {
+  return std::make_unique<ShedController>(options);
+}
+
+}  // namespace kairos::control

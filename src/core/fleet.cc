@@ -51,8 +51,14 @@ StatusOr<std::unique_ptr<workload::BatchDistribution>> MakeTrace(
             workload::GaussianBatches::Default()));
   }
   return Status::NotFound("unknown trace \"" + name +
-                          "\"; named traces: GAUSSIAN, PRODUCTION "
-                          "(or \"\" for the caller-provided mix)");
+                          "\"; named traces: GAUSSIAN, PRODUCTION, and the "
+                          "file-backed STREAM / TRACE (with trace_path set; "
+                          "\"\" keeps the caller-provided mix)");
+}
+
+/// True for the trace names that replay a CSV named by trace_path.
+bool IsFileBackedTrace(const std::string& canonical) {
+  return canonical == "STREAM" || canonical == "TRACE";
 }
 
 /// Wires the real-measurement evaluator of an evaluation-driven backend
@@ -152,16 +158,29 @@ StatusOr<Fleet> Fleet::Create(const cloud::Catalog& catalog,
           " is below the effective floor " + FormatDollarsPerHour(floor) +
           " (cheapest base instance " + FormatDollarsPerHour(*min_base) + ")");
     }
-    auto trace = MakeTrace(m.trace);
-    if (!trace.ok()) {
-      return Status(trace.status().code(),
-                    "model " + serve_name(m) + ": " + trace.status().message());
+    // File-backed traces (STREAM / TRACE) carry no batch mix of their
+    // own: ObserveMix / MeasureAll fall back to the caller-provided mix
+    // (nullptr entry), and ServeAll replays the file.
+    std::unique_ptr<workload::BatchDistribution> mix;
+    if (IsFileBackedTrace(policy::CanonicalSchemeName(m.trace))) {
+      if (m.trace_path.empty()) {
+        return Status::InvalidArgument(
+            "model " + serve_name(m) + ": trace \"" + m.trace +
+            "\" replays a file; set trace_path to a trace CSV");
+      }
+    } else {
+      auto trace = MakeTrace(m.trace);
+      if (!trace.ok()) {
+        return Status(trace.status().code(), "model " + serve_name(m) + ": " +
+                                                 trace.status().message());
+      }
+      mix = *std::move(trace);
     }
     fleet.names_.push_back(serve_name(m));
     fleet.budgets_.push_back(options.budget_per_hour * m.weight / total_weight);
     fleet.floors_.push_back(floor);
     fleet.ceilings_.push_back(ceiling);
-    fleet.mixes_.push_back(*std::move(trace));
+    fleet.mixes_.push_back(std::move(mix));
     fleet.model_options_.push_back(m);
   }
 
@@ -359,6 +378,12 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   if (options.realloc_period_s < 0.0) {
     return Status::InvalidArgument("realloc_period_s must be >= 0");
   }
+  if (options.admission.max_queue_s < 0.0 ||
+      options.admission.deadline_s < 0.0) {
+    return Status::InvalidArgument(
+        "FleetServeOptions::admission: max_queue_s and deadline_s must "
+        "be >= 0");
+  }
   std::vector<std::size_t> indices;
   indices.reserve(plan.models.size());
   for (const FleetModelPlan& model_plan : plan.models) {
@@ -495,6 +520,8 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     // Overload is an expected transient here (that is what reallocation
     // reacts to), so the batch early-abort heuristic is off.
     engine_options.run.abort_violation_fraction = 0.0;
+    engine_options.run.keep_latencies = options.keep_latencies;
+    engine_options.admission = options.admission;
     engine_options.launch_lag_s = options.launch_lag_s;
     engine_options.seed = options_.seed + 1000003 * (j + 1);
     clocks.push_back(std::make_unique<sim::Simulator>());
@@ -502,9 +529,25 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     if (!engine.ok()) return engine.status();
 
     workload::QuerySourceSpec source_spec;
-    source_spec.source = model_options_[i].trace.empty()
-                             ? "PRODUCTION"
-                             : model_options_[i].trace;
+    const std::string trace_name =
+        policy::CanonicalSchemeName(model_options_[i].trace);
+    if (trace_name == "STREAM") {
+      source_spec.source = "STREAM";
+      source_spec.path = model_options_[i].trace_path;
+      source_spec.chunk_bytes = model_options_[i].trace_chunk_bytes;
+    } else if (trace_name == "TRACE") {
+      // The materialized oracle of the STREAM path: same file, read
+      // eagerly through the same parser, replayed from memory.
+      auto trace = workload::ReadTraceCsv(model_options_[i].trace_path);
+      if (!trace.ok()) {
+        return Status(trace.status().code(),
+                      "model " + names_[i] + ": " + trace.status().message());
+      }
+      source_spec.source = "TRACE";
+      source_spec.trace = *std::move(trace);
+    } else {
+      source_spec.source = trace_name.empty() ? "PRODUCTION" : trace_name;
+    }
     source_spec.rate_qps =
         options.base_rate_qps * model_options_[i].arrival_scale;
     auto stream = workload::QuerySourceRegistry::Global().Build(source_spec);
@@ -641,6 +684,7 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   std::size_t monitor_resets = 0;
   std::size_t respreads = 0;
   std::size_t failovers = 0;
+  std::size_t shed_actions = 0;
   std::vector<FleetControlEvent> control_log;
   std::vector<FleetChaosEvent> chaos_log;
   /// Engine fault-ledger entries already copied into chaos_log, per model.
@@ -872,6 +916,36 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
       control_log.push_back(FleetControlEvent{
           t, action.kind, names_[indices[j]], action.reason});
     }
+    // Shed-knob changes, last and unconditionally: shedding is an
+    // admission regime, not capacity, so a same-barrier reallocation
+    // does not supersede it. One change per model per barrier (the
+    // first action on a model wins); only the deadline knob moves — the
+    // run-level bounded-queue settings stay as configured.
+    std::vector<bool> shed_set(n, false);
+    for (const control::ControlAction& action : actions) {
+      if (action.kind != control::ControlActionKind::kSetShed) continue;
+      if (action.model >= n) {
+        control_status = Status::InvalidArgument(
+            "controller " + controller->Name() + " targeted model index " +
+            std::to_string(action.model) + " with " +
+            control::ControlActionName(action.kind) +
+            ", but the served plan has " + std::to_string(n) + " models");
+        return;
+      }
+      if (shed_set[action.model]) continue;
+      shed_set[action.model] = true;
+      const std::size_t j = action.model;
+      serving::AdmissionOptions admission = engines[j]->admission();
+      admission.deadline_s = action.deadline_s;
+      const Status set = engines[j]->SetAdmission(admission);
+      if (!set.ok()) {
+        control_status = set;
+        return;
+      }
+      ++shed_actions;
+      control_log.push_back(FleetControlEvent{
+          t, action.kind, names_[indices[j]], action.reason});
+    }
   };
 
   // One FleetTelemetry reused across barriers; the per-model window
@@ -929,6 +1003,9 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
       model.pending_instances = engines[j]->PendingInstances();
       model.instances_lost = engines[j]->InstancesLost();
       model.preemption_notices = engines[j]->PreemptionNotices();
+      model.rejected = engines[j]->Rejected();
+      model.shed = engines[j]->Shed();
+      model.shed_deadline_s = engines[j]->admission().deadline_s;
     }
   };
 
@@ -981,6 +1058,7 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   result.monitor_resets = monitor_resets;
   result.respreads = respreads;
   result.failovers = failovers;
+  result.shed_actions = shed_actions;
   result.control_log = std::move(control_log);
   // Ledger-drained kills interleave with injector events out of order
   // (they fire on shard clocks between barriers); one stable sort

@@ -52,8 +52,22 @@ struct FleetModelOptions {
   /// Per-model workload mix by name: "" (use the distribution the caller
   /// passes to ObserveMixAll / MeasureAll), "PRODUCTION" (log-normal
   /// production trace) or "GAUSSIAN" (the Fig. 12/16 sensitivity mix).
-  /// Lets one fleet mix models that see different traffic shapes.
+  /// Lets one fleet mix models that see different traffic shapes. Two
+  /// file-backed names route ServeAll's arrival stream to `trace_path`
+  /// instead of a synthetic process: "STREAM" pulls the CSV through a
+  /// StreamingTraceReader in bounded-memory chunks (the million-user
+  /// scale path, DESIGN.md Sec. 12) and "TRACE" materializes the same
+  /// file up front — the two replay bit-identical query sequences, so
+  /// TRACE is the oracle STREAM is tested against. Both fall back to
+  /// the caller-provided mix for ObserveMix / MeasureAll.
   std::string trace;
+  /// Trace CSV file backing this model's arrival stream; required
+  /// non-empty when `trace` is "STREAM" or "TRACE" (".gz" accepted when
+  /// zlib is built in), ignored otherwise.
+  std::string trace_path;
+  /// STREAM refill size in bytes; 0 reads the whole file in one chunk.
+  /// Any value produces the identical query sequence.
+  std::size_t trace_chunk_bytes = 65536;
   /// Lower bound on this model's budget share in $/hr; the effective
   /// floor is max(min_budget_per_hour, cheapest base instance price).
   double min_budget_per_hour = 0.0;
@@ -191,6 +205,17 @@ struct FleetServeOptions {
   std::vector<FleetLoadShift> shifts;
   /// Planning knobs for the periodic re-plans.
   search::SearchOptions search;
+  /// Admission control applied to every model's engine (bounded queue,
+  /// static shed deadline). All-zero (the default) admits everything —
+  /// bit-identical to a run without admission control. A SHED controller
+  /// adjusts only the deadline knob per model on top of this base.
+  serving::AdmissionOptions admission;
+  /// When false, engines drop per-query latency samples after folding
+  /// them into the running mean — RunResult::latencies_ms stays empty
+  /// (cumulative p99 reads 0; windowed p99 is unaffected). The
+  /// sustained-throughput path: resident memory stays bounded while
+  /// streaming tens of millions of queries.
+  bool keep_latencies = true;
 };
 
 /// One model's outcome of a fleet co-simulation.
@@ -253,6 +278,8 @@ struct FleetServeResult {
   /// replans (kFailover).
   std::size_t respreads = 0;
   std::size_t failovers = 0;
+  /// Shed-knob changes applied (kSetShed arms and restores both count).
+  std::size_t shed_actions = 0;
   /// Instances lost to chaos across the fleet; sum over models.
   std::size_t instances_lost = 0;
   /// Spot reclamation notices issued across the fleet; sum over models.

@@ -319,14 +319,36 @@ std::size_t Engine::Drain() {
   }
   // Run until everything this engine accepted has completed — not until
   // the clock idles: a shared clock may carry co-simulated peers' events
-  // (including unbounded source chains) forever.
+  // (including unbounded source chains) forever. Rejected and shed
+  // queries already left the system and will never complete.
   std::size_t fired = 0;
-  while (!abort_requested_ && totals_.served < totals_.offered &&
+  while (!abort_requested_ &&
+         totals_.served + totals_.rejected + totals_.shed <
+             totals_.offered &&
          sim_->Step()) {
     ++fired;
   }
   state_ = EngineState::kDrained;
   return fired;
+}
+
+Status Engine::SetAdmission(const AdmissionOptions& admission) {
+  if (state_ != EngineState::kServing) {
+    return Status::FailedPrecondition(
+        std::string("engine is ") + EngineStateName(state_) +
+        "; mutations are only accepted while SERVING");
+  }
+  if (admission.max_queue_s < 0.0 || admission.deadline_s < 0.0) {
+    return Status::InvalidArgument(
+        "admission knobs must be non-negative (max_queue_s " +
+        std::to_string(admission.max_queue_s) + ", deadline_s " +
+        std::to_string(admission.deadline_s) + ")");
+  }
+  options_.admission = admission;
+  // A newly set (or tightened) deadline takes effect on the current
+  // queue right away rather than waiting for the next arrival.
+  RunRound();
+  return Status::Ok();
 }
 
 Status Engine::SetArrivalScale(double scale) {
@@ -437,6 +459,8 @@ WindowedMetrics Engine::TakeWindow() {
   window.offered = window_offered_;
   window.served = window_served_;
   window.violations = window_violations_;
+  window.rejected = window_rejected_;
+  window.shed = window_shed_;
   if (!window_latencies_ms_.empty()) {
     window.p99_ms = Percentile(window_latencies_ms_, 99.0);
     window.mean_ms = Mean(window_latencies_ms_);
@@ -449,11 +473,17 @@ WindowedMetrics Engine::TakeWindow() {
   if (window.offered > 0) {
     window.mean_batch =
         window_batch_sum_ / static_cast<double>(window.offered);
+    window.reject_rate = static_cast<double>(window.rejected) /
+                         static_cast<double>(window.offered);
+    window.shed_rate = static_cast<double>(window.shed) /
+                       static_cast<double>(window.offered);
   }
   window_start_ = window.end;
   window_offered_ = 0;
   window_served_ = 0;
   window_violations_ = 0;
+  window_rejected_ = 0;
+  window_shed_ = 0;
   window_batch_sum_ = 0.0;
   window_latencies_ms_.clear();
   return window;
@@ -465,6 +495,10 @@ RunResult Engine::Totals() const {
   if (!result.latencies_ms.empty()) {
     result.p99_ms = Percentile(result.latencies_ms, 99.0);
     result.mean_ms = Mean(result.latencies_ms);
+  } else if (result.served > 0) {
+    // keep_latencies == false: the mean survives via the running sum;
+    // cumulative p99 is unavailable (read per-window p99 instead).
+    result.mean_ms = latency_sum_ms_ / static_cast<double>(result.served);
   }
   if (result.makespan > 0.0 && result.served > 0) {
     result.throughput_qps =
@@ -477,8 +511,62 @@ void Engine::OnArrival(const workload::Query& q) {
   ++window_offered_;
   window_batch_sum_ += q.batch_size;
   if (monitor_tap_ != nullptr) monitor_tap_->Observe(q.batch_size);
+  if (AdmissionRejects()) {
+    // The arrival is counted (it happened, and the monitor saw its
+    // batch) but never enters the queue: no round runs for it.
+    ++totals_.rejected;
+    ++window_rejected_;
+    return;
+  }
   waiting_.push_back(q);
   RunRound();
+}
+
+bool Engine::AdmissionRejects() const {
+  const AdmissionOptions& admission = options_.admission;
+  if (admission.max_queue > 0 && waiting_.size() >= admission.max_queue) {
+    return true;
+  }
+  if (admission.max_queue_s > 0.0 && !waiting_.empty()) {
+    double queued_work_s = 0.0;
+    for (const workload::Query& w : waiting_) {
+      queued_work_s += MinServiceSeconds(w.batch_size);
+    }
+    const std::size_t assignable = AssignableInstances();
+    queued_work_s /=
+        static_cast<double>(std::max<std::size_t>(assignable, 1));
+    if (queued_work_s > admission.max_queue_s) return true;
+  }
+  return false;
+}
+
+double Engine::MinServiceSeconds(int batch) const {
+  double best_ms = -1.0;
+  for (const Instance& inst : instances_) {
+    if (inst.retired || inst.retiring) continue;
+    const double ms = predictor_->PredictMsNoiseless(inst.type, batch);
+    if (best_ms < 0.0 || ms < best_ms) best_ms = ms;
+  }
+  return best_ms < 0.0 ? 0.0 : MsToSec(best_ms);
+}
+
+void Engine::ShedExpired() {
+  const double deadline_s = options_.admission.deadline_s;
+  if (deadline_s <= 0.0) return;
+  // waiting_ is FIFO by arrival, so the earliest deadline sits at the
+  // head: drop doomed queries until the head is feasible. Survivors keep
+  // their order, which is what makes shedding deterministic across
+  // AdvanceTo step sizes.
+  while (!waiting_.empty()) {
+    const workload::Query& q = waiting_.front();
+    const Time latest_finish = q.arrival + deadline_s;
+    if (sim_->Now() + MinServiceSeconds(q.batch_size) <= latest_finish) {
+      break;
+    }
+    waiting_.pop_front();
+    ++totals_.shed;
+    ++window_shed_;
+  }
 }
 
 std::vector<InstanceView> Engine::SnapshotInstances() {
@@ -506,7 +594,9 @@ std::vector<InstanceView> Engine::SnapshotInstances() {
 }
 
 void Engine::RunRound() {
-  if (abort_requested_ || waiting_.empty()) return;
+  if (abort_requested_) return;
+  ShedExpired();
+  if (waiting_.empty()) return;
 
   const std::size_t window =
       std::min(waiting_.size(), options_.run.matcher_window);
@@ -555,12 +645,14 @@ void Engine::RunRound() {
     // query stays in the central queue for the next round.
   }
 
-  std::deque<workload::Query> kept;
-  for (std::size_t i = 0; i < waiting_.size(); ++i) {
-    if (i < window && remove[i]) continue;
-    kept.push_back(waiting_[i]);
+  // Only the first `window` entries can have been taken, so splice the
+  // survivors back in place: O(window) per round, not O(backlog) — at
+  // sustained scale the queue behind the matcher window can be huge.
+  waiting_.erase(waiting_.begin(),
+                 waiting_.begin() + static_cast<std::ptrdiff_t>(window));
+  for (std::size_t i = window; i-- > 0;) {
+    if (!remove[i]) waiting_.push_front(prefix[i]);
   }
-  waiting_ = std::move(kept);
 }
 
 void Engine::BeginExecution(std::size_t instance_idx,
@@ -594,7 +686,8 @@ void Engine::OnCompletion(std::size_t instance_idx, workload::Query q,
   ++inst.served;
 
   const double latency_ms = SecToMs(finish - q.arrival);
-  totals_.latencies_ms.push_back(latency_ms);
+  if (options_.run.keep_latencies) totals_.latencies_ms.push_back(latency_ms);
+  latency_sum_ms_ += latency_ms;
   ++totals_.served;
   totals_.makespan = std::max(totals_.makespan, finish);
   totals_.per_type_busy[inst.type] += finish - start;

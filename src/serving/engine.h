@@ -65,6 +65,11 @@ struct WindowedMetrics {
   std::size_t offered = 0;     ///< arrivals inside the window
   std::size_t served = 0;      ///< completions inside the window
   std::size_t violations = 0;  ///< completions with latency > QoS
+  /// Arrivals turned away by the bounded admission queue this window.
+  /// Rejected arrivals still count in `offered` (they did arrive).
+  std::size_t rejected = 0;
+  /// Queued queries dropped by deadline shedding this window.
+  std::size_t shed = 0;
   double p99_ms = 0.0;         ///< p99 latency of the window's completions
   double mean_ms = 0.0;        ///< mean latency of the window's completions
   double offered_qps = 0.0;    ///< offered / (end - start)
@@ -73,6 +78,36 @@ struct WindowedMetrics {
   /// mix signal drift-aware controllers compare against the planning-time
   /// monitor snapshot.
   double mean_batch = 0.0;
+  /// rejected / offered and shed / offered (0 when the window had no
+  /// arrivals) — reported next to p99 so benches can gate on "QoS met at
+  /// X% shed" honestly (DESIGN.md Sec. 12).
+  double reject_rate = 0.0;
+  double shed_rate = 0.0;
+};
+
+/// Production admission-control and load-shedding knobs (DESIGN.md
+/// Sec. 12). Everything defaults to 0 = disabled, and a fully-disabled
+/// engine is bit-identical to a pre-admission build.
+struct AdmissionOptions {
+  /// Reject arrivals while the central queue already holds this many
+  /// queries (0 = unbounded). Rejected queries count as offered and as
+  /// rejected, are reported to the monitor tap, and never enter the queue.
+  std::size_t max_queue = 0;
+
+  /// Reject arrivals while the queued work — predicted fastest-type
+  /// service seconds summed over the central queue, divided by the
+  /// assignable-instance count — exceeds this many seconds (0 = off).
+  /// An O(queue x instances) estimate evaluated per arrival; intended
+  /// for moderate queue bounds, use max_queue for hard caps.
+  double max_queue_s = 0.0;
+
+  /// Shed queued queries that can no longer finish within deadline_s of
+  /// their arrival even if started immediately on the fastest assignable
+  /// type (0 = off). Shedding walks the FIFO head at each policy round
+  /// and stops at the first feasible query, so it is deterministic and
+  /// never reorders survivors. Committed (per-instance FIFO) queries are
+  /// never shed.
+  double deadline_s = 0.0;
 };
 
 /// Streaming-engine knobs.
@@ -85,6 +120,8 @@ struct EngineOptions {
   double launch_lag_s = 0.0;
   /// Seed of the engine's RNG for QuerySource draws.
   std::uint64_t seed = 42;
+  /// Admission/shedding behavior; all-zero (the default) disables it.
+  AdmissionOptions admission;
 };
 
 /// One online serving deployment, driven explicitly through simulated time.
@@ -191,14 +228,32 @@ class Engine {
   /// Completions so far. Cheap, like Offered().
   std::size_t Served() const { return totals_.served; }
 
-  /// Backlog depth: queries accepted but not yet completed. For
-  /// source-fed engines (emissions join the ledger on arrival) this is
-  /// exactly the in-system population — central queue + per-instance
-  /// FIFOs + executing — which is what backlog-autoscaling controllers
-  /// read at every barrier. Programmatic Submit()s count from
-  /// *submission* (batch semantics), so a trace scheduled ahead inflates
-  /// this until its arrivals fire.
-  std::size_t Backlog() const { return totals_.offered - totals_.served; }
+  /// Arrivals turned away at admission so far. Cheap, like Offered().
+  std::size_t Rejected() const { return totals_.rejected; }
+
+  /// Queued queries dropped by deadline shedding so far. Cheap.
+  std::size_t Shed() const { return totals_.shed; }
+
+  /// Backlog depth: queries accepted but not yet completed (rejected and
+  /// shed queries left the system and do not count). For source-fed
+  /// engines (emissions join the ledger on arrival) this is exactly the
+  /// in-system population — central queue + per-instance FIFOs +
+  /// executing — which is what backlog-autoscaling controllers read at
+  /// every barrier. Programmatic Submit()s count from *submission*
+  /// (batch semantics), so a trace scheduled ahead inflates this until
+  /// its arrivals fire.
+  std::size_t Backlog() const {
+    return totals_.offered - totals_.served - totals_.rejected -
+           totals_.shed;
+  }
+
+  /// Replaces the admission/shedding knobs mid-run (the SHED controller
+  /// drives this at fleet barriers). A newly set or tightened deadline is
+  /// applied to the queue at the next policy round. kInvalidArgument for
+  /// negative knobs; kFailedPrecondition unless SERVING.
+  Status SetAdmission(const AdmissionOptions& admission);
+
+  const AdmissionOptions& admission() const { return options_.admission; }
 
   /// Attaches a sliding-window monitor fed one Observe() per arrival
   /// (batch sizes of the *live* stream, in arrival order). The monitor
@@ -291,6 +346,18 @@ class Engine {
   void PullSource(std::size_t slot);
 
   void OnArrival(const workload::Query& q);
+
+  /// True when AdmissionOptions says this arrival must be turned away.
+  bool AdmissionRejects() const;
+
+  /// Predicted service seconds of `batch` on the fastest assignable
+  /// type right now; 0 when nothing is assignable.
+  double MinServiceSeconds(int batch) const;
+
+  /// Drops doomed queries from the FIFO head (see
+  /// AdmissionOptions::deadline_s); called at the top of every round.
+  void ShedExpired();
+
   void RunRound();
   void StartIfIdle(std::size_t instance_idx);
   void BeginExecution(std::size_t instance_idx, const workload::Query& q);
@@ -359,10 +426,13 @@ class Engine {
 
   // Cumulative counters (RunResult shape) plus the open window.
   RunResult totals_;
+  double latency_sum_ms_ = 0.0;  ///< running sum; exact mean without the vector
   Time window_start_ = 0.0;
   std::size_t window_offered_ = 0;
   std::size_t window_served_ = 0;
   std::size_t window_violations_ = 0;
+  std::size_t window_rejected_ = 0;
+  std::size_t window_shed_ = 0;
   double window_batch_sum_ = 0.0;  ///< sum of arrival batch sizes
   std::vector<double> window_latencies_ms_;
 };

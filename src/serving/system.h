@@ -50,6 +50,13 @@ struct RunOptions {
 
   /// Keep per-query ServedRecords (costs memory on huge traces).
   bool keep_records = false;
+
+  /// Keep the cumulative per-completion latency vector that backs
+  /// Totals()'s p99/mean. Sustained-throughput runs (10M+ queries) turn
+  /// this off to hold peak RSS flat: the mean stays exact (running sum)
+  /// but the cumulative p99 reads 0 — read per-window p99 from
+  /// TakeWindow() instead, which is unaffected.
+  bool keep_latencies = true;
 };
 
 /// Results of one simulation run.
@@ -57,6 +64,11 @@ struct RunResult {
   std::size_t offered = 0;      ///< queries in the trace
   std::size_t served = 0;       ///< completed before the run ended
   std::size_t violations = 0;   ///< served with latency > QoS
+  /// Arrivals turned away at admission (bounded queue full); 0 unless
+  /// AdmissionOptions is in play. Rejected queries count in `offered`.
+  std::size_t rejected = 0;
+  /// Queued queries dropped by deadline shedding; 0 unless enabled.
+  std::size_t shed = 0;
   bool aborted = false;         ///< early-aborted due to violation overflow
 
   double p99_ms = 0.0;          ///< 99th-percentile end-to-end latency

@@ -47,6 +47,22 @@ const QuerySourceRegistrar kTraceSource(
           std::make_unique<TraceSource>(spec.trace));
     });
 
+const QuerySourceRegistrar kStreamSource(
+    "STREAM",
+    "stream a trace CSV from disk in bounded-memory chunks (.gz with zlib)",
+    [](const QuerySourceSpec& spec) -> StatusOr<std::unique_ptr<QuerySource>> {
+      if (spec.path.empty()) {
+        return Status::InvalidArgument(
+            "STREAM source: spec.path must name a trace CSV file");
+      }
+      StreamingTraceOptions options;
+      options.chunk_bytes = spec.chunk_bytes;
+      auto reader = StreamingTraceReader::Open(spec.path, options);
+      if (!reader.ok()) return reader.status();
+      return std::unique_ptr<QuerySource>(
+          std::make_unique<StreamingTraceSource>(*std::move(reader)));
+    });
+
 const QuerySourceRegistrar kPoissonSource(
     "POISSON", "Poisson arrivals at rate_qps with a fixed batch size",
     [](const QuerySourceSpec& spec) -> StatusOr<std::unique_ptr<QuerySource>> {
@@ -119,6 +135,35 @@ std::optional<Emission> ProcessSource::Next(Rng& rng) {
 
 std::string ProcessSource::Name() const {
   return arrivals_->Name() + "/" + batches_->Name();
+}
+
+StreamingTraceSource::StreamingTraceSource(StreamingTraceReader reader)
+    : reader_(std::move(reader)) {}
+
+std::optional<Emission> StreamingTraceSource::Next(Rng&) {
+  if (!status_.ok()) return std::nullopt;
+  Query q;
+  const StatusOr<bool> got = reader_.Next(&q);
+  if (!got.ok()) {
+    status_ = got.status();
+    return std::nullopt;
+  }
+  if (!*got) return std::nullopt;
+  Emission emission;
+  emission.gap = q.arrival - last_arrival_;
+  emission.batch = q.batch_size;
+  last_arrival_ = q.arrival;
+  return emission;
+}
+
+std::string StreamingTraceSource::Name() const {
+  return "stream(" + reader_.path() + ")";
+}
+
+void StreamingTraceSource::Reset() {
+  const Status rewound = reader_.Rewind();
+  status_ = rewound;  // clears a sticky parse error on a successful rewind
+  last_arrival_ = 0.0;
 }
 
 QuerySourceRegistry& QuerySourceRegistry::Global() {

@@ -7,9 +7,12 @@
 // Fig. 12) without re-materializing anything.
 //
 // Sources are built by name through the QuerySourceRegistry (TRACE,
-// POISSON, UNIFORM, GAUSSIAN, PRODUCTION) with Status-based errors, the
-// same pattern as the policy / planner / allocator registries;
+// STREAM, POISSON, UNIFORM, GAUSSIAN, PRODUCTION) with Status-based
+// errors, the same pattern as the policy / planner / allocator registries;
 // programmatic injection goes through serving::Engine::Submit instead.
+// STREAM is the million-user scale path: it pulls queries from a trace CSV
+// on disk in bounded-memory chunks (DESIGN.md Sec. 12) instead of
+// materializing the trace like TRACE does.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +26,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "workload/trace.h"
+#include "workload/trace_io.h"
 
 namespace kairos::workload {
 
@@ -93,12 +97,37 @@ class ProcessSource final : public QuerySource {
   std::size_t emitted_ = 0;
 };
 
+/// Replays a trace CSV straight from disk through a StreamingTraceReader:
+/// same gap semantics as TraceSource (field-by-field identical emissions
+/// for the same file) at O(chunk) resident memory instead of O(trace).
+/// A read/parse error mid-stream ends the source (Next -> nullopt) and is
+/// reported through status().
+class StreamingTraceSource final : public QuerySource {
+ public:
+  explicit StreamingTraceSource(StreamingTraceReader reader);
+
+  std::optional<Emission> Next(Rng& rng) override;
+  /// Unknown without a full scan; callers needing a rate must supply it.
+  double Rate() const override { return 0.0; }
+  std::string Name() const override;
+  void Reset() override;
+
+  /// OK while streaming is healthy; the first read/parse/rewind error
+  /// otherwise (sticky, mirrors StreamingTraceReader).
+  const Status& status() const { return status_; }
+
+ private:
+  StreamingTraceReader reader_;
+  double last_arrival_ = 0.0;
+  Status status_;
+};
+
 /// Registry build request: which named source, and its parameters. The
 /// unnamed-parameter style mirrors serving::EvalOptions — named sources
 /// read the fields they need and ignore the rest.
 struct QuerySourceSpec {
-  /// Registry name, case-insensitive: "TRACE", "POISSON", "UNIFORM",
-  /// "GAUSSIAN", "PRODUCTION".
+  /// Registry name, case-insensitive: "TRACE", "STREAM", "POISSON",
+  /// "UNIFORM", "GAUSSIAN", "PRODUCTION".
   std::string source;
   /// Mean arrival rate for process-backed sources, queries/second.
   double rate_qps = 100.0;
@@ -110,6 +139,12 @@ struct QuerySourceSpec {
   int batch = 1;
   /// The trace to replay; required non-empty for "TRACE".
   Trace trace;
+  /// Trace CSV file to stream; required non-empty for "STREAM" (".gz"
+  /// accepted when zlib is built in).
+  std::string path;
+  /// STREAM refill size in bytes; 0 reads the whole file in one chunk.
+  /// Any value produces the identical query sequence.
+  std::size_t chunk_bytes = 65536;
 };
 
 /// Builds one source from a validated spec.

@@ -2,7 +2,7 @@
 // contract, WindowedMetrics percentile fields on sparse windows, the
 // determinism contract (identical ControlAction sequences for every
 // serve_threads), and the closed-loop behavior of the QOS / BACKLOG /
-// DRIFT controllers on a live fleet.
+// DRIFT / SHED controllers on a live fleet.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -23,7 +23,7 @@ TEST(ControllerRegistryTest, ListsTheBuiltInControllers) {
   const std::vector<std::string> names =
       ControllerRegistry::Global().ListNames();
   const std::vector<std::string> expected = {"BACKLOG", "COMPOSITE", "DRIFT",
-                                             "PERIODIC", "QOS"};
+                                             "PERIODIC", "QOS", "SHED"};
   for (const std::string& name : expected) {
     EXPECT_TRUE(std::count(names.begin(), names.end(), name) == 1)
         << name << " missing from the registry";
@@ -64,6 +64,15 @@ TEST(ControllerRegistryTest, KnobsAreDeclaredAndValidated) {
       "backlog", {{"backlog_s", 0.5}, {"min_backlog", 4.0}});
   ASSERT_TRUE(tuned.ok()) << tuned.status().ToString();
   EXPECT_EQ((*tuned)->Name(), "BACKLOG");
+
+  const auto shed_info = ControllerRegistry::Global().Info("SHED");
+  ASSERT_TRUE(shed_info.ok());
+  EXPECT_EQ(shed_info->knobs.count("deadline_scale"), 1u);
+  EXPECT_EQ(ControllerRegistry::Global()
+                .Build("SHED", {{"p99_scale", -1.0}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
 }
 
 // --- WindowedMetrics on sparse windows. ---
@@ -176,7 +185,7 @@ TEST(FleetControlTest, ControlActionSequenceIsIdenticalAcrossServeThreads) {
   const auto plan = fleet.PlanAll();
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
 
-  for (const std::string controller : {"QOS", "BACKLOG", "COMPOSITE"}) {
+  for (const std::string controller : {"QOS", "BACKLOG", "COMPOSITE", "SHED"}) {
     core::FleetServeOptions serve = SpikeServe(controller);
     serve.serve_threads = 1;
     const auto serial = fleet.ServeAll(*plan, serve);
@@ -189,6 +198,7 @@ TEST(FleetControlTest, ControlActionSequenceIsIdenticalAcrossServeThreads) {
       ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
       EXPECT_EQ(threaded->reallocations, serial->reallocations);
       EXPECT_EQ(threaded->monitor_resets, serial->monitor_resets);
+      EXPECT_EQ(threaded->shed_actions, serial->shed_actions);
       EXPECT_EQ(threaded->total_weighted_qps, serial->total_weighted_qps);
       ASSERT_EQ(threaded->control_log.size(), serial->control_log.size())
           << controller << " with " << threads << " threads";
@@ -258,6 +268,66 @@ TEST(FleetControlTest, BacklogControllerScalesOnQueueDepth) {
   EXPECT_LT(ViolationWindows(fleet, *backlog),
             ViolationWindows(fleet, *frozen));
   EXPECT_GT(backlog->total_weighted_qps, frozen->total_weighted_qps);
+}
+
+TEST(FleetControlTest, ShedControllerDegradesGracefullyAtEqualCost) {
+  // A transient 6x spike on RM2 (t=18s..36s). The shed-blind baseline
+  // lets the queue grow unboundedly: every queued query inherits the
+  // wait of everything ahead, so p99 violations persist long after the
+  // spike ends while the backlog drains. SHED trades completeness for
+  // latency — with deadline_scale 0.9 only queries that can finish
+  // inside QoS are kept — and restores full admission once healthy.
+  const core::Fleet fleet = SpikeFleet();
+  const auto plan = fleet.PlanAll();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  core::FleetServeOptions frozen_serve = SpikeServe("");
+  frozen_serve.shifts.push_back(core::FleetLoadShift{36.0, "RM2", 1.0});
+  const auto frozen = fleet.ServeAll(*plan, frozen_serve);
+  ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
+
+  core::FleetServeOptions shed_serve = frozen_serve;
+  shed_serve.controller = "SHED";
+  // p99_scale 1.1 is the same hysteresis margin the QOS test uses: the
+  // initial plan runs RM2 close enough to its bound that the default
+  // hair-trigger fires on a marginal pre-spike window.
+  shed_serve.controller_knobs = {{"deadline_scale", 0.9}, {"p99_scale", 1.1}};
+  const auto shed = fleet.ServeAll(*plan, shed_serve);
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+
+  // Equal cost: SHED never reallocates, so both runs ride the initial
+  // plan and bill identically — degradation is bought with sheds, not
+  // dollars.
+  EXPECT_EQ(shed->reallocations, 0u);
+  EXPECT_DOUBLE_EQ(shed->ondemand_cost_usd, frozen->ondemand_cost_usd);
+  EXPECT_DOUBLE_EQ(shed->effective_cost_usd, frozen->effective_cost_usd);
+
+  // The knob was armed on the spike and lifted after recovery.
+  ASSERT_GE(shed->shed_actions, 2u);
+  ASSERT_FALSE(shed->control_log.empty());
+  EXPECT_GT(shed->control_log.front().time, 18.0);
+  EXPECT_NE(shed->control_log.front().reason.find("shedding at deadline"),
+            std::string::npos);
+  bool restored = false;
+  for (const core::FleetControlEvent& event : shed->control_log) {
+    if (event.reason.find("restoring full admission") != std::string::npos) {
+      restored = true;
+    }
+  }
+  EXPECT_TRUE(restored) << "deadline was never lifted after recovery";
+
+  // Same offered load; sheds happened; nothing lost or double-counted.
+  std::size_t total_shed = 0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    const serving::RunResult& totals = shed->models[j].totals;
+    EXPECT_EQ(totals.offered, frozen->models[j].totals.offered);
+    EXPECT_LE(totals.served + totals.shed + totals.rejected, totals.offered);
+    total_shed += totals.shed;
+  }
+  EXPECT_GT(total_shed, 0u);
+
+  // The gate: strictly fewer p99-violation windows at equal cost.
+  EXPECT_LT(ViolationWindows(fleet, *shed), ViolationWindows(fleet, *frozen));
 }
 
 TEST(FleetControlTest, DriftControllerResetsMisWarmedMonitors) {

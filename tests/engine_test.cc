@@ -1,11 +1,13 @@
 // Streaming-engine and query-source coverage (DESIGN.md Sec. 8): shim
 // equivalence with the batch path, the engine state machine, windowed-
 // metrics determinism across AdvanceTo step sizes, mid-run mutation
-// (arrival scale, policy swap, reconfiguration with launch lag), and the
+// (arrival scale, policy swap, reconfiguration with launch lag),
+// admission control and deadline shedding (DESIGN.md Sec. 12), and the
 // QuerySource registry contract.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 
 #include "core/kairos.h"
@@ -15,6 +17,7 @@
 #include "serving/system.h"
 #include "workload/query_source.h"
 #include "workload/trace.h"
+#include "workload/trace_io.h"
 
 namespace kairos::serving {
 namespace {
@@ -211,6 +214,11 @@ void ExpectSameWindow(const WindowedMetrics& a, const WindowedMetrics& b) {
   EXPECT_EQ(a.mean_ms, b.mean_ms);
   EXPECT_EQ(a.offered_qps, b.offered_qps);
   EXPECT_EQ(a.qps, b.qps);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.mean_batch, b.mean_batch);
+  EXPECT_EQ(a.reject_rate, b.reject_rate);
+  EXPECT_EQ(a.shed_rate, b.shed_rate);
 }
 
 TEST(EngineTest, WindowedMetricsBitIdenticalAcrossStepSizes) {
@@ -466,12 +474,233 @@ TEST(EngineTest, ReconfigureExpandsServiceCapacityMidRun) {
   EXPECT_GT(relieved.qps, 95.0);   // backlog drains at 3-instance capacity
 }
 
+// --- Admission control and deadline shedding (DESIGN.md Sec. 12). ---
+
+TEST(EngineAdmissionTest, BoundedQueueRejectsBurstsAndConserves) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  EngineOptions options;
+  options.run.abort_violation_fraction = 0.0;
+  options.admission.max_queue = 4;
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>(), PredictorOptions{},
+                options);
+  // A simultaneous burst of 10: at most max_queue of them can be waiting
+  // when each later arrival is admitted, so some must bounce.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.Submit(Query{i, 1, 0.001}).ok());
+  }
+  engine.Drain();
+  const RunResult& totals = engine.Totals();
+  EXPECT_EQ(totals.offered, 10u);  // rejected arrivals still arrived
+  EXPECT_GT(engine.Rejected(), 0u);
+  EXPECT_EQ(engine.Shed(), 0u);  // no deadline in play
+  EXPECT_EQ(totals.served + totals.rejected, 10u);
+  EXPECT_EQ(engine.Backlog(), 0u);
+}
+
+TEST(EngineAdmissionTest, ImpossibleDeadlineShedsTheWholeQueue) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  EngineOptions options;
+  options.run.abort_violation_fraction = 0.0;
+  // Base service floor is 10ms; a 1ms deadline dooms every query the
+  // moment it arrives, so nothing is ever dispatched.
+  options.admission.deadline_s = 0.001;
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>(), PredictorOptions{},
+                options);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.Submit(Query{i, 2, 0.01 * (i + 1)}).ok());
+  }
+  engine.Drain();
+  EXPECT_EQ(engine.Totals().offered, 5u);
+  EXPECT_EQ(engine.Totals().served, 0u);
+  EXPECT_EQ(engine.Shed(), 5u);
+  EXPECT_EQ(engine.Rejected(), 0u);
+  EXPECT_EQ(engine.Backlog(), 0u);
+}
+
+TEST(EngineAdmissionTest, HugeLimitsAreBitIdenticalToDisabled) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  auto run = [&](AdmissionOptions admission) {
+    EngineOptions options;
+    options.seed = 11;
+    options.run.abort_violation_fraction = 0.0;
+    options.admission = admission;
+    Engine engine(TinySpec(catalog, truth, {1, 1}),
+                  std::make_unique<policy::KairosPolicy>(),
+                  PredictorOptions{}, options);
+    QuerySourceSpec spec;
+    spec.source = "PRODUCTION";
+    spec.rate_qps = 60.0;
+    auto source = QuerySourceRegistry::Global().Build(spec);
+    EXPECT_TRUE(source.ok());
+    EXPECT_TRUE(engine.SubmitSource(**source).ok());
+    engine.AdvanceTo(5.0);
+    return engine.TakeWindow();
+  };
+  AdmissionOptions generous;
+  generous.max_queue = 1u << 20;
+  generous.max_queue_s = 1e6;
+  generous.deadline_s = 1e6;
+  const WindowedMetrics with_limits = run(generous);
+  const WindowedMetrics disabled = run(AdmissionOptions{});
+  EXPECT_GT(with_limits.offered, 0u);
+  EXPECT_EQ(with_limits.rejected, 0u);
+  EXPECT_EQ(with_limits.shed, 0u);
+  ExpectSameWindow(with_limits, disabled);
+}
+
+TEST(EngineAdmissionTest, ShedAccountingBitIdenticalAcrossStepSizes) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  // Overload a single base instance (capacity ~50 batch-100 queries/s)
+  // with 200 QPS plus a tight-but-feasible deadline: some queries serve,
+  // some shed, some bounce off the queue bound. The ledger must not
+  // depend on how the schedule is realized.
+  auto make_engine = [&] {
+    EngineOptions options;
+    options.seed = 13;
+    options.run.abort_violation_fraction = 0.0;
+    options.admission.max_queue = 32;
+    options.admission.deadline_s = 0.1;
+    return std::make_unique<Engine>(TinySpec(catalog, truth, {1, 0}),
+                                    std::make_unique<policy::KairosPolicy>(),
+                                    PredictorOptions{}, options);
+  };
+  auto make_source = [] {
+    QuerySourceSpec spec;
+    spec.source = "UNIFORM";
+    spec.rate_qps = 200.0;
+    spec.batch = 100;
+    return QuerySourceRegistry::Global().Build(spec);
+  };
+  auto coarse = make_engine();
+  auto coarse_source = make_source();
+  ASSERT_TRUE(coarse_source.ok());
+  ASSERT_TRUE(coarse->SubmitSource(**coarse_source).ok());
+  auto fine = make_engine();
+  auto fine_source = make_source();
+  ASSERT_TRUE(fine_source.ok());
+  ASSERT_TRUE(fine->SubmitSource(**fine_source).ok());
+
+  for (int window = 1; window <= 3; ++window) {
+    const Time horizon = 1.0 * window;
+    coarse->AdvanceTo(horizon);
+    for (int step = 0; step < 100; ++step) {
+      fine->AdvanceTo(horizon - 1.0 + 0.01 * (step + 1));
+    }
+    const WindowedMetrics a = coarse->TakeWindow();
+    const WindowedMetrics b = fine->TakeWindow();
+    ExpectSameWindow(a, b);
+  }
+  EXPECT_GT(coarse->Shed() + coarse->Rejected(), 0u)
+      << "overload regime failed to exercise admission control";
+  EXPECT_EQ(coarse->Shed(), fine->Shed());
+  EXPECT_EQ(coarse->Rejected(), fine->Rejected());
+}
+
+TEST(EngineAdmissionTest, SetAdmissionValidatesAndAppliesMidRun) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>());
+
+  AdmissionOptions negative;
+  negative.deadline_s = -1.0;
+  EXPECT_EQ(engine.SetAdmission(negative).code(),
+            StatusCode::kInvalidArgument);
+
+  // Queue work behind a long-running head, then tighten the deadline
+  // mid-run: the doomed tail is shed at the next policy round.
+  ASSERT_TRUE(engine.Submit(Query{0, 1000, 0.0}).ok());  // 110ms on base
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(engine.Submit(Query{i, 1000, 0.001}).ok());
+  }
+  engine.AdvanceTo(0.05);
+  EXPECT_EQ(engine.Shed(), 0u);
+  AdmissionOptions tight;
+  tight.deadline_s = 0.2;  // heads now need >= 3 x 110ms of queue ahead
+  ASSERT_TRUE(engine.SetAdmission(tight).ok());
+  EXPECT_DOUBLE_EQ(engine.admission().deadline_s, 0.2);
+  engine.Drain();
+  EXPECT_GT(engine.Shed(), 0u);
+  EXPECT_EQ(engine.Totals().served + engine.Shed(), 5u);
+
+  // DRAINED engines are immutable.
+  EXPECT_EQ(engine.SetAdmission(AdmissionOptions{}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// --- WindowedMetrics corner cases. ---
+
+TEST(WindowedMetricsCornerTest, EmptyWindowReportsAllZeroes) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>());
+  engine.AdvanceTo(1.0);
+  const WindowedMetrics window = engine.TakeWindow();
+  EXPECT_EQ(window.offered, 0u);
+  EXPECT_EQ(window.served, 0u);
+  EXPECT_EQ(window.rejected, 0u);
+  EXPECT_EQ(window.shed, 0u);
+  EXPECT_EQ(window.p99_ms, 0.0);
+  EXPECT_EQ(window.mean_ms, 0.0);
+  EXPECT_EQ(window.mean_batch, 0.0);
+  // Rates divide by offered: zero arrivals must read 0, never NaN.
+  EXPECT_EQ(window.reject_rate, 0.0);
+  EXPECT_EQ(window.shed_rate, 0.0);
+}
+
+TEST(WindowedMetricsCornerTest, SingleCompletionWindowP99EqualsItsLatency) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>());
+  ASSERT_TRUE(engine.Submit(Query{0, 40, 0.25}).ok());
+  engine.AdvanceTo(1.0);
+  const WindowedMetrics window = engine.TakeWindow();
+  EXPECT_EQ(window.offered, 1u);
+  EXPECT_EQ(window.served, 1u);
+  EXPECT_GT(window.p99_ms, 0.0);
+  EXPECT_EQ(window.p99_ms, window.mean_ms);
+  EXPECT_EQ(window.mean_batch, 40.0);
+  EXPECT_EQ(window.shed_rate, 0.0);
+  EXPECT_EQ(window.reject_rate, 0.0);
+}
+
+TEST(WindowedMetricsCornerTest, FullyShedWindowReportsShedRateOne) {
+  const Catalog catalog = TinyCatalog();
+  const LatencyModel truth = TinyModel();
+  EngineOptions options;
+  options.run.abort_violation_fraction = 0.0;
+  options.admission.deadline_s = 0.001;  // below the 10ms service floor
+  Engine engine(TinySpec(catalog, truth, {1, 0}),
+                std::make_unique<policy::KairosPolicy>(), PredictorOptions{},
+                options);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.Submit(Query{i, 3, 0.1 * (i + 1)}).ok());
+  }
+  engine.AdvanceTo(1.0);
+  const WindowedMetrics window = engine.TakeWindow();
+  EXPECT_EQ(window.offered, 5u);
+  EXPECT_EQ(window.served, 0u);
+  EXPECT_EQ(window.shed, 5u);
+  EXPECT_EQ(window.shed_rate, 1.0);
+  EXPECT_EQ(window.reject_rate, 0.0);
+  EXPECT_EQ(window.p99_ms, 0.0);  // no completions to take a p99 over
+  EXPECT_EQ(window.mean_batch, 3.0);
+}
+
 // --- QuerySource registry. ---
 
-TEST(QuerySourceTest, RegistryListsTheFiveSources) {
+TEST(QuerySourceTest, RegistryListsTheSixSources) {
   const auto names = QuerySourceRegistry::Global().ListNames();
   for (const char* expected :
-       {"GAUSSIAN", "POISSON", "PRODUCTION", "TRACE", "UNIFORM"}) {
+       {"GAUSSIAN", "POISSON", "PRODUCTION", "STREAM", "TRACE", "UNIFORM"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -479,12 +708,19 @@ TEST(QuerySourceTest, RegistryListsTheFiveSources) {
 
 TEST(QuerySourceTest, RoundTripEveryRegisteredName) {
   Rng rng(5);
+  // STREAM needs a real file: persist the same 4-query trace the TRACE
+  // source replays, so both exhaust after the 4 emissions below.
+  const Trace trace = MediumTrace(25.0, 4);
+  const std::string trace_path =
+      ::testing::TempDir() + "roundtrip_source_trace.csv";
+  ASSERT_TRUE(workload::WriteTraceCsv(trace, trace_path).ok());
   for (const std::string& name : QuerySourceRegistry::Global().ListNames()) {
     QuerySourceSpec spec;
     spec.source = name;
     spec.rate_qps = 25.0;
     spec.limit = 4;
-    spec.trace = MediumTrace(25.0, 4);
+    spec.trace = trace;
+    spec.path = trace_path;
     auto source = QuerySourceRegistry::Global().Build(spec);
     ASSERT_TRUE(source.ok()) << name << ": " << source.status().ToString();
     const auto summary = QuerySourceRegistry::Global().Summary(name);
@@ -499,6 +735,7 @@ TEST(QuerySourceTest, RoundTripEveryRegisteredName) {
     // limit = 4 (and the 4-query trace) both exhaust here.
     EXPECT_FALSE((*source)->Next(rng).has_value()) << name;
   }
+  std::remove(trace_path.c_str());
 }
 
 TEST(QuerySourceTest, UnknownNameIsNotFoundListingAlternatives) {
