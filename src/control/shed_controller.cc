@@ -37,12 +37,16 @@ class ShedController final : public FleetController {
       const double p99_bound = options_.p99_scale * model.qos_ms;
       const bool tail_pressure = window.served >= options_.min_served &&
                                  window.p99_ms > p99_bound;
-      // Queue pressure: backlog deeper than backlog_s seconds of the
-      // window's observed arrival stream. Pressure shows here first when
-      // the tail is masked (e.g. every served query was a fresh one).
+      // Queue pressure: the window's peak central-queue depth deeper than
+      // backlog_s seconds of the window's observed arrival stream.
+      // Pressure shows here first when the tail is masked (e.g. every
+      // served query was a fresh one). The engine now measures the queue
+      // directly (WindowedMetrics::queue_depth_max) — the old derivation
+      // from Backlog() overcounted committed and executing queries, which
+      // shedding can never drop.
       const bool queue_pressure =
           window.offered_qps > 0.0 &&
-          static_cast<double>(model.backlog) >
+          static_cast<double>(window.queue_depth_max) >
               options_.backlog_s * window.offered_qps;
       const bool pressured = tail_pressure || queue_pressure;
       const bool shedding = model.shed_deadline_s > 0.0;
@@ -58,11 +62,12 @@ class ShedController final : public FleetController {
         action.deadline_s =
             options_.deadline_scale * MsToSec(model.qos_ms);
         action.reason =
-            model.model + (tail_pressure ? " p99 " : " backlog ") +
+            model.model + (tail_pressure ? " p99 " : " queue peak ") +
             (tail_pressure
                  ? FormatNumber(window.p99_ms) + "ms over the " +
                        FormatNumber(p99_bound) + "ms shed bound"
-                 : FormatNumber(static_cast<double>(model.backlog)) +
+                 : FormatNumber(
+                       static_cast<double>(window.queue_depth_max)) +
                        " queries at " + FormatNumber(window.offered_qps) +
                        " qps") +
             "; shedding at deadline " + FormatNumber(action.deadline_s) +

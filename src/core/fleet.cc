@@ -1,9 +1,12 @@
 #include "core/fleet.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <map>
+#include <memory>
+#include <optional>
 #include <utility>
 
 #include "chaos/injector.h"
@@ -496,6 +499,30 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   }
 
   const std::size_t n = plan.models.size();
+  // The telemetry plane (DESIGN.md Sec. 13). `tel` == nullptr disables
+  // everything telemetry-related — no instrument attach, no spans, no
+  // snapshots — so a disabled run is bit-identical to a build without
+  // the subsystem (tests/telemetry_test.cc).
+  telemetry::Telemetry* const tel = options.telemetry;
+  if (tel != nullptr) {
+    if (tel->num_model_shards() != n) {
+      return Status::InvalidArgument(
+          "FleetServeOptions::telemetry was created for " +
+          std::to_string(tel->num_model_shards()) +
+          " model shards, but the served plan has " + std::to_string(n));
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (tel->tracer().shard_names()[j] != names_[indices[j]]) {
+        return Status::InvalidArgument(
+            "FleetServeOptions::telemetry shard " + std::to_string(j) +
+            " is named \"" + tel->tracer().shard_names()[j] +
+            "\" but the served plan's model " + std::to_string(j) +
+            " is \"" + names_[indices[j]] +
+            "\"; create the Telemetry with the plan's model names in "
+            "plan order");
+      }
+    }
+  }
   // Each model is one shard: its own engine on its own clock. Shards meet
   // only at barriers — the merged grid of window boundaries and
   // reallocation points — where the driving thread snapshots windows and
@@ -559,6 +586,17 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     if (!attached.ok()) return attached;
     engines.push_back(*std::move(engine));
     streams.push_back(*std::move(stream));
+  }
+
+  // Attach instruments after every engine exists: the vector is sized
+  // once, so the pointers the engines hold stay valid for the whole run.
+  std::vector<telemetry::EngineInstruments> instruments;
+  if (tel != nullptr) {
+    instruments.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      instruments.push_back(tel->InstrumentsFor(j));
+      engines[j]->SetTelemetry(&instruments[j]);
+    }
   }
 
   // Load shifts are per-shard events: scheduled on the owning shard's own
@@ -721,7 +759,39 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
                       "model " + names_[indices[j]] + ": " + wired.message());
       }
     }
+    std::optional<telemetry::ScopedSpan> replan_span;
+    std::shared_ptr<std::atomic<std::uint64_t>> trials;
+    if (tel != nullptr) {
+      replan_span.emplace(&tel->tracer(), tel->fleet_shard(),
+                          "fleet.replan");
+      replan_span->AddArg("model", names_[indices[j]]);
+      replan_span->AddArg("budget_per_hour", std::to_string(budget));
+      if (request.eval != nullptr) {
+        // Per-trial evaluation spans. Trials may run on the search pool
+        // (eval_threads > 1): span emission rides the tracer's per-shard
+        // mutex, and the trial count accumulates in a shared atomic that
+        // lands on the fleet shard's counter once, back on this thread.
+        trials = std::make_shared<std::atomic<std::uint64_t>>(0);
+        search::EvalFn inner = std::move(request.eval);
+        telemetry::TraceRecorder* const tracer = &tel->tracer();
+        const std::size_t shard = tel->fleet_shard();
+        const std::string model_name = names_[indices[j]];
+        request.eval = [inner = std::move(inner), tracer, shard, trials,
+                        model_name](const cloud::Config& config) {
+          telemetry::ScopedSpan span(tracer, shard, "planner.eval");
+          span.AddArg("model", model_name);
+          span.AddArg("instances", std::to_string(config.TotalInstances()));
+          trials->fetch_add(1, std::memory_order_relaxed);
+          return inner(config);
+        };
+      }
+    }
     auto outcome = (*backend)->Plan(ctx, request);
+    if (trials != nullptr) {
+      tel->metrics().Add(tel->planner_trials(), tel->fleet_shard(),
+                         static_cast<double>(
+                             trials->load(std::memory_order_relaxed)));
+    }
     if (!outcome.ok()) {
       return Status(outcome.status().code(),
                     "model " + names_[indices[j]] + ": " +
@@ -744,6 +814,12 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   // inside its new share against its planning mix, and the engines
   // reconfigured in place.
   auto rebalance = [&](double interval_s) {
+    std::optional<telemetry::ScopedSpan> realloc_span;
+    if (tel != nullptr) {
+      realloc_span.emplace(&tel->tracer(), tel->fleet_shard(),
+                           "fleet.realloc");
+      realloc_span->AddArg("interval_s", std::to_string(interval_s));
+    }
     AllocationProblem problem;
     problem.budget_per_hour = options_.budget_per_hour;
     problem.step_per_hour = options_.allocation_step_per_hour;
@@ -797,6 +873,14 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     if (injector == nullptr) return;
     if (t < options.duration_s - 1e-9) {
       for (chaos::ChaosEvent& event : injector->Apply(t, chaos_target)) {
+        if (tel != nullptr) {
+          tel->metrics().Add(tel->chaos_faults(), tel->fleet_shard());
+          tel->tracer().EmitInstant(
+              event.model < n ? event.model : tel->fleet_shard(),
+              "chaos.fault",
+              {{"kind", chaos::ChaosEventName(event.kind)},
+               {"detail", event.detail}});
+        }
         chaos_log.push_back(FleetChaosEvent{event.time, event.kind,
                                             serve_names[event.model],
                                             std::move(event.detail)});
@@ -816,6 +900,12 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
         event.detail = "hard kill; " + std::to_string(fault.requeued) +
                        " in-flight quer" +
                        (fault.requeued == 1 ? "y" : "ies") + " requeued";
+        if (tel != nullptr) {
+          tel->metrics().Add(tel->chaos_faults(), tel->fleet_shard());
+          tel->tracer().EmitInstant(j, "chaos.fault",
+                                    {{"kind", chaos::ChaosEventName(event.kind)},
+                                     {"detail", event.detail}});
+        }
         chaos_log.push_back(std::move(event));
       }
     }
@@ -1031,9 +1121,16 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   // Faults armed at t <= 0 (e.g. a NET_DEGRADE window opening at the
   // start) land before the first arrival fires.
   drain_chaos(0.0);
+  telemetry::TelemetrySink sink(tel);
   for (const auto& [t, kinds] : barriers) {
     advance_all(t);
     if ((kinds & kWindowBarrier) != 0) {
+      std::optional<telemetry::ScopedSpan> window_span;
+      if (tel != nullptr) {
+        window_span.emplace(&tel->tracer(), tel->fleet_shard(),
+                            "window.snapshot");
+        window_span->AddArg("t_s", std::to_string(t));
+      }
       for (std::size_t j = 0; j < n; ++j) {
         windows[j].push_back(engines[j]->TakeWindow());
       }
@@ -1047,13 +1144,51 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     // — centrally, rather than as a guard every controller must remember.
     if (controller != nullptr && t < options.duration_s - 1e-9) {
       snapshot_telemetry(t, (kinds & kWindowBarrier) != 0);
-      apply_actions(t, controller->Decide(telemetry));
+      std::optional<telemetry::ScopedSpan> decide_span;
+      if (tel != nullptr) {
+        decide_span.emplace(&tel->tracer(), tel->fleet_shard(),
+                            "control.decide");
+        decide_span->AddArg("controller", controller->Name());
+      }
+      const std::vector<control::ControlAction> actions =
+          controller->Decide(telemetry);
+      if (decide_span.has_value()) {
+        // The chosen actions ride the span as args — this is how a trace
+        // answers "why did the controller fire here?".
+        decide_span->AddArg("actions", std::to_string(actions.size()));
+        for (std::size_t a = 0; a < actions.size(); ++a) {
+          decide_span->AddArg(
+              "action" + std::to_string(a),
+              std::string(control::ControlActionName(actions[a].kind)) +
+                  (actions[a].model < n
+                       ? " " + names_[indices[actions[a].model]]
+                       : std::string()) +
+                  (actions[a].reason.empty() ? "" : ": " + actions[a].reason));
+        }
+        tel->metrics().Add(tel->control_actions(), tel->fleet_shard(),
+                           static_cast<double>(actions.size()));
+      }
+      apply_actions(t, actions);
       if (!control_status.ok()) return control_status;
+      decide_span.reset();
+    }
+    if (tel != nullptr) {
+      // Fleet-shard bookkeeping at quiescence: the per-shard event-queue
+      // depth gauge, the barrier counter, and the sink's registry
+      // snapshot into FleetServeResult::telemetry_samples.
+      for (std::size_t j = 0; j < n; ++j) {
+        tel->metrics().Set(tel->sim_pending_events(), j,
+                           static_cast<double>(clocks[j]->PendingEvents()));
+      }
+      tel->metrics().Add(tel->barriers(), tel->fleet_shard());
+      sink.AtBarrier(t, kinds);
     }
   }
 
   FleetServeResult result;
   result.duration_s = options.duration_s;
+  result.telemetry_samples = sink.TakeSamples();
+  result.telemetry_samples_dropped = sink.dropped_samples();
   result.reallocations = reallocations;
   result.monitor_resets = monitor_resets;
   result.respreads = respreads;

@@ -27,6 +27,7 @@
 #include "core/kairos.h"
 #include "core/planner_backend.h"
 #include "serving/engine.h"
+#include "telemetry/telemetry.h"
 
 namespace kairos::core {
 
@@ -216,6 +217,15 @@ struct FleetServeOptions {
   /// sustained-throughput path: resident memory stays bounded while
   /// streaming tens of millions of queries.
   bool keep_latencies = true;
+  /// Telemetry plane (telemetry/telemetry.h): when set, every shard's
+  /// engine is instrumented, the driving thread emits barrier spans, and
+  /// the registry is snapshotted at every barrier into
+  /// FleetServeResult::telemetry_samples. Must have been Create()d with
+  /// exactly this fleet's model names (plan order) — kInvalidArgument
+  /// otherwise. nullptr (the default) disables the plane entirely; a
+  /// disabled run is bit-identical to a build without telemetry
+  /// (tests/telemetry_test.cc). The Telemetry must outlive the call.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// One model's outcome of a fleet co-simulation.
@@ -300,6 +310,12 @@ struct FleetServeResult {
   double effective_cost_usd = 0.0;
   /// effective_cost_usd scaled to an hourly rate over duration_s.
   double effective_cost_per_hour = 0.0;
+  /// One registry snapshot per ServeAll barrier, barrier order — filled
+  /// only when FleetServeOptions::telemetry is set (empty otherwise; the
+  /// rest of the result is bit-identical either way).
+  std::vector<telemetry::BarrierSample> telemetry_samples;
+  /// Barrier samples not stored because the sink's bound was hit.
+  std::uint64_t telemetry_samples_dropped = 0;
 };
 
 /// A set of Kairos sessions planned and measured together.

@@ -7,6 +7,7 @@
 
 #include "common/stats.h"
 #include "rpc/netem.h"
+#include "telemetry/telemetry.h"
 #include "workload/monitor.h"
 
 namespace kairos::serving {
@@ -255,6 +256,12 @@ Status Engine::Submit(workload::Query q) {
         "s is in the past (now " + std::to_string(sim_->Now()) + "s)");
   }
   ++totals_.offered;
+  if (telemetry_ != nullptr) {
+    telemetry_->tracer->EmitInstant(
+        telemetry_->shard, "engine.submit",
+        {{"arrival_s", std::to_string(q.arrival)},
+         {"batch", std::to_string(q.batch_size)}});
+  }
   sim_->At(q.arrival, [this, q] { OnArrival(q); });
   return Status::Ok();
 }
@@ -292,6 +299,8 @@ void Engine::PullSource(std::size_t slot) {
 }
 
 std::size_t Engine::AdvanceTo(Time t) {
+  const std::uint64_t wall_start_us =
+      telemetry_ != nullptr ? telemetry_->tracer->NowUs() : 0;
   std::size_t fired = 0;
   while (!abort_requested_ && !sim_->Idle() && sim_->NextEventTime() <= t) {
     sim_->Step();
@@ -300,6 +309,16 @@ std::size_t Engine::AdvanceTo(Time t) {
   if (!abort_requested_) sim_->FastForward(t);
   if (state_ == EngineState::kDraining && sim_->Idle()) {
     state_ = EngineState::kDrained;
+  }
+  if (telemetry_ != nullptr) {
+    const std::uint64_t wall_us =
+        telemetry_->tracer->NowUs() - wall_start_us;
+    telemetry_->metrics->Observe(telemetry_->advance_wall_us,
+                                 telemetry_->shard,
+                                 static_cast<double>(wall_us));
+    telemetry_->tracer->EmitSpan(
+        telemetry_->shard, "engine.advance", wall_start_us, wall_us,
+        {{"fired", std::to_string(fired)}, {"to_s", std::to_string(t)}});
   }
   return fired;
 }
@@ -321,6 +340,8 @@ std::size_t Engine::Drain() {
   // the clock idles: a shared clock may carry co-simulated peers' events
   // (including unbounded source chains) forever. Rejected and shed
   // queries already left the system and will never complete.
+  const std::uint64_t wall_start_us =
+      telemetry_ != nullptr ? telemetry_->tracer->NowUs() : 0;
   std::size_t fired = 0;
   while (!abort_requested_ &&
          totals_.served + totals_.rejected + totals_.shed <
@@ -329,6 +350,16 @@ std::size_t Engine::Drain() {
     ++fired;
   }
   state_ = EngineState::kDrained;
+  if (telemetry_ != nullptr) {
+    const std::uint64_t wall_us =
+        telemetry_->tracer->NowUs() - wall_start_us;
+    telemetry_->metrics->Observe(telemetry_->advance_wall_us,
+                                 telemetry_->shard,
+                                 static_cast<double>(wall_us));
+    telemetry_->tracer->EmitSpan(telemetry_->shard, "engine.drain",
+                                 wall_start_us, wall_us,
+                                 {{"fired", std::to_string(fired)}});
+  }
   return fired;
 }
 
@@ -477,7 +508,10 @@ WindowedMetrics Engine::TakeWindow() {
                          static_cast<double>(window.offered);
     window.shed_rate = static_cast<double>(window.shed) /
                        static_cast<double>(window.offered);
+    window.queue_depth_mean =
+        window_queue_sum_ / static_cast<double>(window.offered);
   }
+  window.queue_depth_max = window_queue_max_;
   window_start_ = window.end;
   window_offered_ = 0;
   window_served_ = 0;
@@ -485,6 +519,8 @@ WindowedMetrics Engine::TakeWindow() {
   window_rejected_ = 0;
   window_shed_ = 0;
   window_batch_sum_ = 0.0;
+  window_queue_max_ = 0;
+  window_queue_sum_ = 0.0;
   window_latencies_ms_.clear();
   return window;
 }
@@ -511,15 +547,38 @@ void Engine::OnArrival(const workload::Query& q) {
   ++window_offered_;
   window_batch_sum_ += q.batch_size;
   if (monitor_tap_ != nullptr) monitor_tap_->Observe(q.batch_size);
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics->Add(telemetry_->queries_offered, telemetry_->shard);
+  }
   if (AdmissionRejects()) {
     // The arrival is counted (it happened, and the monitor saw its
     // batch) but never enters the queue: no round runs for it.
     ++totals_.rejected;
     ++window_rejected_;
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics->Add(telemetry_->queries_rejected,
+                               telemetry_->shard);
+    }
+    SampleQueueDepth();
     return;
   }
   waiting_.push_back(q);
+  SampleQueueDepth();
   RunRound();
+}
+
+void Engine::SampleQueueDepth() {
+  // Central-queue depth right after the admission decision: the rejected
+  // case samples the (unchanged) queue that caused the rejection, the
+  // accepted case includes the new arrival. Feeds the per-window
+  // queue_depth_max / queue_depth_mean fields and the telemetry gauge.
+  const std::size_t depth = waiting_.size();
+  window_queue_max_ = std::max(window_queue_max_, depth);
+  window_queue_sum_ += static_cast<double>(depth);
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics->Set(telemetry_->queue_depth, telemetry_->shard,
+                             static_cast<double>(depth));
+  }
 }
 
 bool Engine::AdmissionRejects() const {
@@ -557,6 +616,7 @@ void Engine::ShedExpired() {
   // head: drop doomed queries until the head is feasible. Survivors keep
   // their order, which is what makes shedding deterministic across
   // AdvanceTo step sizes.
+  std::size_t shed_now = 0;
   while (!waiting_.empty()) {
     const workload::Query& q = waiting_.front();
     const Time latest_finish = q.arrival + deadline_s;
@@ -566,6 +626,11 @@ void Engine::ShedExpired() {
     waiting_.pop_front();
     ++totals_.shed;
     ++window_shed_;
+    ++shed_now;
+  }
+  if (telemetry_ != nullptr && shed_now > 0) {
+    telemetry_->metrics->Add(telemetry_->queries_shed, telemetry_->shard,
+                             static_cast<double>(shed_now));
   }
 }
 
@@ -689,6 +754,9 @@ void Engine::OnCompletion(std::size_t instance_idx, workload::Query q,
   if (options_.run.keep_latencies) totals_.latencies_ms.push_back(latency_ms);
   latency_sum_ms_ += latency_ms;
   ++totals_.served;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics->Add(telemetry_->queries_served, telemetry_->shard);
+  }
   totals_.makespan = std::max(totals_.makespan, finish);
   totals_.per_type_busy[inst.type] += finish - start;
   ++totals_.per_type_served[inst.type];

@@ -45,6 +45,10 @@ namespace kairos::rpc {
 class NetworkModel;  // rpc/netem.h — the chaos-installable fabric
 }  // namespace kairos::rpc
 
+namespace kairos::telemetry {
+struct EngineInstruments;  // telemetry/telemetry.h — metric/span handles
+}  // namespace kairos::telemetry
+
 namespace kairos::serving {
 
 /// Engine lifecycle states (DESIGN.md Sec. 8).
@@ -83,6 +87,13 @@ struct WindowedMetrics {
   /// X% shed" honestly (DESIGN.md Sec. 12).
   double reject_rate = 0.0;
   double shed_rate = 0.0;
+  /// Central-queue depth sampled after each arrival's admission decision:
+  /// the window's max and arrival-weighted mean (0 when no arrivals).
+  /// This is the backlog-pressure signal the SHED controller and the
+  /// telemetry queue-depth gauge read, instead of re-deriving it from
+  /// Backlog() (which also counts committed and executing queries).
+  std::size_t queue_depth_max = 0;
+  double queue_depth_mean = 0.0;
 };
 
 /// Production admission-control and load-shedding knobs (DESIGN.md
@@ -264,6 +275,16 @@ class Engine {
     monitor_tap_ = monitor;
   }
 
+  /// Attaches telemetry instruments (telemetry/telemetry.h): counters on
+  /// the arrival/shed/completion paths, a queue-depth gauge, and spans
+  /// around AdvanceTo/Drain. The instruments (and the Telemetry backing
+  /// them) must outlive the engine; nullptr (the default) detaches and
+  /// restores the exact uninstrumented event stream — telemetry is a
+  /// pure observer and never perturbs results (DESIGN.md Sec. 13).
+  void SetTelemetry(const telemetry::EngineInstruments* instruments) {
+    telemetry_ = instruments;
+  }
+
   /// The configuration the engine is moving toward (pending launches
   /// included); equals the live configuration once they are online.
   const cloud::Config& target_config() const { return target_config_; }
@@ -347,6 +368,10 @@ class Engine {
 
   void OnArrival(const workload::Query& q);
 
+  /// Records the central-queue depth after an arrival's admission
+  /// decision into the window stats and the telemetry gauge.
+  void SampleQueueDepth();
+
   /// True when AdmissionOptions says this arrival must be turned away.
   bool AdmissionRejects() const;
 
@@ -412,6 +437,7 @@ class Engine {
 
   EngineState state_ = EngineState::kServing;
   workload::QueryMonitor* monitor_tap_ = nullptr;  ///< live-mix observer
+  const telemetry::EngineInstruments* telemetry_ = nullptr;  ///< pure observer
   const rpc::NetworkModel* network_ = nullptr;     ///< chaos fabric; null = pristine
   Rng net_rng_;                        ///< hop draws only, never shared
   std::vector<InstanceFault> faults_;  ///< chaos kills, time order
@@ -434,6 +460,8 @@ class Engine {
   std::size_t window_rejected_ = 0;
   std::size_t window_shed_ = 0;
   double window_batch_sum_ = 0.0;  ///< sum of arrival batch sizes
+  std::size_t window_queue_max_ = 0;   ///< max queue depth seen at arrivals
+  double window_queue_sum_ = 0.0;      ///< sum of depths (mean = /offered)
   std::vector<double> window_latencies_ms_;
 };
 

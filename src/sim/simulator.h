@@ -45,6 +45,10 @@ class Simulator {
   /// True when no pending events remain.
   bool Idle() const { return queue_.Empty(); }
 
+  /// Live (scheduled, not cancelled, not fired) events. The telemetry
+  /// plane reads this at fleet barriers as an event-queue depth gauge.
+  std::size_t PendingEvents() const { return queue_.Size(); }
+
  private:
   Time now_ = 0.0;
   EventQueue queue_;

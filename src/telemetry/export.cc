@@ -1,0 +1,184 @@
+#include "telemetry/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace kairos::telemetry {
+namespace {
+
+/// Prometheus sample values: shortest round-trippable representation
+/// ("%.17g" is exact for doubles; integers render without a point).
+std::string FormatDouble(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Prometheus label values escape backslash, double-quote and newline.
+std::string LabelEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Shard label values, de-duplicated: a name shared by several shards
+/// (aliased fleet models) gets a "#<index>" suffix so series stay
+/// distinct per shard.
+std::vector<std::string> ShardLabels(const std::vector<std::string>& names) {
+  std::unordered_map<std::string, std::size_t> counts;
+  for (const std::string& name : names) ++counts[name];
+  std::vector<std::string> labels;
+  labels.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (counts[names[i]] > 1) {
+      labels.push_back(names[i] + "#" + std::to_string(i));
+    } else {
+      labels.push_back(names[i]);
+    }
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ExportChromeTrace(const TraceRecorder& recorder) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+
+  // One thread_name metadata event per shard names its track in the UI.
+  for (std::size_t shard = 0; shard < recorder.num_shards(); ++shard) {
+    comma();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << shard
+        << ",\"args\":{\"name\":\""
+        << JsonEscape(recorder.shard_names()[shard]) << "\"}}";
+  }
+
+  for (const TraceEvent& event : recorder.AllEvents()) {
+    comma();
+    out << "{\"name\":\"" << JsonEscape(event.name) << "\",\"ph\":\""
+        << event.phase << "\",\"pid\":0,\"tid\":" << event.shard
+        << ",\"ts\":" << event.ts_us;
+    if (event.phase == 'X') out << ",\"dur\":" << event.dur_us;
+    if (event.phase == 'i') out << ",\"s\":\"t\"";
+    if (!event.args.empty()) {
+      out << ",\"args\":{";
+      for (std::size_t i = 0; i < event.args.size(); ++i) {
+        if (i > 0) out << ",";
+        out << "\"" << JsonEscape(event.args[i].first) << "\":\""
+            << JsonEscape(event.args[i].second) << "\"";
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+Status WriteChromeTrace(const TraceRecorder& recorder,
+                        const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::Internal("chrome trace: cannot open " + path);
+  }
+  file << ExportChromeTrace(recorder) << "\n";
+  if (!file) {
+    return Status::Internal("chrome trace: write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+std::string ExportPrometheus(const MetricSnapshot& snapshot) {
+  const std::vector<std::string> labels = ShardLabels(snapshot.shard_names);
+  std::ostringstream out;
+  for (const MetricValue& metric : snapshot.metrics) {
+    out << "# HELP " << metric.name << " " << metric.help << "\n";
+    out << "# TYPE " << metric.name << " " << MetricKindName(metric.kind)
+        << "\n";
+    if (metric.kind == MetricKind::kHistogram) {
+      // Cumulative le= buckets merged over shards, then _sum / _count.
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < metric.bucket_counts.size(); ++b) {
+        cumulative += metric.bucket_counts[b];
+        const std::string le = b < metric.bounds.size()
+                                   ? FormatDouble(metric.bounds[b])
+                                   : "+Inf";
+        out << metric.name << "_bucket{le=\"" << le << "\"} " << cumulative
+            << "\n";
+      }
+      out << metric.name << "_sum " << FormatDouble(metric.sum) << "\n";
+      out << metric.name << "_count " << metric.count << "\n";
+    } else {
+      for (std::size_t s = 0; s < metric.per_shard.size(); ++s) {
+        out << metric.name << "{shard=\"" << LabelEscape(labels[s]) << "\"} "
+            << FormatDouble(metric.per_shard[s]) << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+Status WritePrometheus(const MetricSnapshot& snapshot,
+                       const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::Internal("prometheus: cannot open " + path);
+  }
+  file << ExportPrometheus(snapshot);
+  if (!file) {
+    return Status::Internal("prometheus: write failed for " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace kairos::telemetry

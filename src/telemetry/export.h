@@ -1,0 +1,42 @@
+// Exporters (DESIGN.md Sec. 13): render a TraceRecorder's events as
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing, one
+// track per shard) and a MetricSnapshot as Prometheus text exposition
+// (# HELP / # TYPE lines, shard="..." labels, cumulative le= histogram
+// buckets). Both are pure string builders — no I/O, no global state.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace kairos::telemetry {
+
+/// Renders the recorder's events as Chrome trace-event JSON:
+///   {"traceEvents": [...], "displayTimeUnit": "ms"}
+/// Every shard becomes one track (pid 0, tid = shard index) named by a
+/// thread_name metadata event; spans are ph "X" with µs ts/dur, instants
+/// are ph "i" with scope "t". Strings are JSON-escaped.
+std::string ExportChromeTrace(const TraceRecorder& recorder);
+
+/// Writes ExportChromeTrace(recorder) to `path`. kInternal on I/O error.
+Status WriteChromeTrace(const TraceRecorder& recorder,
+                        const std::string& path);
+
+/// Renders the snapshot as Prometheus text exposition format. Counters
+/// and gauges emit one sample per shard (label shard="<name>"; shards
+/// with duplicate names get shard="<name>#<index>" to keep series
+/// distinct). Histograms emit the standard cumulative _bucket{le="..."}
+/// series (merged over shards) with _sum and _count.
+std::string ExportPrometheus(const MetricSnapshot& snapshot);
+
+/// Writes ExportPrometheus(snapshot) to `path`. kInternal on I/O error.
+Status WritePrometheus(const MetricSnapshot& snapshot,
+                       const std::string& path);
+
+/// JSON string escaping shared by the exporters (quotes, backslashes,
+/// control characters). Exposed for tests.
+std::string JsonEscape(const std::string& raw);
+
+}  // namespace kairos::telemetry

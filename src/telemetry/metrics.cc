@@ -1,0 +1,173 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace kairos::telemetry {
+namespace {
+
+/// Doubles per cache line; shard slot arrays are padded to a multiple of
+/// this so two shards' cells never share a line.
+constexpr std::size_t kLineDoubles = 8;
+
+bool IsPrometheusSafe(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+MetricRegistry::MetricRegistry(std::vector<std::string> shard_names)
+    : shard_names_(std::move(shard_names)) {
+  if (shard_names_.empty()) shard_names_.push_back("0");
+  scalars_.resize(shard_names_.size());
+  hists_.resize(shard_names_.size());
+}
+
+StatusOr<MetricId> MetricRegistry::RegisterEntry(Entry entry) {
+  if (!IsPrometheusSafe(entry.name)) {
+    return Status::InvalidArgument(
+        "metric name \"" + entry.name +
+        "\" is not Prometheus-safe ([a-zA-Z_:][a-zA-Z0-9_:]*)");
+  }
+  for (const Entry& existing : entries_) {
+    if (existing.name == entry.name) {
+      return Status::InvalidArgument(
+          "metric \"" + entry.name + "\" is already registered as a " +
+          std::string(MetricKindName(existing.kind)));
+    }
+  }
+  if (entry.kind == MetricKind::kHistogram) {
+    entry.slot = hists_.empty() ? 0 : hists_[0].size();
+    for (std::vector<HistCells>& shard : hists_) {
+      HistCells cells;
+      cells.buckets.assign(entry.bounds.size() + 1, 0);
+      shard.push_back(std::move(cells));
+    }
+  } else {
+    entry.slot = scalar_slots_++;
+    // Grow every shard's slot array, padded to a cache-line multiple so
+    // two shards' hot cells never share a line.
+    const std::size_t padded =
+        ((scalar_slots_ + kLineDoubles - 1) / kLineDoubles) * kLineDoubles;
+    for (std::vector<double>& shard : scalars_) shard.resize(padded, 0.0);
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+StatusOr<MetricId> MetricRegistry::RegisterCounter(const std::string& name,
+                                                   const std::string& help) {
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.kind = MetricKind::kCounter;
+  return RegisterEntry(std::move(entry));
+}
+
+StatusOr<MetricId> MetricRegistry::RegisterGauge(const std::string& name,
+                                                 const std::string& help) {
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.kind = MetricKind::kGauge;
+  return RegisterEntry(std::move(entry));
+}
+
+StatusOr<MetricId> MetricRegistry::RegisterHistogram(
+    const std::string& name, const std::string& help,
+    std::vector<double> bounds) {
+  if (bounds.empty()) {
+    return Status::InvalidArgument("histogram \"" + name +
+                                   "\" needs at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (!(bounds[i] > bounds[i - 1])) {
+      return Status::InvalidArgument(
+          "histogram \"" + name +
+          "\" bucket bounds must be strictly increasing");
+    }
+  }
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.kind = MetricKind::kHistogram;
+  entry.bounds = std::move(bounds);
+  return RegisterEntry(std::move(entry));
+}
+
+void MetricRegistry::Observe(MetricId id, std::size_t shard, double value) {
+  const Entry& entry = entries_[id];
+  HistCells& cells = hists_[shard][entry.slot];
+  // First bucket whose upper bound holds the value; +Inf bucket otherwise.
+  const auto it =
+      std::lower_bound(entry.bounds.begin(), entry.bounds.end(), value);
+  ++cells.buckets[static_cast<std::size_t>(it - entry.bounds.begin())];
+  cells.sum += value;
+  ++cells.count;
+}
+
+MetricSnapshot MetricRegistry::Snapshot() const {
+  MetricSnapshot snapshot;
+  snapshot.shard_names = shard_names_;
+  snapshot.metrics.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    MetricValue value;
+    value.name = entry.name;
+    value.help = entry.help;
+    value.kind = entry.kind;
+    if (entry.kind == MetricKind::kHistogram) {
+      value.bounds = entry.bounds;
+      value.bucket_counts.assign(entry.bounds.size() + 1, 0);
+      for (std::size_t s = 0; s < hists_.size(); ++s) {
+        const HistCells& cells = hists_[s][entry.slot];
+        for (std::size_t b = 0; b < cells.buckets.size(); ++b) {
+          value.bucket_counts[b] += cells.buckets[b];
+        }
+        value.sum += cells.sum;
+        value.count += cells.count;
+      }
+      value.value = value.sum;
+    } else {
+      value.per_shard.reserve(scalars_.size());
+      for (const std::vector<double>& shard : scalars_) {
+        value.per_shard.push_back(shard[entry.slot]);
+        value.value += shard[entry.slot];
+      }
+    }
+    snapshot.metrics.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+void MetricRegistry::Reset() {
+  for (std::vector<double>& shard : scalars_) {
+    std::fill(shard.begin(), shard.end(), 0.0);
+  }
+  for (std::vector<HistCells>& shard : hists_) {
+    for (HistCells& cells : shard) {
+      std::fill(cells.buckets.begin(), cells.buckets.end(), 0);
+      cells.sum = 0.0;
+      cells.count = 0;
+    }
+  }
+}
+
+}  // namespace kairos::telemetry

@@ -1,0 +1,153 @@
+// Sharded metrics registry (DESIGN.md Sec. 13): named counters, gauges
+// and fixed-bucket histograms with per-shard accumulation. The hot path —
+// Add / Set / Observe — takes no locks and touches exactly one shard's
+// cells; merging happens only at Snapshot() time.
+//
+// Ownership model (the contract every instrumented layer relies on):
+//
+//   * each shard's cells are written by AT MOST ONE thread at a time.
+//     Fleet::ServeAll maps shard j to model j's engine, which is advanced
+//     by exactly one worker between barriers; the extra "fleet" shard is
+//     written only by the driving thread.
+//   * Snapshot() requires quiescence: every writer must have synchronized
+//     with the snapshotting thread (the barrier join provides this). With
+//     that contract the cells need no atomics and the registry imposes
+//     zero cache-line contention between shards (cells are padded to
+//     cache-line multiples per shard).
+//   * registration (RegisterCounter / ...) must also be quiesced — do it
+//     at setup, before instruments are hot.
+//
+// Telemetry is a pure observer: nothing here reads clocks or RNG, so an
+// instrumented run's *results* are bit-identical to an uninstrumented one
+// (tests/telemetry_test.cc asserts this field by field).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kairos::telemetry {
+
+/// Handle of one registered metric; index into the registry's tables.
+using MetricId = std::size_t;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Human-readable kind name ("counter", "gauge", "histogram") — also the
+/// exact token the Prometheus text exposition's # TYPE line uses.
+const char* MetricKindName(MetricKind kind);
+
+/// One metric's merged view in a snapshot.
+struct MetricValue {
+  std::string name;  ///< Prometheus-safe name ([a-zA-Z_:][a-zA-Z0-9_:]*)
+  std::string help;  ///< one-line description (# HELP line)
+  MetricKind kind = MetricKind::kCounter;
+  /// Merged scalar: sum over shards (counters and gauges; gauges in this
+  /// codebase are per-shard levels — queue depths, pending events — whose
+  /// fleet-wide reading is their sum).
+  double value = 0.0;
+  /// Per-shard scalar values (counters and gauges), shard order.
+  std::vector<double> per_shard;
+  /// Histograms only: the registration-time upper bounds (strictly
+  /// increasing; an implicit +Inf bucket follows the last bound).
+  std::vector<double> bounds;
+  /// Histograms only: merged observation counts, size bounds.size() + 1
+  /// (the last entry is the +Inf bucket). Non-cumulative per bucket; the
+  /// Prometheus exporter accumulates for its le= convention.
+  std::vector<std::uint64_t> bucket_counts;
+  double sum = 0.0;          ///< histograms: sum of observations
+  std::uint64_t count = 0;   ///< histograms: number of observations
+};
+
+/// A merged, point-in-time view of every registered metric.
+struct MetricSnapshot {
+  std::vector<std::string> shard_names;  ///< label values, shard order
+  std::vector<MetricValue> metrics;      ///< registration order
+};
+
+/// The registry. Cheap to construct; all storage is plain doubles laid out
+/// per shard (no atomics — see the ownership model above).
+class MetricRegistry {
+ public:
+  /// `shard_names` label the accumulation shards (Prometheus shard="..."
+  /// label, Chrome-trace track mapping). At least one shard; names need
+  /// not be unique (aliased fleet models are distinct shards).
+  explicit MetricRegistry(std::vector<std::string> shard_names);
+
+  std::size_t num_shards() const { return shard_names_.size(); }
+  const std::vector<std::string>& shard_names() const { return shard_names_; }
+
+  /// Registers a monotonically increasing counter. kInvalidArgument on a
+  /// duplicate name (any kind) or a name that is not Prometheus-safe.
+  StatusOr<MetricId> RegisterCounter(const std::string& name,
+                                     const std::string& help);
+
+  /// Registers a last-written-value gauge.
+  StatusOr<MetricId> RegisterGauge(const std::string& name,
+                                   const std::string& help);
+
+  /// Registers a fixed-bucket histogram. `bounds` are the buckets' upper
+  /// bounds, strictly increasing and non-empty; an implicit +Inf bucket
+  /// follows the last bound.
+  StatusOr<MetricId> RegisterHistogram(const std::string& name,
+                                       const std::string& help,
+                                       std::vector<double> bounds);
+
+  // --- Hot path. No locks, no atomics; `id` must come from the matching
+  // Register* call and `shard` must respect the single-writer contract.
+
+  /// Counter increment (also accepts gauges, as an accumulate).
+  void Add(MetricId id, std::size_t shard, double delta = 1.0) {
+    scalars_[shard][entries_[id].slot] += delta;
+  }
+
+  /// Gauge set.
+  void Set(MetricId id, std::size_t shard, double value) {
+    scalars_[shard][entries_[id].slot] = value;
+  }
+
+  /// Histogram observation.
+  void Observe(MetricId id, std::size_t shard, double value);
+
+  /// Merges every shard into one MetricSnapshot. Requires quiescence (see
+  /// the ownership model); never perturbs the cells it reads.
+  MetricSnapshot Snapshot() const;
+
+  /// Zeroes every cell (counters, gauges, histogram buckets) without
+  /// forgetting the registrations; same quiescence requirement. Lets one
+  /// Telemetry plane be reused across ServeAll runs.
+  void Reset();
+
+  /// Number of registered metrics.
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::size_t slot = 0;         ///< scalar slot or histogram index
+    std::vector<double> bounds;   ///< histograms only
+  };
+  struct HistCells {
+    std::vector<std::uint64_t> buckets;  ///< size bounds + 1 (+Inf last)
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  /// Shared registration path: name validation + duplicate rejection.
+  StatusOr<MetricId> RegisterEntry(Entry entry);
+
+  std::vector<std::string> shard_names_;
+  std::vector<Entry> entries_;  ///< registration order, MetricId-indexed
+  /// scalars_[shard][slot]: counter / gauge cells. The inner vectors are
+  /// padded to a cache-line multiple so two shards never share a line.
+  std::vector<std::vector<double>> scalars_;
+  std::size_t scalar_slots_ = 0;
+  /// hists_[shard][hist_index]: histogram cells, same sharding.
+  std::vector<std::vector<HistCells>> hists_;
+};
+
+}  // namespace kairos::telemetry

@@ -1,0 +1,107 @@
+#include "telemetry/trace.h"
+
+namespace kairos::telemetry {
+
+TraceRecorder::TraceRecorder(std::vector<std::string> shard_names,
+                             std::size_t events_per_shard)
+    : shard_names_(std::move(shard_names)),
+      capacity_(events_per_shard == 0 ? 1 : events_per_shard),
+      epoch_(std::chrono::steady_clock::now()),
+      shards_(shard_names_.empty() ? 1 : shard_names_.size()) {
+  if (shard_names_.empty()) shard_names_.push_back("0");
+  for (Shard& shard : shards_) shard.ring.reserve(capacity_);
+}
+
+void TraceRecorder::EmitSpan(
+    std::size_t shard, std::string name, std::uint64_t ts_us,
+    std::uint64_t dur_us,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.phase = 'X';
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.shard = shard;
+  event.args = std::move(args);
+
+  Shard& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.ring.size() < capacity_) {
+    s.ring.push_back(std::move(event));
+  } else {
+    // Full: overwrite the oldest (drop-oldest) and advance the head.
+    s.ring[s.head] = std::move(event);
+    s.head = (s.head + 1) % capacity_;
+    ++s.dropped;
+  }
+}
+
+void TraceRecorder::EmitInstant(
+    std::size_t shard, std::string name,
+    std::vector<std::pair<std::string, std::string>> args) {
+  const std::uint64_t now = NowUs();
+  TraceEvent event;
+  event.name = std::move(name);
+  event.phase = 'i';
+  event.ts_us = now;
+  event.shard = shard;
+  event.args = std::move(args);
+
+  Shard& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.ring.size() < capacity_) {
+    s.ring.push_back(std::move(event));
+  } else {
+    s.ring[s.head] = std::move(event);
+    s.head = (s.head + 1) % capacity_;
+    ++s.dropped;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::ShardEvents(std::size_t shard) const {
+  const Shard& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<TraceEvent> events;
+  events.reserve(s.ring.size());
+  // head is the oldest entry once the ring has wrapped; 0 before that.
+  for (std::size_t i = 0; i < s.ring.size(); ++i) {
+    events.push_back(s.ring[(s.head + i) % s.ring.size()]);
+  }
+  return events;
+}
+
+std::vector<TraceEvent> TraceRecorder::AllEvents() const {
+  std::vector<TraceEvent> events;
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    std::vector<TraceEvent> shard_events = ShardEvents(shard);
+    events.insert(events.end(),
+                  std::make_move_iterator(shard_events.begin()),
+                  std::make_move_iterator(shard_events.end()));
+  }
+  return events;
+}
+
+std::uint64_t TraceRecorder::DroppedCount(std::size_t shard) const {
+  const Shard& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.dropped;
+}
+
+std::uint64_t TraceRecorder::TotalDropped() const {
+  std::uint64_t total = 0;
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    total += DroppedCount(shard);
+  }
+  return total;
+}
+
+void TraceRecorder::Reset() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.ring.clear();
+    s.head = 0;
+    s.dropped = 0;
+  }
+}
+
+}  // namespace kairos::telemetry
