@@ -13,6 +13,7 @@ silently renamed metric can never sail through unenforced.
 """
 import argparse
 import json
+import os
 import sys
 
 
@@ -54,13 +55,18 @@ def main() -> int:
     # A single-core baseline cannot anchor the threaded-speedup metrics:
     # serve_all_speedup_* degenerates to ~1x however good the sharded loop
     # is. Warn (non-fatal) so a baseline refreshed on a starved machine is
-    # caught at review instead of silently lowering the bar.
+    # caught at review instead of silently lowering the bar. Emitted as a
+    # GitHub Actions workflow annotation (::warning::) so it surfaces on
+    # the run summary and the PR checks page, not just in the job log.
     if baseline_doc.get("hardware_concurrency") == 1:
-        print("warning: baseline was recorded with hardware_concurrency=1 "
-              "(single-core machine); threaded speedup metrics are "
-              "meaningless at this concurrency — refresh "
-              "bench/baselines/perf_baseline.json on a multi-core machine "
-              "when one is available", file=sys.stderr)
+        message = ("baseline was recorded with hardware_concurrency=1 "
+                   "(single-core machine); threaded speedup metrics are "
+                   "meaningless at this concurrency — refresh "
+                   "bench/baselines/perf_baseline.json on a multi-core "
+                   "machine when one is available")
+        if os.environ.get("GITHUB_ACTIONS") == "true":
+            print(f"::warning title=Single-core perf baseline::{message}")
+        print(f"warning: {message}", file=sys.stderr)
 
     missing_from_current = sorted(set(baseline) - set(current))
     missing_from_baseline = sorted(set(current) - set(baseline))

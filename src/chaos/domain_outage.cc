@@ -1,0 +1,157 @@
+// "DOMAIN_OUTAGE": rack/AZ-scale correlated loss. Each targeted model
+// suffers outages as a Poisson process; every outage samples one of the
+// model's failure domains (uniform draw pre-sampled at Arm, so Apply is a
+// pure function of the armed state) and reclaims *all* of its assignable
+// instances in a single fault — with a notice window when notice_s > 0,
+// abruptly otherwise. The engine spares one fleet-wide survivor when the
+// sampled domain holds the whole deployment. No market side: outages
+// model infrastructure failure, not spot economics (compose with
+// SPOT_PREEMPTION for both).
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "chaos/injectors.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace kairos::chaos {
+namespace {
+
+class DomainOutageInjector final : public ChaosInjector {
+ public:
+  explicit DomainOutageInjector(DomainOutageOptions options)
+      : options_(options) {}
+
+  std::string Name() const override { return "DOMAIN_OUTAGE"; }
+
+  Status Arm(const ChaosSchedule& schedule) override {
+    if (options_.rate_per_hour < 0.0) {
+      return Status::InvalidArgument(
+          "DOMAIN_OUTAGE: rate_per_hour must be >= 0, got " +
+          std::to_string(options_.rate_per_hour));
+    }
+    if (options_.notice_s < 0.0) {
+      return Status::InvalidArgument(
+          "DOMAIN_OUTAGE: notice_s must be >= 0, got " +
+          std::to_string(options_.notice_s));
+    }
+    if (options_.model != kAllModels &&
+        options_.model >= schedule.num_models) {
+      return Status::InvalidArgument(
+          "DOMAIN_OUTAGE targets model index " +
+          std::to_string(options_.model) + ", but the served plan has " +
+          std::to_string(schedule.num_models) + " models");
+    }
+    timeline_.clear();
+    next_ = 0;
+    const double rate_per_s = options_.rate_per_hour / 3600.0;
+    if (rate_per_s <= 0.0) return Status::Ok();  // armed, but a no-op
+    const std::uint64_t base_seed =
+        options_.seed != 0 ? options_.seed : schedule.seed ^ 0x444F4D41ULL;
+    for (std::size_t j = 0; j < schedule.num_models; ++j) {
+      if (options_.model != kAllModels && options_.model != j) continue;
+      // One independent outage timeline per model, forked from the base
+      // seed so adding a model never shifts another model's faults.
+      Rng rng(base_seed + 0x9E3779B97F4A7C15ULL * (j + 1));
+      for (Time t = rng.Exponential(rate_per_s); t < schedule.duration_s;
+           t += rng.Exponential(rate_per_s)) {
+        timeline_.push_back({t, j, rng.Uniform()});
+      }
+    }
+    std::sort(timeline_.begin(), timeline_.end(),
+              [](const Outage& a, const Outage& b) {
+                return a.time != b.time ? a.time < b.time
+                                        : a.model < b.model;
+              });
+    return Status::Ok();
+  }
+
+  std::vector<Time> FaultTimes() const override {
+    std::vector<Time> times;
+    times.reserve(timeline_.size());
+    for (const Outage& o : timeline_) times.push_back(o.time);
+    return times;
+  }
+
+  std::vector<ChaosEvent> Apply(Time now, ChaosTarget& target) override {
+    std::vector<ChaosEvent> events;
+    for (; next_ < timeline_.size() && timeline_[next_].time <= now + 1e-9;
+         ++next_) {
+      const Outage& o = timeline_[next_];
+      const std::size_t domains = target.NumDomains(o.model);
+      const std::size_t domain = std::min(
+          domains - 1,
+          static_cast<std::size_t>(o.domain_u * static_cast<double>(domains)));
+      const std::size_t lost =
+          options_.notice_s > 0.0
+              ? target.PreemptDomain(o.model, domain, options_.notice_s)
+              : target.KillDomain(o.model, domain);
+      if (lost == 0) continue;  // empty domain, or only the survivor left
+      ChaosEvent event;
+      event.time = o.time;
+      event.kind = ChaosEventKind::kDomainOutage;
+      event.model = o.model;
+      event.instances = lost;
+      event.detail =
+          "failure domain " + std::to_string(domain) + " lost (" +
+          std::to_string(lost) + " instances" +
+          (options_.notice_s > 0.0
+               ? "; hard kill in " + FormatNumber(options_.notice_s) + "s)"
+               : ", abrupt)");
+      events.push_back(std::move(event));
+    }
+    return events;
+  }
+
+ private:
+  /// One armed outage; the domain draw is pre-sampled at Arm().
+  struct Outage {
+    Time time = 0.0;
+    std::size_t model = 0;
+    double domain_u = 0.0;  ///< uniform for the domain pick
+  };
+
+  DomainOutageOptions options_;
+  /// Outages sorted by (time, model); rebuilt by every Arm().
+  std::vector<Outage> timeline_;
+  std::size_t next_ = 0;  ///< first timeline entry not yet applied
+};
+
+const ChaosRegistrar kDomainOutage(
+    ChaosInfo{"DOMAIN_OUTAGE",
+              "correlated rack/AZ outages: Poisson per-model events "
+              "(rate_per_hour) that each reclaim every instance of one "
+              "sampled failure domain — with a notice_s warning when > 0, "
+              "abruptly otherwise; model -1 targets every model, seed 0 "
+              "derives from the run seed",
+              {{"rate_per_hour", 2.0},
+               {"notice_s", 0.0},
+               {"model", -1.0},
+               {"seed", 0.0}}},
+    [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<ChaosInjector>> {
+      DomainOutageOptions options;
+      options.rate_per_hour = knobs.at("rate_per_hour");
+      if (options.rate_per_hour < 0.0) {
+        return Status::InvalidArgument(
+            "chaos injector DOMAIN_OUTAGE: rate_per_hour must be >= 0");
+      }
+      options.notice_s = knobs.at("notice_s");
+      if (options.notice_s < 0.0) {
+        return Status::InvalidArgument(
+            "chaos injector DOMAIN_OUTAGE: notice_s must be >= 0");
+      }
+      const double model = knobs.at("model");
+      options.model =
+          model < 0.0 ? kAllModels : static_cast<std::size_t>(model);
+      options.seed = static_cast<std::uint64_t>(knobs.at("seed"));
+      return MakeDomainOutage(options);
+    });
+
+}  // namespace
+
+std::unique_ptr<ChaosInjector> MakeDomainOutage(DomainOutageOptions options) {
+  return std::make_unique<DomainOutageInjector>(options);
+}
+
+}  // namespace kairos::chaos

@@ -13,6 +13,7 @@ const char* ChaosEventName(ChaosEventKind kind) {
     case ChaosEventKind::kInstanceDeath: return "INSTANCE_DEATH";
     case ChaosEventKind::kNetDegrade: return "NET_DEGRADE";
     case ChaosEventKind::kNetRestore: return "NET_RESTORE";
+    case ChaosEventKind::kDomainOutage: return "DOMAIN_OUTAGE";
   }
   return "UNKNOWN";
 }

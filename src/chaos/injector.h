@@ -12,6 +12,8 @@
 //   * NET_DEGRADE     — swap a degraded rpc::NetworkModel (base/jitter/
 //                       loss) under the dispatcher<->instance fabric for
 //                       a time window;
+//   * DOMAIN_OUTAGE   — correlated loss: one sampled rack/AZ failure
+//                       domain reclaimed whole in a single fault;
 //   * COMPOSITE       — schedule any of the above together on one
 //                       timeline (scripted timelines go through
 //                       MakeScriptedChaos, chaos/injectors.h).
@@ -62,6 +64,7 @@ enum class ChaosEventKind {
   kInstanceDeath,     ///< abrupt kill, no notice
   kNetDegrade,        ///< degraded fabric installed
   kNetRestore,        ///< pristine fabric restored
+  kDomainOutage,      ///< correlated loss of one whole failure domain
 };
 
 /// Human-readable event name ("PREEMPTION_NOTICE", ...).
@@ -107,6 +110,31 @@ class ChaosTarget {
   /// Hard-kills `count` instances right now; same survivor guarantee.
   /// Returns the kills applied.
   virtual std::size_t Kill(std::size_t model, std::size_t count) = 0;
+
+  /// Failure domains `model`'s instances are spread over (>= 1). The
+  /// default (1) models a target without placement metadata; correlated
+  /// injectors degrade gracefully to single-instance faults against it.
+  virtual std::size_t NumDomains(std::size_t model) const {
+    (void)model;
+    return 1;
+  }
+
+  /// Issues reclamation notices to every assignable instance of `model`
+  /// in failure domain `domain` (one survivor spared when the domain is
+  /// the whole deployment). Default: one plain Preempt, so targets
+  /// without domain support still see a fault.
+  virtual std::size_t PreemptDomain(std::size_t model, std::size_t domain,
+                                    double notice_s) {
+    (void)domain;
+    return Preempt(model, 1, notice_s);
+  }
+
+  /// Hard-kills every assignable instance of `model` in `domain` (same
+  /// survivor rule). Default: one plain Kill.
+  virtual std::size_t KillDomain(std::size_t model, std::size_t domain) {
+    (void)domain;
+    return Kill(model, 1);
+  }
 
   /// Installs a copy of `net` as `model`'s dispatcher<->instance fabric.
   virtual void DegradeNetwork(std::size_t model,

@@ -17,9 +17,15 @@ namespace kairos::chaos {
 
 /// "SPOT_PREEMPTION" parameters.
 struct SpotPreemptionOptions {
-  /// The market the targeted models rent from: discount on billed spend,
-  /// Poisson reclamation intensity, notice window.
-  cloud::SpotMarket market{0.35, 30.0, 2.0};
+  /// The market the targeted models rent from: discount on billed spend
+  /// (flat or curve-shaped — see SpotMarket's curve knobs), Poisson
+  /// reclamation intensity, notice window.
+  cloud::SpotMarket market{0.35, 30.0, 2.0, 0.0, 0.0, 0.0, 0.0, {}};
+  /// Probability that a reclamation is *correlated*: instead of one
+  /// instance, the provider reclaims a whole sampled failure domain
+  /// (ChaosTarget::PreemptDomain). 0 (the default) reproduces the
+  /// uncorrelated PR 6 timelines draw-for-draw.
+  double correlation = 0.0;
   /// Served-plan model index to target; kAllModels = every model (each
   /// gets its own independent reclamation timeline).
   std::size_t model = kAllModels;
@@ -28,6 +34,22 @@ struct SpotPreemptionOptions {
 };
 std::unique_ptr<ChaosInjector> MakeSpotPreemption(
     SpotPreemptionOptions options = {});
+
+/// "DOMAIN_OUTAGE" parameters: rack/AZ-scale correlated loss. Each fault
+/// samples one failure domain of the targeted model and reclaims *every*
+/// assignable instance in it at once (the engine spares one survivor when
+/// the domain holds the whole deployment).
+struct DomainOutageOptions {
+  /// Expected domain outages per hour per targeted model.
+  double rate_per_hour = 2.0;
+  /// Warning before the hard kills; 0 = abrupt (KillDomain).
+  double notice_s = 0.0;
+  std::size_t model = kAllModels;
+  /// Fault-timeline seed; 0 = derive from the run's ChaosSchedule seed.
+  std::uint64_t seed = 0;
+};
+std::unique_ptr<ChaosInjector> MakeDomainOutage(
+    DomainOutageOptions options = {});
 
 /// "INSTANCE_DEATH" parameters.
 struct InstanceDeathOptions {
@@ -64,13 +86,15 @@ std::unique_ptr<ChaosInjector> MakeCompositeChaos(
 struct ScriptedFault {
   double time_s = 0.0;
   /// What to do: kPreemptionNotice (Preempt), kInstanceDeath (Kill),
-  /// kNetDegrade, kNetRestore. kPreemption is invalid here — the hard
-  /// kill follows the notice automatically.
+  /// kDomainOutage (PreemptDomain / KillDomain by notice_s), kNetDegrade,
+  /// kNetRestore. kPreemption is invalid here — the hard kill follows the
+  /// notice automatically.
   ChaosEventKind kind = ChaosEventKind::kInstanceDeath;
   std::size_t model = 0;       ///< served-plan model index; kAllModels = every model
   std::size_t count = 1;       ///< instances (notice / kill steps)
-  double notice_s = 0.0;       ///< kPreemptionNotice only
+  double notice_s = 0.0;       ///< kPreemptionNotice / kDomainOutage
   rpc::NetworkModel net;       ///< kNetDegrade only
+  std::size_t domain = 0;      ///< kDomainOutage only: failure domain index
 };
 
 /// "SCRIPTED": replays a hand-written fault list (sorted by time at Arm).
@@ -78,7 +102,7 @@ struct ScriptedFault {
 /// tests pin exact chaos scenarios. An optional `market` prices every
 /// model's spend (scripted preemptions model a spot fleet).
 std::unique_ptr<ChaosInjector> MakeScriptedChaos(
-    std::vector<ScriptedFault> script, cloud::SpotMarket market = {1.0, 0.0,
-                                                                   0.0});
+    std::vector<ScriptedFault> script,
+    cloud::SpotMarket market = {1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, {}});
 
 }  // namespace kairos::chaos

@@ -98,6 +98,27 @@ class ScriptedChaos final : public ChaosInjector {
             // The kill surfaces through the engine fault ledger.
             target.Kill(j, fault.count);
             break;
+          case ChaosEventKind::kDomainOutage: {
+            const std::size_t lost =
+                fault.notice_s > 0.0
+                    ? target.PreemptDomain(j, fault.domain, fault.notice_s)
+                    : target.KillDomain(j, fault.domain);
+            if (lost == 0) break;  // empty domain, or survivor spared
+            ChaosEvent event;
+            event.time = fault.time_s;
+            event.kind = ChaosEventKind::kDomainOutage;
+            event.model = j;
+            event.instances = lost;
+            event.detail =
+                "scripted outage of failure domain " +
+                std::to_string(fault.domain) + " (" + std::to_string(lost) +
+                " instance" + (lost == 1 ? "" : "s") +
+                (fault.notice_s > 0.0
+                     ? "; hard kill in " + FormatNumber(fault.notice_s) + "s)"
+                     : ", abrupt)");
+            events.push_back(std::move(event));
+            break;
+          }
           case ChaosEventKind::kNetDegrade: {
             target.DegradeNetwork(j, fault.net);
             ChaosEvent event;

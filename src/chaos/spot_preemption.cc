@@ -28,6 +28,11 @@ class SpotPreemptionInjector final : public ChaosInjector {
     if (!market.ok()) {
       return Status(market.code(), "SPOT_PREEMPTION: " + market.message());
     }
+    if (options_.correlation < 0.0 || options_.correlation > 1.0) {
+      return Status::InvalidArgument(
+          "SPOT_PREEMPTION: correlation must be in [0, 1], got " +
+          std::to_string(options_.correlation));
+    }
     if (options_.model != kAllModels &&
         options_.model >= schedule.num_models) {
       return Status::InvalidArgument(
@@ -50,35 +55,63 @@ class SpotPreemptionInjector final : public ChaosInjector {
       Rng rng(base_seed + 0x9E3779B97F4A7C15ULL * (j + 1));
       for (Time t = rng.Exponential(rate_per_s); t < schedule.duration_s;
            t += rng.Exponential(rate_per_s)) {
-        timeline_.push_back({t, j});
+        Reclaim r;
+        r.time = t;
+        r.model = j;
+        // Correlation draws happen only when the knob is on, so a
+        // correlation-0 market replays the PR 6 timelines draw-for-draw.
+        if (options_.correlation > 0.0) {
+          r.domain_wide = rng.Uniform() < options_.correlation;
+          r.domain_u = rng.Uniform();
+        }
+        timeline_.push_back(r);
       }
     }
-    std::sort(timeline_.begin(), timeline_.end());
+    std::sort(timeline_.begin(), timeline_.end(),
+              [](const Reclaim& a, const Reclaim& b) {
+                return a.time != b.time ? a.time < b.time
+                                        : a.model < b.model;
+              });
     return Status::Ok();
   }
 
   std::vector<Time> FaultTimes() const override {
     std::vector<Time> times;
     times.reserve(timeline_.size());
-    for (const auto& [t, j] : timeline_) times.push_back(t);
+    for (const Reclaim& r : timeline_) times.push_back(r.time);
     return times;
   }
 
   std::vector<ChaosEvent> Apply(Time now, ChaosTarget& target) override {
     std::vector<ChaosEvent> events;
-    for (; next_ < timeline_.size() && timeline_[next_].first <= now + 1e-9;
+    for (; next_ < timeline_.size() && timeline_[next_].time <= now + 1e-9;
          ++next_) {
-      const auto& [t, j] = timeline_[next_];
-      const std::size_t noticed =
-          target.Preempt(j, 1, options_.market.notice_s);
-      if (noticed == 0) continue;  // last assignable instance spared
+      const Reclaim& r = timeline_[next_];
       ChaosEvent event;
-      event.time = t;
-      event.kind = ChaosEventKind::kPreemptionNotice;
-      event.model = j;
-      event.instances = noticed;
-      event.detail = "spot reclamation notice; hard kill in " +
-                     FormatNumber(options_.market.notice_s) + "s";
+      event.time = r.time;
+      event.model = r.model;
+      if (r.domain_wide) {
+        const std::size_t domains = target.NumDomains(r.model);
+        const std::size_t domain = std::min(
+            domains - 1, static_cast<std::size_t>(r.domain_u *
+                                                  static_cast<double>(domains)));
+        const std::size_t noticed =
+            target.PreemptDomain(r.model, domain, options_.market.notice_s);
+        if (noticed == 0) continue;  // nothing assignable in the domain
+        event.kind = ChaosEventKind::kDomainOutage;
+        event.instances = noticed;
+        event.detail = "correlated spot reclamation of failure domain " +
+                       std::to_string(domain) + "; hard kill in " +
+                       FormatNumber(options_.market.notice_s) + "s";
+      } else {
+        const std::size_t noticed =
+            target.Preempt(r.model, 1, options_.market.notice_s);
+        if (noticed == 0) continue;  // last assignable instance spared
+        event.kind = ChaosEventKind::kPreemptionNotice;
+        event.instances = noticed;
+        event.detail = "spot reclamation notice; hard kill in " +
+                       FormatNumber(options_.market.notice_s) + "s";
+      }
       events.push_back(std::move(event));
     }
     return events;
@@ -93,9 +126,18 @@ class SpotPreemptionInjector final : public ChaosInjector {
   }
 
  private:
+  /// One armed reclamation; the correlation draws are pre-sampled at
+  /// Arm() so Apply() stays a pure function of the armed state.
+  struct Reclaim {
+    Time time = 0.0;
+    std::size_t model = 0;
+    bool domain_wide = false;  ///< reclaim a whole failure domain
+    double domain_u = 0.0;     ///< uniform for the domain pick
+  };
+
   SpotPreemptionOptions options_;
-  /// (time, model) reclamations, sorted; rebuilt by every Arm().
-  std::vector<std::pair<Time, std::size_t>> timeline_;
+  /// Reclamations sorted by (time, model); rebuilt by every Arm().
+  std::vector<Reclaim> timeline_;
   std::size_t next_ = 0;        ///< first timeline entry not yet applied
   std::size_t num_models_ = 0;  ///< of the armed schedule
 };
@@ -103,11 +145,18 @@ class SpotPreemptionInjector final : public ChaosInjector {
 const ChaosRegistrar kSpotPreemption(
     ChaosInfo{"SPOT_PREEMPTION",
               "Poisson spot reclamations (rate_per_hour) with a notice_s "
-              "warning and a spot discount on billed spend; model -1 "
+              "warning and a spot discount on billed spend; correlation "
+              "is the chance a reclamation takes a whole failure domain; "
+              "curve_* knobs shape a time-varying discount; model -1 "
               "targets every model, seed 0 derives from the run seed",
               {{"rate_per_hour", 30.0},
                {"notice_s", 2.0},
                {"discount", 0.35},
+               {"correlation", 0.0},
+               {"curve_amplitude", 0.0},
+               {"curve_period_s", 0.0},
+               {"curve_phase_rad", 0.0},
+               {"curve_slope_per_hour", 0.0},
                {"model", -1.0},
                {"seed", 0.0}}},
     [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<ChaosInjector>> {
@@ -115,10 +164,21 @@ const ChaosRegistrar kSpotPreemption(
       options.market.reclaim_rate_per_hour = knobs.at("rate_per_hour");
       options.market.notice_s = knobs.at("notice_s");
       options.market.discount = knobs.at("discount");
+      options.market.curve_amplitude = knobs.at("curve_amplitude");
+      options.market.curve_period_s = knobs.at("curve_period_s");
+      options.market.curve_phase_rad = knobs.at("curve_phase_rad");
+      options.market.curve_slope_per_hour = knobs.at("curve_slope_per_hour");
       const Status market = options.market.Validate();
       if (!market.ok()) {
         return Status(market.code(),
                       "chaos injector SPOT_PREEMPTION: " + market.message());
+      }
+      options.correlation = knobs.at("correlation");
+      if (options.correlation < 0.0 || options.correlation > 1.0) {
+        return Status::InvalidArgument(
+            "chaos injector SPOT_PREEMPTION: correlation must be in "
+            "[0, 1], got " +
+            std::to_string(options.correlation));
       }
       const double model = knobs.at("model");
       options.model =

@@ -1,6 +1,8 @@
 #include "cloud/billing.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -44,11 +46,102 @@ Status SpotMarket::Validate() const {
     return Status::InvalidArgument("SpotMarket: notice_s must be >= 0, got " +
                                    std::to_string(notice_s));
   }
+  if (!(curve_amplitude >= 0.0)) {
+    return Status::InvalidArgument(
+        "SpotMarket: curve_amplitude must be >= 0, got " +
+        std::to_string(curve_amplitude));
+  }
+  if (curve_amplitude > 0.0 && !(curve_period_s > 0.0)) {
+    return Status::InvalidArgument(
+        "SpotMarket: curve_period_s must be > 0 when curve_amplitude > 0, "
+        "got " +
+        std::to_string(curve_period_s));
+  }
+  if (curve_amplitude > 0.0 &&
+      (!(discount - curve_amplitude > 0.0) ||
+       discount + curve_amplitude > 1.0)) {
+    return Status::InvalidArgument(
+        "SpotMarket: the sinusoid envelope discount +/- curve_amplitude "
+        "must stay inside (0, 1]; discount=" +
+        std::to_string(discount) +
+        " amplitude=" + std::to_string(curve_amplitude));
+  }
+  for (std::size_t i = 0; i < curve_points.size(); ++i) {
+    const auto& [t, d] = curve_points[i];
+    if (!(t >= 0.0)) {
+      return Status::InvalidArgument(
+          "SpotMarket: curve_points times must be >= 0, got " +
+          std::to_string(t));
+    }
+    if (i > 0 && !(t > curve_points[i - 1].first)) {
+      return Status::InvalidArgument(
+          "SpotMarket: curve_points times must be strictly increasing (" +
+          std::to_string(curve_points[i - 1].first) + " then " +
+          std::to_string(t) + ")");
+    }
+    if (!(d > 0.0) || d > 1.0) {
+      return Status::InvalidArgument(
+          "SpotMarket: curve_points discounts must be in (0, 1], got " +
+          std::to_string(d));
+    }
+  }
   return Status::Ok();
+}
+
+bool SpotMarket::FlatCurve() const {
+  return curve_amplitude == 0.0 && curve_slope_per_hour == 0.0 &&
+         curve_points.empty();
+}
+
+double SpotMarket::DiscountAt(Time t) const {
+  if (FlatCurve()) return discount;  // exact: no clamp, no trigonometry
+  double d;
+  if (!curve_points.empty()) {
+    // Piecewise-linear over the breakpoints, held constant outside them.
+    if (t <= curve_points.front().first) {
+      d = curve_points.front().second;
+    } else if (t >= curve_points.back().first) {
+      d = curve_points.back().second;
+    } else {
+      std::size_t hi = 1;
+      while (curve_points[hi].first < t) ++hi;
+      const auto& [t0, d0] = curve_points[hi - 1];
+      const auto& [t1, d1] = curve_points[hi];
+      d = d0 + (d1 - d0) * (t - t0) / (t1 - t0);
+    }
+  } else {
+    d = discount + curve_slope_per_hour * (t / 3600.0);
+    if (curve_amplitude > 0.0) {
+      d += curve_amplitude *
+           std::sin(2.0 * M_PI * t / curve_period_s + curve_phase_rad);
+    }
+  }
+  return std::clamp(d, kMinSpotDiscount, 1.0);
+}
+
+double SpotMarket::MeanDiscount(Time t0, Time t1) const {
+  if (FlatCurve()) return discount;
+  if (!(t1 > t0)) return DiscountAt(t0);
+  // Deterministic fixed-step midpoint rule; 256 steps keeps the error
+  // negligible for any curve a run can configure while staying
+  // bit-reproducible across platforms with the same libm.
+  constexpr std::size_t kSteps = 256;
+  const Time h = (t1 - t0) / static_cast<Time>(kSteps);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kSteps; ++i) {
+    sum += DiscountAt(t0 + (static_cast<Time>(i) + 0.5) * h);
+  }
+  return sum / static_cast<double>(kSteps);
 }
 
 double SpotCost(const SpotMarket& market, double ondemand_usd) {
   return market.discount * ondemand_usd;
+}
+
+double SpotCost(const SpotMarket& market, double ondemand_usd,
+                Time duration_s) {
+  if (market.FlatCurve()) return SpotCost(market, ondemand_usd);
+  return market.MeanDiscount(0.0, duration_s) * ondemand_usd;
 }
 
 std::vector<ReconfigPhase> PlanReconfiguration(const Config& from,

@@ -7,6 +7,7 @@
 // rate with a short warning before the hard kill.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "cloud/config.h"
@@ -50,20 +51,68 @@ class BillingMeter {
 /// reclamations per hour across a model's deployment, each preceded by a
 /// `notice_s`-second warning (the real spot/preemptible-VM contract).
 /// The chaos plane (src/chaos/) turns this into seeded fault timelines.
+///
+/// The discount may vary over the run (DESIGN.md Sec. 11): with the curve
+/// knobs at their zero defaults the market is flat and `DiscountAt(t)`
+/// equals `discount` exactly for every t — existing flat-market runs stay
+/// bit-identical. Otherwise the instantaneous discount is
+///
+///   discount + curve_amplitude * sin(2*pi*t/curve_period_s + curve_phase_rad)
+///            + curve_slope_per_hour * (t / 3600)
+///
+/// or, when `curve_points` is non-empty, the piecewise-linear
+/// interpolation of those (time, discount) breakpoints (held constant
+/// outside the covered range). The result is clamped into
+/// [kMinSpotDiscount, 1].
 struct SpotMarket {
   double discount = 0.35;             ///< spot $/hr = discount * on-demand
   double reclaim_rate_per_hour = 0.0; ///< expected reclamations per hour
   double notice_s = 0.0;              ///< warning before the hard kill
 
+  // -- time-varying discount curve (all-zero => flat market) --
+  double curve_amplitude = 0.0;       ///< sinusoid amplitude around discount
+  double curve_period_s = 0.0;        ///< sinusoid period (required if amp>0)
+  double curve_phase_rad = 0.0;       ///< sinusoid phase offset
+  double curve_slope_per_hour = 0.0;  ///< linear drift in discount per hour
+  /// Piecewise-linear (time_s, discount) breakpoints; when non-empty they
+  /// replace the sinusoid/drift terms. Times must be strictly increasing.
+  std::vector<std::pair<Time, double>> curve_points;
+
+  /// True when every curve knob is at its zero default: DiscountAt(t) ==
+  /// discount bit-for-bit, with no trigonometry on the path.
+  bool FlatCurve() const;
+
+  /// Instantaneous discount multiplier at simulation time `t`.
+  double DiscountAt(Time t) const;
+
+  /// Mean discount over [t0, t1] (deterministic fixed-step midpoint
+  /// integration; exact for flat and piecewise-linear curves). Returns
+  /// DiscountAt(t0) when the interval is empty.
+  double MeanDiscount(Time t0, Time t1) const;
+
   /// kInvalidArgument unless discount is in (0, 1], the reclaim rate is
-  /// >= 0 and the notice window is >= 0.
+  /// >= 0, the notice window is >= 0, and the curve knobs are coherent:
+  /// amplitude >= 0 with a positive period when amplitude > 0, the
+  /// sinusoid envelope discount +/- amplitude stays inside (0, 1], and
+  /// curve_points (if any) are strictly increasing in time with
+  /// discounts in (0, 1].
   Status Validate() const;
 };
+
+/// Hard floor on any curve-evaluated discount: the provider never sells
+/// below 1% of on-demand, so drifting curves cannot reach "free".
+inline constexpr double kMinSpotDiscount = 0.01;
 
 /// Spend at spot prices: `ondemand_usd` worth of on-demand capacity costs
 /// `market.discount * ondemand_usd` on the spot market. Kept next to the
 /// meter so effective-cost accounting has one authoritative definition.
 double SpotCost(const SpotMarket& market, double ondemand_usd);
+
+/// Curve-integrating overload: the same `ondemand_usd` of capacity held
+/// over [0, duration_s] costs `MeanDiscount(0, duration_s) * ondemand_usd`.
+/// For a flat market this returns exactly `SpotCost(market, ondemand_usd)`.
+double SpotCost(const SpotMarket& market, double ondemand_usd,
+                Time duration_s);
 
 /// One step of a reconfiguration timeline (see PlanReconfiguration).
 struct ReconfigPhase {

@@ -47,6 +47,7 @@ class CompositeController final : public FleetController {
     std::vector<bool> reset(telemetry.models.size(), false);
     std::vector<bool> recovered(telemetry.models.size(), false);
     std::vector<bool> shed_set(telemetry.models.size(), false);
+    std::vector<bool> borrowed(telemetry.models.size(), false);
     for (const auto& child : children_) {
       for (ControlAction& action : child->Decide(telemetry)) {
         if (action.kind == ControlActionKind::kReallocate) {
@@ -80,6 +81,14 @@ class CompositeController final : public FleetController {
             shed_set[action.model] = true;
           }
           action.reason = child->Name() + ": " + action.reason;
+        } else if (action.kind == ControlActionKind::kBorrowBudget) {
+          // One loan-ledger change per model per barrier; the earlier
+          // child's borrow (or payback) stands.
+          if (action.model < borrowed.size()) {
+            if (borrowed[action.model]) continue;
+            borrowed[action.model] = true;
+          }
+          action.reason = child->Name() + ": " + action.reason;
         }
         actions.push_back(std::move(action));
       }
@@ -96,8 +105,8 @@ const ControllerRegistrar kComposite(
                    "chain QOS + BACKLOG + DRIFT (+ FAILOVER / SHED when "
                    "their toggles are set; period_s > 0 adds a PERIODIC "
                    "safety net; p99_scale/backlog_s/drift_fraction/"
-                   "storm_losses forward to the children), deduplicating "
-                   "actions per barrier",
+                   "storm_losses/borrow_fraction/cooldown_windows forward "
+                   "to the children), deduplicating actions per barrier",
                    {{"qos", 1.0},
                     {"backlog", 1.0},
                     {"drift", 1.0},
@@ -107,7 +116,9 @@ const ControllerRegistrar kComposite(
                     {"p99_scale", 1.0},
                     {"backlog_s", 2.0},
                     {"drift_fraction", 0.25},
-                    {"storm_losses", 3.0}}},
+                    {"storm_losses", 3.0},
+                    {"borrow_fraction", 0.0},
+                    {"cooldown_windows", 0.0}}},
     [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<FleetController>> {
       const double period = knobs.at("period_s");
       if (period < 0.0) {
@@ -119,6 +130,21 @@ const ControllerRegistrar kComposite(
         return Status::InvalidArgument(
             "controller COMPOSITE: p99_scale, backlog_s and "
             "drift_fraction must be positive");
+      }
+      // The failover knobs are validated whether or not the child is
+      // toggled on — a malformed knob never hides behind a toggle.
+      if (knobs.at("storm_losses") < 1.0) {
+        return Status::InvalidArgument(
+            "controller COMPOSITE: storm_losses must be >= 1");
+      }
+      if (knobs.at("borrow_fraction") < 0.0 ||
+          knobs.at("borrow_fraction") >= 1.0) {
+        return Status::InvalidArgument(
+            "controller COMPOSITE: borrow_fraction must be in [0, 1)");
+      }
+      if (knobs.at("cooldown_windows") < 0.0) {
+        return Status::InvalidArgument(
+            "controller COMPOSITE: cooldown_windows must be >= 0");
       }
       std::vector<std::unique_ptr<FleetController>> children;
       if (knobs.at("qos") != 0.0) {
@@ -138,12 +164,11 @@ const ControllerRegistrar kComposite(
       }
       if (knobs.at("failover") != 0.0) {
         FailoverControllerOptions failover;
-        const double storm = knobs.at("storm_losses");
-        if (storm < 1.0) {
-          return Status::InvalidArgument(
-              "controller COMPOSITE: storm_losses must be >= 1");
-        }
-        failover.storm_losses = static_cast<std::size_t>(storm);
+        failover.storm_losses =
+            static_cast<std::size_t>(knobs.at("storm_losses"));
+        failover.borrow_fraction = knobs.at("borrow_fraction");
+        failover.cooldown_windows =
+            static_cast<std::size_t>(knobs.at("cooldown_windows"));
         children.push_back(MakeFailoverController(failover));
       }
       if (knobs.at("shed") != 0.0) {

@@ -13,6 +13,7 @@ const char* ControlActionName(ControlActionKind kind) {
     case ControlActionKind::kRespread: return "RESPREAD";
     case ControlActionKind::kFailover: return "FAILOVER";
     case ControlActionKind::kSetShed: return "SET_SHED";
+    case ControlActionKind::kBorrowBudget: return "BORROW_BUDGET";
   }
   return "UNKNOWN";
 }

@@ -97,6 +97,11 @@ struct ModelTelemetry {
   /// The SHED controller reads this to know which regime it is in even
   /// across a controller swap.
   double shed_deadline_s = 0.0;
+  /// Instantaneous spot discount multiplier on this model's billed spend
+  /// at the barrier time (SpotMarket::DiscountAt); 1.0 when the model
+  /// rents on demand. Curve-riding controllers read this to buy into
+  /// price troughs.
+  double spot_discount = 1.0;
   /// Closed WindowedMetrics history, shared grid across all models; the
   /// pointer stays valid for the duration of the Decide() call.
   const std::vector<serving::WindowedMetrics>* windows = nullptr;
@@ -146,6 +151,14 @@ enum class ControlActionKind {
   /// violates QoS and restores it once the backlog drains
   /// (DESIGN.md Sec. 12). Other admission knobs are untouched.
   kSetShed,
+  /// Borrow ControlAction::amount_per_hour of budget for model `model`
+  /// from the unaffected models' headroom (share above floor, taken
+  /// proportionally) and re-plan both sides; amount_per_hour == 0 repays
+  /// every outstanding loan of `model` instead. The fleet keeps a loan
+  /// ledger so borrow == payback holds exactly (conservation invariant,
+  /// DESIGN.md Sec. 11); a same-barrier kReallocate clears the ledger —
+  /// a full re-split supersedes the loans.
+  kBorrowBudget,
 };
 
 /// Human-readable action name ("REALLOCATE", "RESET_MONITOR", ...).
@@ -165,6 +178,10 @@ struct ControlAction {
   /// kSetShed only: the deadline to install (seconds past arrival after
   /// which a queued query is dropped); 0 turns shedding off.
   double deadline_s = 0.0;
+  /// kBorrowBudget only: the $/hr to borrow for `model`; 0 = repay every
+  /// outstanding loan of `model`. The fleet caps the grant at the donors'
+  /// available headroom.
+  double amount_per_hour = 0.0;
   /// Why the controller fired — surfaced in FleetServeResult::control_log.
   std::string reason;
 };

@@ -62,12 +62,26 @@ struct DriftControllerOptions {
 std::unique_ptr<FleetController> MakeDriftController(
     DriftControllerOptions options = {});
 
-/// "FAILOVER" thresholds.
+/// "FAILOVER" thresholds. The all-default struct reproduces the PR 6
+/// controller decision-for-decision: no hysteresis, no borrowing.
 struct FailoverControllerOptions {
   /// Chaos losses (hard kills + fresh notices) accumulated across the
   /// fleet before escalating from a per-model kRespread to a kFailover
   /// replan of the affected model. 1 = always replan.
   std::size_t storm_losses = 3;
+  /// Notice-flap hysteresis: closed windows a model sits out after a
+  /// notice-only kRespread before another notice-only respread may fire
+  /// (fresh hard losses always bypass the cooldown). 0 = off — every
+  /// notice respreads, the PR 6 behavior.
+  std::size_t cooldown_windows = 0;
+  /// Storm budget borrowing: on a kFailover escalation the model also
+  /// asks to borrow this fraction of its current share from the
+  /// unaffected models' headroom (kBorrowBudget), repaid once the storm
+  /// passes. 0 = never borrow.
+  double borrow_fraction = 0.0;
+  /// Consecutive quiet closed windows (no new losses or notices) before
+  /// a borrowing model repays its loans.
+  std::size_t recovery_windows = 2;
 };
 std::unique_ptr<FleetController> MakeFailoverController(
     FailoverControllerOptions options = {});

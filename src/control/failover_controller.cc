@@ -12,7 +12,23 @@
 //     current share, because the survivor set of a sustained storm may
 //     want a different instance mix than the pre-storm plan.
 //
-// Without chaos both counters stay zero and the controller never fires,
+// v2 (ISSUE 9) adds two optional regimes, both off by default so the
+// all-default controller reproduces PR 6 decision-for-decision:
+//
+//   * notice-flap hysteresis (cooldown_windows > 0): after a notice-only
+//     respread the model sits out that many closed windows before another
+//     notice-only respread may fire — a flapping spot market stops
+//     triggering a respread per notice. Fresh hard losses always bypass
+//     the cooldown: real capacity loss is never ignored;
+//   * budget borrowing (borrow_fraction > 0): a kFailover escalation also
+//     emits kBorrowBudget for borrow_fraction of the model's current
+//     share, taken from the unaffected models' headroom, so the replan
+//     can afford replacement capacity *during* the storm. Once the model
+//     has been quiet for recovery_windows closed windows the loan is
+//     repaid (kBorrowBudget with amount 0); the fleet's loan ledger
+//     asserts borrow == payback (DESIGN.md Sec. 11).
+//
+// Without chaos every counter stays zero and the controller never fires,
 // so wiring FAILOVER into a COMPOSITE costs nothing on clean runs.
 #include <string>
 
@@ -31,6 +47,9 @@ class FailoverController final : public FleetController {
   std::vector<ControlAction> Decide(const FleetTelemetry& telemetry) override {
     seen_lost_.resize(telemetry.models.size(), 0);
     seen_notices_.resize(telemetry.models.size(), 0);
+    cooldown_.resize(telemetry.models.size(), 0);
+    borrowing_.resize(telemetry.models.size(), false);
+    quiet_windows_.resize(telemetry.models.size(), 0);
 
     std::vector<ControlAction> actions;
     for (std::size_t j = 0; j < telemetry.models.size(); ++j) {
@@ -41,26 +60,63 @@ class FailoverController final : public FleetController {
           model.preemption_notices - seen_notices_[j];
       seen_lost_[j] = model.instances_lost;
       seen_notices_[j] = model.preemption_notices;
-      if (lost_delta == 0 && notice_delta == 0) continue;
 
-      losses_since_failover_ += lost_delta;
-      ControlAction action;
-      action.model = j;
-      if (lost_delta > 0 && losses_since_failover_ >= options_.storm_losses) {
-        losses_since_failover_ = 0;
-        action.kind = ControlActionKind::kFailover;
-        action.reason = model.model + " lost " +
-                        std::to_string(lost_delta) +
-                        " instance(s); storm threshold reached, replanning "
-                        "under the survivor set";
-      } else {
-        action.kind = ControlActionKind::kRespread;
-        action.reason =
-            model.model + ": " + std::to_string(notice_delta) +
-            " reclamation notice(s), " + std::to_string(lost_delta) +
-            " instance(s) lost; re-spreading onto replacements";
+      if (lost_delta > 0 || notice_delta > 0) {
+        quiet_windows_[j] = 0;
+        losses_since_failover_ += lost_delta;
+        ControlAction action;
+        action.model = j;
+        if (lost_delta > 0 &&
+            losses_since_failover_ >= options_.storm_losses) {
+          losses_since_failover_ = 0;
+          action.kind = ControlActionKind::kFailover;
+          action.reason = model.model + " lost " +
+                          std::to_string(lost_delta) +
+                          " instance(s); storm threshold reached, replanning "
+                          "under the survivor set";
+          cooldown_[j] = options_.cooldown_windows;
+          actions.push_back(std::move(action));
+          if (options_.borrow_fraction > 0.0 && !borrowing_[j] &&
+              model.share_per_hour > 0.0) {
+            ControlAction borrow;
+            borrow.kind = ControlActionKind::kBorrowBudget;
+            borrow.model = j;
+            borrow.amount_per_hour =
+                options_.borrow_fraction * model.share_per_hour;
+            borrow.reason = model.model +
+                            ": storm failover; borrowing headroom to "
+                            "replan with replacement capacity";
+            borrowing_[j] = true;
+            actions.push_back(std::move(borrow));
+          }
+        } else if (lost_delta > 0 || cooldown_[j] == 0) {
+          action.kind = ControlActionKind::kRespread;
+          action.reason =
+              model.model + ": " + std::to_string(notice_delta) +
+              " reclamation notice(s), " + std::to_string(lost_delta) +
+              " instance(s) lost; re-spreading onto replacements";
+          // A notice-only respread arms the flap guard; a hard loss
+          // keeps the controller fully reactive.
+          if (lost_delta == 0) cooldown_[j] = options_.cooldown_windows;
+          actions.push_back(std::move(action));
+        }
+        // else: notice-only flap inside the cooldown window — suppressed.
+      } else if (telemetry.window_closed && borrowing_[j]) {
+        if (++quiet_windows_[j] >= options_.recovery_windows) {
+          ControlAction repay;
+          repay.kind = ControlActionKind::kBorrowBudget;
+          repay.model = j;
+          repay.amount_per_hour = 0.0;  // repay every outstanding loan
+          repay.reason = model.model + ": quiet for " +
+                         std::to_string(quiet_windows_[j]) +
+                         " window(s); storm passed, repaying borrowed "
+                         "budget";
+          borrowing_[j] = false;
+          quiet_windows_[j] = 0;
+          actions.push_back(std::move(repay));
+        }
       }
-      actions.push_back(std::move(action));
+      if (telemetry.window_closed && cooldown_[j] > 0) --cooldown_[j];
     }
     return actions;
   }
@@ -69,15 +125,24 @@ class FailoverController final : public FleetController {
   FailoverControllerOptions options_;
   std::vector<std::size_t> seen_lost_;     ///< per model, telemetry order
   std::vector<std::size_t> seen_notices_;  ///< per model, telemetry order
+  std::vector<std::size_t> cooldown_;      ///< notice-flap guard, windows
+  std::vector<bool> borrowing_;            ///< loan outstanding per model
+  std::vector<std::size_t> quiet_windows_; ///< quiet streak while borrowing
   std::size_t losses_since_failover_ = 0;  ///< fleet-wide hard-kill count
 };
 
 const ControllerRegistrar kFailover(
     ControllerInfo{"FAILOVER",
                    "chaos-aware: re-spread a model onto replacement "
-                   "launches on every reclamation notice or loss, and "
-                   "replan it once storm_losses hard kills accumulate",
-                   {{"storm_losses", 3.0}}},
+                   "launches on every reclamation notice or loss, replan "
+                   "it once storm_losses hard kills accumulate, borrow "
+                   "borrow_fraction of its share during the storm (repaid "
+                   "after recovery_windows quiet windows), and damp "
+                   "notice flapping with cooldown_windows",
+                   {{"storm_losses", 3.0},
+                    {"cooldown_windows", 0.0},
+                    {"borrow_fraction", 0.0},
+                    {"recovery_windows", 2.0}}},
     [](const KnobMap& knobs) -> StatusOr<std::unique_ptr<FleetController>> {
       FailoverControllerOptions options;
       const double storm = knobs.at("storm_losses");
@@ -86,6 +151,23 @@ const ControllerRegistrar kFailover(
             "controller FAILOVER: storm_losses must be >= 1");
       }
       options.storm_losses = static_cast<std::size_t>(storm);
+      const double cooldown = knobs.at("cooldown_windows");
+      if (cooldown < 0.0) {
+        return Status::InvalidArgument(
+            "controller FAILOVER: cooldown_windows must be >= 0");
+      }
+      options.cooldown_windows = static_cast<std::size_t>(cooldown);
+      options.borrow_fraction = knobs.at("borrow_fraction");
+      if (options.borrow_fraction < 0.0 || options.borrow_fraction >= 1.0) {
+        return Status::InvalidArgument(
+            "controller FAILOVER: borrow_fraction must be in [0, 1)");
+      }
+      const double recovery = knobs.at("recovery_windows");
+      if (recovery < 1.0) {
+        return Status::InvalidArgument(
+            "controller FAILOVER: recovery_windows must be >= 1");
+      }
+      options.recovery_windows = static_cast<std::size_t>(recovery);
       return MakeFailoverController(options);
     });
 

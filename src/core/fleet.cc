@@ -83,6 +83,48 @@ Status WireEvaluator(const Kairos& session,
   return Status::Ok();
 }
 
+/// Chaos-aware N-1 padding (DESIGN.md Sec. 11). Instances are assigned
+/// to `domains` failure domains round-robin in launch order, so a
+/// contiguous block of m instances of one type loses at most
+/// ceil(m / domains) of them to a single domain outage. Padding each
+/// type's planned count c to the smallest m with m - ceil(m / domains)
+/// >= c therefore keeps the planned capacity alive through the loss of
+/// the largest domain. The padded config is trimmed back — most
+/// expensive type first, never below the planned core — until it fits
+/// `share_per_hour`, so the share invariant (config cost <= share)
+/// still holds.
+cloud::Config PadForDomainLoss(const cloud::Config& core,
+                               std::size_t domains, double share_per_hour,
+                               const cloud::Catalog& catalog) {
+  if (domains < 2) return core;
+  std::vector<int> counts(core.NumTypes());
+  std::vector<int> padded(core.NumTypes());
+  for (cloud::TypeId t = 0; t < core.NumTypes(); ++t) {
+    counts[t] = core.Count(t);
+    int m = counts[t];
+    if (m > 0) {
+      const int d = static_cast<int>(domains);
+      while (m - (m + d - 1) / d < counts[t]) ++m;
+    }
+    padded[t] = m;
+  }
+  double cost = cloud::Config(padded).CostPerHour(catalog);
+  while (cost > share_per_hour + 1e-9) {
+    cloud::TypeId trim = core.NumTypes();
+    double trim_price = -1.0;
+    for (cloud::TypeId t = 0; t < core.NumTypes(); ++t) {
+      if (padded[t] > counts[t] && catalog[t].price_per_hour > trim_price) {
+        trim = t;
+        trim_price = catalog[t].price_per_hour;
+      }
+    }
+    if (trim == core.NumTypes()) break;  // back at the core: stop trimming
+    --padded[trim];
+    cost -= trim_price;
+  }
+  return cloud::Config(std::move(padded));
+}
+
 }  // namespace
 
 Fleet::Fleet(const cloud::Catalog& catalog, FleetOptions options)
@@ -541,7 +583,44 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
 
   for (std::size_t j = 0; j < n; ++j) {
     const std::size_t i = indices[j];
-    auto runtime = Deploy(names_[i], plan.models[j].outcome.config);
+    cloud::Config config = plan.models[j].outcome.config;
+    const std::size_t domains =
+        std::max<std::size_t>(model_options_[i].failure_domains, 1);
+    if (model_options_[i].plan_n_minus_one && domains >= 2) {
+      // Chaos-aware N-1 sizing (DESIGN.md Sec. 11): re-plan the core
+      // inside (d-1)/d of the share, then pad each type so losing the
+      // largest failure domain leaves the core intact. replan_model
+      // below applies the same rule, so in-serve replans keep the
+      // deployment N-1 sized.
+      const double share = plan.models[j].budget_per_hour;
+      // The core never plans below the model's floor (the cheapest
+      // feasible deployment) — a small share shrunk by (d-1)/d must not
+      // turn an otherwise feasible model infeasible.
+      const double core_budget =
+          std::max(share * static_cast<double>(domains - 1) /
+                       static_cast<double>(domains),
+                   std::min(share, floors_[i]));
+      PlannerContext ctx{&catalog_, &sessions_[i].truth(),
+                         sessions_[i].qos_ms(), core_budget};
+      PlanRequest request;
+      request.monitor = &sessions_[i].monitor();
+      request.search = options.search;
+      if ((*backend)->NeedsEvaluations()) {
+        const Status wired =
+            WireEvaluator(sessions_[i], sessions_[i].monitor(), request);
+        if (!wired.ok()) {
+          return Status(wired.code(),
+                        "model " + names_[i] + ": " + wired.message());
+        }
+      }
+      auto core = (*backend)->Plan(ctx, request);
+      if (!core.ok()) {
+        return Status(core.status().code(),
+                      "model " + names_[i] + ": " + core.status().message());
+      }
+      config = PadForDomainLoss(core->config, domains, share, catalog_);
+    }
+    auto runtime = Deploy(names_[i], config);
     if (!runtime.ok()) return runtime.status();
     serving::EngineOptions engine_options;
     // Overload is an expected transient here (that is what reallocation
@@ -550,6 +629,7 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     engine_options.run.keep_latencies = options.keep_latencies;
     engine_options.admission = options.admission;
     engine_options.launch_lag_s = options.launch_lag_s;
+    engine_options.failure_domains = domains;
     engine_options.seed = options_.seed + 1000003 * (j + 1);
     clocks.push_back(std::make_unique<sim::Simulator>());
     auto engine = runtime->MakeEngine(engine_options, clocks.back().get());
@@ -640,6 +720,16 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     std::size_t Kill(std::size_t m, std::size_t count) override {
       return engines_[m]->KillInstances(count);
     }
+    std::size_t NumDomains(std::size_t m) const override {
+      return engines_[m]->NumDomains();
+    }
+    std::size_t PreemptDomain(std::size_t m, std::size_t domain,
+                              double notice_s) override {
+      return engines_[m]->PreemptDomain(domain, notice_s);
+    }
+    std::size_t KillDomain(std::size_t m, std::size_t domain) override {
+      return engines_[m]->KillDomain(domain);
+    }
     void DegradeNetwork(std::size_t m,
                         const rpc::NetworkModel& net) override {
       fabrics_[m] = std::make_unique<rpc::NetworkModel>(net);
@@ -723,6 +813,23 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   std::size_t respreads = 0;
   std::size_t failovers = 0;
   std::size_t shed_actions = 0;
+  // The loan ledger (kBorrowBudget, DESIGN.md Sec. 11): per borrower, the
+  // (donor, $/hr) grants currently outstanding. Every grant is repaid —
+  // by an amount-0 action, by a reallocation re-deriving every share, or
+  // by the horizon force-repay — so borrowed == repaid holds exactly.
+  // The reported totals fold `loan_events` once, in borrow order, at the
+  // end of the run: summing the same grants through two independently
+  // ordered accumulators could differ in the last ulp, and the
+  // conservation invariant is asserted bit-for-bit.
+  std::size_t borrows = 0;
+  std::size_t paybacks = 0;
+  struct LoanEvent {
+    double granted = 0.0;  ///< $/hr moved to the borrower at grant time
+    bool repaid = false;
+  };
+  std::vector<LoanEvent> loan_events;
+  std::vector<std::vector<std::size_t>> loan_event_ids(n);  // per borrower
+  std::vector<std::vector<std::pair<std::size_t, double>>> loans(n);
   std::vector<FleetControlEvent> control_log;
   std::vector<FleetChaosEvent> chaos_log;
   /// Engine fault-ledger entries already copied into chaos_log, per model.
@@ -745,8 +852,19 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   // paths cannot drift.
   auto replan_model = [&](std::size_t j, double budget) -> Status {
     const Kairos& session = sessions_[indices[j]];
+    // N-1 sized models re-plan their core inside (d-1)/d of the share
+    // and pad afterwards — the same rule the initial deployment used.
+    const std::size_t domains =
+        std::max<std::size_t>(model_options_[indices[j]].failure_domains, 1);
+    const bool n_minus_one =
+        model_options_[indices[j]].plan_n_minus_one && domains >= 2;
+    const double core_budget =
+        n_minus_one ? std::max(budget * static_cast<double>(domains - 1) /
+                                   static_cast<double>(domains),
+                               std::min(budget, floors_[indices[j]]))
+                    : budget;
     PlannerContext ctx{&catalog_, &session.truth(), session.qos_ms(),
-                       budget};
+                       core_budget};
     PlanRequest request;
     request.monitor = plan_monitors[j];
     request.search = options.search;
@@ -797,7 +915,10 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
                     "model " + names_[indices[j]] + ": " +
                         outcome.status().message());
     }
-    const Status reconfigured = engines[j]->Reconfigure(outcome->config);
+    const Status reconfigured = engines[j]->Reconfigure(
+        n_minus_one ? PadForDomainLoss(outcome->config, domains, budget,
+                                       catalog_)
+                    : outcome->config);
     if (!reconfigured.ok()) return reconfigured;
     // A model already moved to the live window was just replanned
     // against it: the window's current mean is the new planning-time
@@ -958,9 +1079,138 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
       if (!control_status.ok()) return;
       last_realloc_time = t;
       reallocated_here = true;
+      // A re-split re-derives every share from the global budget, which
+      // returns all borrowed headroom to the pool: the ledger clears and
+      // the cleared grants count as repaid, keeping borrowed == repaid
+      // exact.
+      for (std::size_t m = 0; m < n; ++m) {
+        if (loans[m].empty()) continue;
+        for (const std::size_t id : loan_event_ids[m]) {
+          loan_events[id].repaid = true;
+        }
+        loan_event_ids[m].clear();
+        loans[m].clear();
+        ++paybacks;
+      }
       control_log.push_back(
           FleetControlEvent{t, action.kind, "", action.reason});
       break;  // one re-split already replanned every model
+    }
+    // Loan-ledger changes (kBorrowBudget), after any reallocation (whose
+    // re-split just cleared the ledger) and before the recoveries, so a
+    // same-barrier kFailover replans the borrower at its enlarged share.
+    // One ledger change per model per barrier (the first action wins).
+    std::vector<bool> loaned(n, false);
+    for (const control::ControlAction& action : actions) {
+      if (action.kind != control::ControlActionKind::kBorrowBudget) continue;
+      if (action.model >= n) {
+        control_status = Status::InvalidArgument(
+            "controller " + controller->Name() + " targeted model index " +
+            std::to_string(action.model) + " with " +
+            control::ControlActionName(action.kind) +
+            ", but the served plan has " + std::to_string(n) + " models");
+        return;
+      }
+      if (action.amount_per_hour < 0.0) {
+        control_status = Status::InvalidArgument(
+            "controller " + controller->Name() +
+            " emitted BORROW_BUDGET with a negative amount (" +
+            FormatDollarsPerHour(action.amount_per_hour) + ")");
+        return;
+      }
+      if (loaned[action.model]) continue;
+      loaned[action.model] = true;
+      if (reallocated_here) continue;  // shares were just re-derived
+      const std::size_t j = action.model;
+      // When a same-barrier kFailover will replan this model anyway, the
+      // ledger only moves the shares here and lets that replan pick the
+      // enlarged (or restored) share up — one replan, not two.
+      bool replanned_later = false;
+      for (const control::ControlAction& other : actions) {
+        if (other.kind == control::ControlActionKind::kFailover &&
+            other.model == j) {
+          replanned_later = true;
+          break;
+        }
+      }
+      if (action.amount_per_hour > 0.0) {
+        // Borrow: take proportionally from the other models' headroom
+        // (share above floor; a model with outstanding loans of its own
+        // does not donate).
+        std::vector<double> headroom(n, 0.0);
+        double headroom_total = 0.0;
+        for (std::size_t m = 0; m < n; ++m) {
+          if (m == j || !loans[m].empty()) continue;
+          headroom[m] = std::max(shares[m] - floors_[indices[m]], 0.0);
+          headroom_total += headroom[m];
+        }
+        const double grant = std::min(action.amount_per_hour, headroom_total);
+        if (grant <= 1e-9) continue;  // no headroom anywhere: loan declined
+        // `granted` re-accumulates the individual takes so the repayment
+        // (which sums the same ledger entries) matches it bit for bit.
+        double granted = 0.0;
+        for (std::size_t m = 0; m < n; ++m) {
+          if (headroom[m] <= 0.0) continue;
+          const double take = grant * headroom[m] / headroom_total;
+          if (take <= 0.0) continue;
+          shares[m] -= take;
+          loans[j].push_back({m, take});
+          granted += take;
+          // The donor's plan only fits its shrunk share after a replan;
+          // do it now so the share invariant never lapses.
+          const Status replanned = replan_model(m, shares[m]);
+          if (!replanned.ok()) {
+            control_status = replanned;
+            return;
+          }
+        }
+        shares[j] += granted;
+        loan_event_ids[j].push_back(loan_events.size());
+        loan_events.push_back({granted, false});
+        ++borrows;
+        if (!replanned_later) {
+          const Status replanned = replan_model(j, shares[j]);
+          if (!replanned.ok()) {
+            control_status = replanned;
+            return;
+          }
+        }
+      } else {
+        // Amount 0: repay every outstanding loan of this model.
+        if (loans[j].empty()) continue;
+        const std::vector<std::pair<std::size_t, double>> repaid_loans =
+            std::move(loans[j]);
+        loans[j].clear();
+        double repaid = 0.0;
+        for (const auto& loan : repaid_loans) {
+          shares[loan.first] += loan.second;
+          repaid += loan.second;
+        }
+        shares[j] -= repaid;
+        for (const std::size_t id : loan_event_ids[j]) {
+          loan_events[id].repaid = true;
+        }
+        loan_event_ids[j].clear();
+        ++paybacks;
+        // The borrower shrinks back inside its restored share first; the
+        // donors then replan up to reclaim theirs.
+        if (!replanned_later) {
+          const Status replanned = replan_model(j, shares[j]);
+          if (!replanned.ok()) {
+            control_status = replanned;
+            return;
+          }
+        }
+        for (const auto& loan : repaid_loans) {
+          const Status replanned = replan_model(loan.first, shares[loan.first]);
+          if (!replanned.ok()) {
+            control_status = replanned;
+            return;
+          }
+        }
+      }
+      control_log.push_back(FleetControlEvent{
+          t, action.kind, names_[indices[j]], action.reason});
     }
     // Chaos recoveries, after any reallocation: one per model per barrier
     // (the first action on a model wins), and all of them skipped when a
@@ -1096,6 +1346,12 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
       model.rejected = engines[j]->Rejected();
       model.shed = engines[j]->Shed();
       model.shed_deadline_s = engines[j]->admission().deadline_s;
+      // The spot discount this model's capacity is renting at right now
+      // (1.0 = on-demand): the injector's market quote evaluated on its
+      // curve at the barrier time.
+      const cloud::SpotMarket* market =
+          injector != nullptr ? injector->Market(j) : nullptr;
+      model.spot_discount = market != nullptr ? market->DiscountAt(t) : 1.0;
     }
   };
 
@@ -1185,6 +1441,37 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     }
   }
 
+  // Loans still outstanding at the horizon force-repay into the totals —
+  // the run is over and the borrowed headroom returns to its donors — so
+  // the conservation invariant borrowed == repaid holds exactly and
+  // final_shares_per_hour reports the unborrowed split.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (loans[j].empty()) continue;
+    double repaid = 0.0;
+    for (const auto& loan : loans[j]) {
+      shares[loan.first] += loan.second;
+      repaid += loan.second;
+    }
+    shares[j] -= repaid;
+    for (const std::size_t id : loan_event_ids[j]) {
+      loan_events[id].repaid = true;
+    }
+    loan_event_ids[j].clear();
+    ++paybacks;
+    loans[j].clear();
+  }
+
+  // Fold the loan ledger once, in borrow order, for both totals: when
+  // every grant was repaid (always, by construction) the two sums add
+  // the identical doubles in the identical order and compare equal
+  // bit-for-bit.
+  double budget_borrowed = 0.0;
+  double budget_repaid = 0.0;
+  for (const LoanEvent& event : loan_events) {
+    budget_borrowed += event.granted;
+    if (event.repaid) budget_repaid += event.granted;
+  }
+
   FleetServeResult result;
   result.duration_s = options.duration_s;
   result.telemetry_samples = sink.TakeSamples();
@@ -1194,6 +1481,10 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   result.respreads = respreads;
   result.failovers = failovers;
   result.shed_actions = shed_actions;
+  result.borrows = borrows;
+  result.paybacks = paybacks;
+  result.budget_borrowed_per_hour = budget_borrowed;
+  result.budget_repaid_per_hour = budget_repaid;
   result.control_log = std::move(control_log);
   // Ledger-drained kills interleave with injector events out of order
   // (they fire on shard clocks between barriers); one stable sort
@@ -1214,8 +1505,9 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     serve.preemption_notices = engines[j]->PreemptionNotices();
     // Billed spend at on-demand prices from the engine's census, then the
     // injector's spot market (when it quotes one for this model) applies
-    // its discount — the "effective cost" a preemptible fleet actually
-    // pays for the capacity it rented.
+    // its discount — integrated over the run when the market carries a
+    // time-varying curve — the "effective cost" a preemptible fleet
+    // actually pays for the capacity it rented.
     const std::vector<double> billed = engines[j]->BilledSecondsPerType();
     double ondemand_usd = 0.0;
     for (cloud::TypeId type = 0; type < catalog_.size(); ++type) {
@@ -1225,8 +1517,9 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
     const cloud::SpotMarket* market =
         injector != nullptr ? injector->Market(j) : nullptr;
     serve.effective_cost_usd =
-        market != nullptr ? cloud::SpotCost(*market, ondemand_usd)
-                          : ondemand_usd;
+        market != nullptr
+            ? cloud::SpotCost(*market, ondemand_usd, options.duration_s)
+            : ondemand_usd;
     result.total_qps += serve.qps;
     result.total_weighted_qps +=
         model_options_[indices[j]].arrival_scale * serve.qps;

@@ -78,6 +78,21 @@ struct FleetModelOptions {
   double qos_scale = 1.0;
   /// Sliding window of the model's query monitor.
   std::size_t monitor_warmup = 10000;
+  /// Failure domains (racks / AZs) this model's instances are spread over
+  /// at deploy time, round-robin in launch order (DESIGN.md Sec. 11).
+  /// Pure chaos metadata: 1 (the default; 0 behaves as 1) puts everything
+  /// in one domain and changes nothing else — runs that configure domains
+  /// but inject no chaos stay bit-identical.
+  std::size_t failure_domains = 1;
+  /// Chaos-aware N-1 planning: when true (and failure_domains >= 2),
+  /// every plan/replan of this model sizes the configuration so that
+  /// losing its largest failure domain still leaves at least the
+  /// QoS-feasible core — the core is planned at (d-1)/d of the share and
+  /// each instance count is padded so ceil(count/d) survivors per type
+  /// remain after a domain loss, trimmed back (most expensive type first)
+  /// if padding would overrun the share. Proactive resilience instead of
+  /// reacting after the kill.
+  bool plan_n_minus_one = false;
 };
 
 /// Fleet-wide knobs.
@@ -290,6 +305,17 @@ struct FleetServeResult {
   std::size_t failovers = 0;
   /// Shed-knob changes applied (kSetShed arms and restores both count).
   std::size_t shed_actions = 0;
+  /// Budget-borrowing actions applied (kBorrowBudget): grants taken from
+  /// donor headroom, and paybacks returning them.
+  std::size_t borrows = 0;
+  std::size_t paybacks = 0;
+  /// Cumulative $/hr moved through the loan ledger: everything borrowed
+  /// and everything repaid. Loans still outstanding at the horizon are
+  /// force-repaid into these totals, so borrow == payback holds exactly
+  /// at the end of every run (the conservation invariant, DESIGN.md
+  /// Sec. 11; asserted by bench/fig18_chaos and tests/control_test.cc).
+  double budget_borrowed_per_hour = 0.0;
+  double budget_repaid_per_hour = 0.0;
   /// Instances lost to chaos across the fleet; sum over models.
   std::size_t instances_lost = 0;
   /// Spot reclamation notices issued across the fleet; sum over models.

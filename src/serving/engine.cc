@@ -111,7 +111,12 @@ Status Engine::Init() {
 void Engine::AddInstance(cloud::TypeId type) {
   Instance inst;
   inst.type = type;
+  inst.domain = domain_counter_++ % NumDomains();
   instances_.push_back(std::move(inst));
+}
+
+std::size_t Engine::NumDomains() const {
+  return std::max<std::size_t>(options_.failure_domains, 1);
 }
 
 std::size_t Engine::LiveCount(cloud::TypeId type) const {
@@ -205,6 +210,43 @@ std::size_t Engine::PreemptInstances(std::size_t count, double notice_s) {
 std::size_t Engine::KillInstances(std::size_t count) {
   if (state_ != EngineState::kServing || count == 0) return 0;
   const std::vector<std::size_t> victims = NewestAssignable(count);
+  for (const std::size_t idx : victims) {
+    HardKill(idx, /*preemption=*/false);
+  }
+  return victims.size();
+}
+
+std::vector<std::size_t> Engine::DomainAssignable(std::size_t domain) const {
+  const std::size_t assignable = AssignableInstances();
+  if (assignable <= 1 || domain >= NumDomains()) return {};
+  std::vector<std::size_t> victims;
+  for (std::size_t i = instances_.size(); i-- > 0;) {
+    const Instance& inst = instances_[i];
+    if (!inst.retired && !inst.retiring && inst.domain == domain) {
+      victims.push_back(i);
+    }
+  }
+  // Survivor rule: a domain that holds every assignable instance spares
+  // the fleet-wide oldest one, mirroring NewestAssignable's cap.
+  if (victims.size() == assignable) victims.pop_back();
+  return victims;
+}
+
+std::size_t Engine::PreemptDomain(std::size_t domain, double notice_s) {
+  if (state_ != EngineState::kServing) return 0;
+  const std::vector<std::size_t> victims = DomainAssignable(domain);
+  for (const std::size_t idx : victims) {
+    instances_[idx].retiring = true;
+    ++preemption_notices_;
+    sim_->After(std::max(notice_s, 0.0),
+                [this, idx] { HardKill(idx, /*preemption=*/true); });
+  }
+  return victims.size();
+}
+
+std::size_t Engine::KillDomain(std::size_t domain) {
+  if (state_ != EngineState::kServing) return 0;
+  const std::vector<std::size_t> victims = DomainAssignable(domain);
   for (const std::size_t idx : victims) {
     HardKill(idx, /*preemption=*/false);
   }

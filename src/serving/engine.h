@@ -133,6 +133,11 @@ struct EngineOptions {
   std::uint64_t seed = 42;
   /// Admission/shedding behavior; all-zero (the default) disables it.
   AdmissionOptions admission;
+  /// Number of failure domains (racks / AZs) instances are spread over at
+  /// deploy time, round-robin in append order. Pure chaos metadata
+  /// (DESIGN.md Sec. 11): 1 (the default, and the effective value for 0)
+  /// puts everything in one domain and changes nothing else.
+  std::size_t failure_domains = 1;
 };
 
 /// One online serving deployment, driven explicitly through simulated time.
@@ -327,6 +332,22 @@ class Engine {
   /// applied; no-op (0) unless SERVING.
   std::size_t KillInstances(std::size_t count);
 
+  /// Failure domains configured for this deployment (>= 1).
+  std::size_t NumDomains() const;
+
+  /// Correlated reclamation: issues spot notices to *every* assignable
+  /// instance labelled `domain` (newest first), each retired immediately
+  /// and hard-killed `notice_s` seconds later unless drained. When the
+  /// domain holds every assignable instance, the oldest one is spared so
+  /// the model never self-destructs to zero capacity. Returns the notices
+  /// issued; no-op (0) unless SERVING or for an out-of-range domain.
+  std::size_t PreemptDomain(std::size_t domain, double notice_s);
+
+  /// Correlated abrupt loss: hard-kills every assignable instance in
+  /// `domain` right now, sparing the oldest survivor as PreemptDomain
+  /// does. Returns the kills applied; no-op (0) unless SERVING.
+  std::size_t KillDomain(std::size_t domain);
+
   /// Installs `net` as the dispatcher<->instance fabric: every execution
   /// pays two sampled one-way hops (dispatch + reply) on top of compute.
   /// nullptr restores the pristine zero-delay fabric. Hop draws come from
@@ -401,6 +422,11 @@ class Engine {
   /// at least one assignable instance survives.
   std::vector<std::size_t> NewestAssignable(std::size_t count) const;
 
+  /// Assignable instances labelled `domain`, newest first, minus the
+  /// fleet-wide oldest assignable instance when the domain would
+  /// otherwise zero the model (the correlated-kill survivor rule).
+  std::vector<std::size_t> DomainAssignable(std::size_t domain) const;
+
   /// Folds billed instance-seconds since the last census into
   /// billed_seconds_; called before every mutation of the billed set.
   void AccrueBilling();
@@ -440,6 +466,7 @@ class Engine {
   const telemetry::EngineInstruments* telemetry_ = nullptr;  ///< pure observer
   const rpc::NetworkModel* network_ = nullptr;     ///< chaos fabric; null = pristine
   Rng net_rng_;                        ///< hop draws only, never shared
+  std::size_t domain_counter_ = 0;     ///< round-robin deploy placement
   std::vector<InstanceFault> faults_;  ///< chaos kills, time order
   std::size_t preemption_notices_ = 0;
   std::vector<double> billed_seconds_;  ///< per type, up to census_time_

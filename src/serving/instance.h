@@ -17,6 +17,12 @@ namespace kairos::serving {
 struct Instance {
   cloud::TypeId type = 0;
 
+  /// Failure-domain label (rack / AZ) assigned at deploy time — round-robin
+  /// over EngineOptions::failure_domains in append order. Pure metadata for
+  /// correlated chaos (Engine::KillDomain): it never affects scheduling, so
+  /// runs that configure domains but inject nothing stay bit-identical.
+  std::size_t domain = 0;
+
   /// True while a query is executing right now.
   bool executing = false;
 

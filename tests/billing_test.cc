@@ -69,6 +69,81 @@ TEST(SpotMarketTest, SpotCostAppliesTheDiscount) {
   EXPECT_DOUBLE_EQ(SpotCost(market, 7.25), 7.25);
 }
 
+TEST(SpotMarketTest, FlatCurveIsExact) {
+  // All curve knobs at zero => the fast path returns `discount` itself,
+  // bit-for-bit, so pre-curve runs stay bit-identical.
+  SpotMarket market;
+  market.discount = 0.35;
+  EXPECT_TRUE(market.FlatCurve());
+  EXPECT_EQ(market.DiscountAt(0.0), 0.35);
+  EXPECT_EQ(market.DiscountAt(1234.5), 0.35);
+  EXPECT_EQ(market.MeanDiscount(0.0, 7200.0), 0.35);
+  EXPECT_EQ(SpotCost(market, 10.0, 3600.0), SpotCost(market, 10.0));
+}
+
+TEST(SpotMarketTest, SinusoidCurve) {
+  SpotMarket market;
+  market.discount = 0.5;
+  market.curve_amplitude = 0.25;
+  market.curve_period_s = 40.0;
+  EXPECT_TRUE(market.Validate().ok()) << market.Validate().ToString();
+  EXPECT_FALSE(market.FlatCurve());
+  // Peak at a quarter period, trough at three quarters.
+  EXPECT_NEAR(market.DiscountAt(10.0), 0.75, 1e-12);
+  EXPECT_NEAR(market.DiscountAt(30.0), 0.25, 1e-12);
+  EXPECT_NEAR(market.DiscountAt(40.0), 0.5, 1e-9);
+
+  // An amplitude needs a period, and the envelope must stay in (0, 1].
+  SpotMarket no_period = market;
+  no_period.curve_period_s = 0.0;
+  EXPECT_EQ(no_period.Validate().code(), StatusCode::kInvalidArgument);
+  SpotMarket envelope = market;
+  envelope.curve_amplitude = 0.6;  // 0.5 - 0.6 < 0
+  EXPECT_EQ(envelope.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpotMarketTest, LinearDriftIntegratesExactly) {
+  // Midpoint integration is exact for a linear curve: mean over [0, T]
+  // is the discount at T/2.
+  SpotMarket market;
+  market.discount = 0.5;
+  market.curve_slope_per_hour = 0.36;
+  EXPECT_TRUE(market.Validate().ok());
+  EXPECT_NEAR(market.DiscountAt(100.0), 0.51, 1e-12);
+  EXPECT_NEAR(market.MeanDiscount(0.0, 100.0), 0.505, 1e-12);
+  EXPECT_NEAR(SpotCost(market, 10.0, 100.0), 5.05, 1e-10);
+  // Empty interval degrades to the instantaneous discount.
+  EXPECT_NEAR(market.MeanDiscount(50.0, 50.0), 0.505, 1e-12);
+
+  // A drifting curve never sells below the 1% floor or above on-demand.
+  SpotMarket crash = market;
+  crash.curve_slope_per_hour = -0.5;
+  EXPECT_NEAR(crash.DiscountAt(2.0 * 3600.0), kMinSpotDiscount, 1e-12);
+  SpotMarket surge = market;
+  surge.curve_slope_per_hour = 0.5;
+  EXPECT_NEAR(surge.DiscountAt(2.0 * 3600.0), 1.0, 1e-12);
+}
+
+TEST(SpotMarketTest, PiecewiseCurveInterpolatesAndHolds) {
+  SpotMarket market;
+  market.discount = 0.35;  // ignored while curve_points are present
+  market.curve_points = {{10.0, 0.2}, {20.0, 0.4}};
+  EXPECT_TRUE(market.Validate().ok()) << market.Validate().ToString();
+  EXPECT_FALSE(market.FlatCurve());
+  // Held constant outside the breakpoints, linear between them.
+  EXPECT_NEAR(market.DiscountAt(0.0), 0.2, 1e-12);
+  EXPECT_NEAR(market.DiscountAt(15.0), 0.3, 1e-12);
+  EXPECT_NEAR(market.DiscountAt(17.5), 0.35, 1e-12);
+  EXPECT_NEAR(market.DiscountAt(100.0), 0.4, 1e-12);
+
+  SpotMarket unsorted = market;
+  unsorted.curve_points = {{20.0, 0.4}, {10.0, 0.2}};
+  EXPECT_EQ(unsorted.Validate().code(), StatusCode::kInvalidArgument);
+  SpotMarket bad_discount = market;
+  bad_discount.curve_points = {{10.0, 0.2}, {20.0, 1.4}};
+  EXPECT_EQ(bad_discount.Validate().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(PlanReconfigurationTest, GrowthPaysBeforeServing) {
   const Config from({2, 0, 0, 0});
   const Config to({2, 0, 5, 0});

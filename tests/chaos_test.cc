@@ -13,6 +13,7 @@
 #include "chaos/injector.h"
 #include "chaos/injectors.h"
 #include "core/fleet.h"
+#include "telemetry/telemetry.h"
 
 namespace kairos::chaos {
 namespace {
@@ -30,7 +31,8 @@ ChaosSchedule Schedule(double duration_s, std::size_t num_models,
 TEST(ChaosRegistryTest, ListsBuiltInInjectors) {
   const std::vector<std::string> names = ChaosRegistry::Global().ListNames();
   for (const char* expected :
-       {"COMPOSITE", "INSTANCE_DEATH", "NET_DEGRADE", "SPOT_PREEMPTION"}) {
+       {"COMPOSITE", "DOMAIN_OUTAGE", "INSTANCE_DEATH", "NET_DEGRADE",
+        "SPOT_PREEMPTION"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
                 names.end())
         << expected << " not registered";
@@ -142,6 +144,84 @@ TEST(SpotPreemptionTest, TargetModelMustBeInRange) {
   ASSERT_TRUE(injector.ok());
   const Status armed = (*injector)->Arm(Schedule(60.0, 3));
   EXPECT_EQ(armed.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpotPreemptionTest, CorrelationKnobIsValidated) {
+  for (const double bad : {-0.1, 1.5}) {
+    const auto built = ChaosRegistry::Global().Build("SPOT_PREEMPTION",
+                                                     {{"correlation", bad}});
+    ASSERT_FALSE(built.ok());
+    EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(built.status().message().find("correlation"),
+              std::string::npos);
+  }
+  const auto full = ChaosRegistry::Global().Build("SPOT_PREEMPTION",
+                                                  {{"correlation", 1.0}});
+  EXPECT_TRUE(full.ok()) << full.status().ToString();
+}
+
+TEST(SpotPreemptionTest, CurveKnobsAreValidated) {
+  // An amplitude needs a period, and the envelope must stay in (0, 1].
+  const auto no_period = ChaosRegistry::Global().Build(
+      "SPOT_PREEMPTION", {{"curve_amplitude", 0.1}});
+  ASSERT_FALSE(no_period.ok());
+  EXPECT_EQ(no_period.status().code(), StatusCode::kInvalidArgument);
+  const auto negative_envelope = ChaosRegistry::Global().Build(
+      "SPOT_PREEMPTION",
+      {{"curve_amplitude", 0.5}, {"curve_period_s", 60.0}});
+  ASSERT_FALSE(negative_envelope.ok());
+  const auto ok = ChaosRegistry::Global().Build(
+      "SPOT_PREEMPTION",
+      {{"curve_amplitude", 0.1}, {"curve_period_s", 60.0}});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ASSERT_TRUE((*ok)->Arm(Schedule(60.0, 1)).ok());
+  ASSERT_NE((*ok)->Market(0), nullptr);
+  EXPECT_FALSE((*ok)->Market(0)->FlatCurve());
+}
+
+TEST(DomainOutageTest, SameSeedReplaysTheSameTimeline) {
+  const KnobMap knobs = {{"rate_per_hour", 720.0}, {"seed", 7.0}};
+  auto a = ChaosRegistry::Global().Build("DOMAIN_OUTAGE", knobs);
+  auto b = ChaosRegistry::Global().Build("DOMAIN_OUTAGE", knobs);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*a)->Arm(Schedule(120.0, 3)).ok());
+  ASSERT_TRUE((*b)->Arm(Schedule(120.0, 3)).ok());
+  const std::vector<Time> first = (*a)->FaultTimes();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, (*b)->FaultTimes());
+  // Re-arming replays; a different run seed moves the outages.
+  ASSERT_TRUE((*a)->Arm(Schedule(120.0, 3)).ok());
+  EXPECT_EQ(first, (*a)->FaultTimes());
+  auto c = ChaosRegistry::Global().Build("DOMAIN_OUTAGE",
+                                         {{"rate_per_hour", 720.0}});
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE((*c)->Arm(Schedule(120.0, 3, 1)).ok());
+  const std::vector<Time> seed1 = (*c)->FaultTimes();
+  ASSERT_TRUE((*c)->Arm(Schedule(120.0, 3, 2)).ok());
+  EXPECT_NE(seed1, (*c)->FaultTimes());
+  // An outage plane quotes no market: it models infrastructure failure,
+  // not spot economics.
+  EXPECT_EQ((*a)->Market(0), nullptr);
+}
+
+TEST(DomainOutageTest, KnobsAreValidated) {
+  const auto negative = ChaosRegistry::Global().Build(
+      "DOMAIN_OUTAGE", {{"rate_per_hour", -1.0}});
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+
+  auto zero = ChaosRegistry::Global().Build("DOMAIN_OUTAGE",
+                                            {{"rate_per_hour", 0.0}});
+  ASSERT_TRUE(zero.ok()) << zero.status().ToString();
+  ASSERT_TRUE((*zero)->Arm(Schedule(60.0, 3)).ok());
+  EXPECT_TRUE((*zero)->FaultTimes().empty());
+
+  auto out_of_range =
+      ChaosRegistry::Global().Build("DOMAIN_OUTAGE", {{"model", 5.0}});
+  ASSERT_TRUE(out_of_range.ok());
+  EXPECT_EQ((*out_of_range)->Arm(Schedule(60.0, 3)).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(ScriptedChaosTest, RejectsUnschedulableScripts) {
@@ -427,6 +507,262 @@ TEST(FleetChaosTest, FailoverControllerRespreadsAndEscalates) {
   EXPECT_EQ(idle->respreads, 0u);
   EXPECT_EQ(idle->failovers, 0u);
   EXPECT_TRUE(idle->control_log.empty());
+}
+
+/// MakeFleet with every model spread over `domains` failure domains,
+/// optionally N-1 sized (core re-planned at (d-1)/d of the share, padded
+/// so one domain loss leaves the core intact).
+core::Fleet MakeDomainFleet(std::size_t domains, bool n_minus_one = false) {
+  static const cloud::Catalog catalog = cloud::Catalog::PaperPool();
+  core::FleetOptions options;
+  options.budget_per_hour = 8.0;
+  options.allocator = "MARGINAL";
+  core::FleetModelOptions rm2;
+  rm2.model = "RM2";
+  core::FleetModelOptions wnd;
+  wnd.model = "WND";
+  core::FleetModelOptions ncf;
+  ncf.model = "NCF";
+  ncf.arrival_scale = 2.0;
+  for (core::FleetModelOptions* m : {&rm2, &wnd, &ncf}) {
+    m->failure_domains = domains;
+    m->plan_n_minus_one = n_minus_one;
+  }
+  auto fleet = core::Fleet::Create(catalog, {rm2, wnd, ncf}, options);
+  EXPECT_TRUE(fleet.ok()) << fleet.status().ToString();
+  fleet->ObserveMixAll(workload::LogNormalBatches::Production());
+  return *std::move(fleet);
+}
+
+// Failure domains are pure deployment metadata: a fleet spread over four
+// domains with a rate-0 outage plane armed runs bit-identical to the
+// domainless fleet with no chaos plane at all, at every thread count.
+TEST(FleetChaosTest, RateZeroDomainChaosIsBitIdenticalToNoChaos) {
+  const core::Fleet plain = MakeFleet();
+  const core::Fleet domained = MakeDomainFleet(4);
+  const auto plan = plain.PlanAll();
+  const auto domain_plan = domained.PlanAll();
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(domain_plan.ok());
+
+  core::FleetServeOptions clean = ShortServe();
+  core::FleetServeOptions armed = ShortServe();
+  armed.chaos = "DOMAIN_OUTAGE";
+  armed.chaos_knobs = {{"rate_per_hour", 0.0}};
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    clean.serve_threads = threads;
+    armed.serve_threads = threads;
+    const auto a = plain.ServeAll(*plan, clean);
+    const auto b = domained.ServeAll(*domain_plan, armed);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ExpectSameRun(*a, *b);
+    EXPECT_TRUE(b->chaos_log.empty());
+    EXPECT_EQ(b->instances_lost, 0u);
+  }
+}
+
+// A correlated storm reconciles exactly: every hard kill in the result
+// counter has a matching ledger entry in the chaos log, the
+// whole-domain outage events account for every one of them, and the
+// telemetry fault counter equals the log size. Also bit-identical
+// across thread counts, like every chaos run.
+TEST(FleetChaosTest, DomainOutageKillsReconcileExactly) {
+  const core::Fleet fleet = MakeDomainFleet(2);
+  const auto plan = fleet.PlanAll();
+  ASSERT_TRUE(plan.ok());
+
+  core::FleetServeOptions serve = ShortServe();
+  serve.chaos = "DOMAIN_OUTAGE";
+  serve.chaos_knobs = {{"rate_per_hour", 720.0}};
+  auto telemetry = telemetry::Telemetry::Create({"RM2", "WND", "NCF"});
+  ASSERT_TRUE(telemetry.ok()) << telemetry.status().ToString();
+  serve.telemetry = telemetry->get();
+  const auto result = fleet.ServeAll(*plan, serve);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::size_t outages = 0, outage_instances = 0, hard_kills = 0;
+  for (const core::FleetChaosEvent& event : result->chaos_log) {
+    if (event.kind == ChaosEventKind::kDomainOutage) ++outages;
+    hard_kills += event.kind == ChaosEventKind::kInstanceDeath ||
+                  event.kind == ChaosEventKind::kPreemption;
+  }
+  EXPECT_GT(outages, 0u);
+  EXPECT_GT(result->instances_lost, 0u);
+  // Every lost instance surfaced through the engine fault ledger...
+  EXPECT_EQ(hard_kills, result->instances_lost);
+  // ...and the telemetry counter saw every chaos_log entry, no more.
+  ASSERT_FALSE(result->telemetry_samples.empty());
+  double counted = -1.0;
+  for (const telemetry::MetricValue& metric :
+       result->telemetry_samples.back().metrics.metrics) {
+    if (metric.name == "kairos_chaos_faults_total") counted = metric.value;
+  }
+  EXPECT_EQ(counted, static_cast<double>(result->chaos_log.size()));
+  // The abrupt outage detail carries the per-fault instance count; each
+  // of those instances is one ledger kill.
+  for (const core::FleetChaosEvent& event : result->chaos_log) {
+    if (event.kind != ChaosEventKind::kDomainOutage) continue;
+    const std::size_t lost = static_cast<std::size_t>(
+        std::stoul(event.detail.substr(event.detail.find('(') + 1)));
+    outage_instances += lost;
+  }
+  EXPECT_EQ(outage_instances, result->instances_lost);
+
+  core::FleetServeOptions threaded_serve = serve;
+  threaded_serve.telemetry = nullptr;
+  core::FleetServeOptions serial_serve = threaded_serve;
+  serial_serve.serve_threads = 1;
+  const auto serial = fleet.ServeAll(*plan, serial_serve);
+  ASSERT_TRUE(serial.ok());
+  for (const std::size_t threads : {4u, 8u}) {
+    threaded_serve.serve_threads = threads;
+    const auto threaded = fleet.ServeAll(*plan, threaded_serve);
+    ASSERT_TRUE(threaded.ok());
+    ExpectSameRun(*serial, *threaded);
+  }
+}
+
+// Recovery dedup: one domain outage costs a model several instances in a
+// single fault, but the FAILOVER controller reacts with at most one
+// recovery per model per barrier — the notice barrier respreads once,
+// the hard-kill barrier once more, regardless of how many instances the
+// domain held.
+TEST(FleetChaosTest, DomainOutageRecoveryIsDeduplicatedPerBarrier) {
+  const core::Fleet fleet = MakeDomainFleet(2);
+  const auto plan = fleet.PlanAll();
+  ASSERT_TRUE(plan.ok());
+  std::size_t target = 0;
+  for (std::size_t j = 1; j < plan->models.size(); ++j) {
+    if (plan->models[j].outcome.config.TotalInstances() >
+        plan->models[target].outcome.config.TotalInstances()) {
+      target = j;
+    }
+  }
+  ASSERT_GE(plan->models[target].outcome.config.TotalInstances(), 3);
+
+  core::FleetServeOptions serve = ShortServe();
+  serve.launch_lag_s = 1.0;
+  serve.controller = "FAILOVER";
+  serve.controller_knobs = {{"storm_losses", 100.0}};
+  ScriptedFault outage;
+  outage.time_s = 2.0;
+  outage.kind = ChaosEventKind::kDomainOutage;
+  outage.model = target;
+  outage.notice_s = 0.5;
+  outage.domain = 0;
+  serve.injector = MakeScriptedChaos({outage});
+  const auto result = fleet.ServeAll(*plan, serve);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Domain 0 of a >= 3 instance deployment holds >= 2 instances: the
+  // outage issued several notices and later landed several kills...
+  EXPECT_GE(result->preemption_notices, 2u);
+  EXPECT_GE(result->instances_lost, 2u);
+  // ...but the controller respread once per affected barrier (the
+  // notice barrier at t=2 and the hard-kill barrier at t=2.5), not once
+  // per instance.
+  EXPECT_EQ(result->respreads, 2u);
+  EXPECT_EQ(result->failovers, 0u);
+  std::size_t at_notice_barrier = 0;
+  for (const core::FleetControlEvent& event : result->control_log) {
+    if (event.kind == control::ControlActionKind::kRespread &&
+        event.time == 2.0) {
+      ++at_notice_barrier;
+    }
+  }
+  EXPECT_EQ(at_notice_barrier, 1u);
+}
+
+// The borrowing FAILOVER: a storm escalation borrows headroom from the
+// unaffected models, the quiet tail repays it, and the ledger conserves
+// exactly — borrowed == repaid bit for bit, with the final shares back
+// at the plan's split.
+TEST(FleetChaosTest, BorrowedBudgetIsRepaidExactly) {
+  const core::Fleet fleet = MakeDomainFleet(2);
+  const auto plan = fleet.PlanAll();
+  ASSERT_TRUE(plan.ok());
+  std::size_t target = 0;
+  for (std::size_t j = 1; j < plan->models.size(); ++j) {
+    if (plan->models[j].outcome.config.TotalInstances() >
+        plan->models[target].outcome.config.TotalInstances()) {
+      target = j;
+    }
+  }
+
+  core::FleetServeOptions serve = ShortServe();
+  serve.launch_lag_s = 1.0;
+  serve.controller = "FAILOVER";
+  serve.controller_knobs = {{"storm_losses", 1.0},
+                            {"borrow_fraction", 0.3},
+                            {"recovery_windows", 1.0}};
+  ScriptedFault outage;
+  outage.time_s = 2.0;
+  outage.kind = ChaosEventKind::kDomainOutage;
+  outage.model = target;
+  outage.domain = 0;
+  serve.injector = MakeScriptedChaos({outage});
+  const auto result = fleet.ServeAll(*plan, serve);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The abrupt loss escalated straight to a borrowing failover, and the
+  // quiet tail repaid the loan before the horizon.
+  EXPECT_GE(result->failovers, 1u);
+  EXPECT_EQ(result->borrows, 1u);
+  EXPECT_EQ(result->paybacks, 1u);
+  EXPECT_GT(result->budget_borrowed_per_hour, 0.0);
+  EXPECT_EQ(result->budget_borrowed_per_hour,
+            result->budget_repaid_per_hour);
+  std::size_t borrow_events = 0;
+  for (const core::FleetControlEvent& event : result->control_log) {
+    borrow_events +=
+        event.kind == control::ControlActionKind::kBorrowBudget;
+  }
+  EXPECT_EQ(borrow_events, 2u);  // the borrow and the repayment
+  // Shares end where the plan started: every loan was unwound.
+  ASSERT_EQ(result->final_shares_per_hour.size(), plan->models.size());
+  for (std::size_t j = 0; j < plan->models.size(); ++j) {
+    EXPECT_NEAR(result->final_shares_per_hour[j],
+                plan->models[j].budget_per_hour, 1e-9);
+  }
+
+  // The all-default controller never borrows under the same storm.
+  core::FleetServeOptions plain = serve;
+  plain.controller_knobs = {};
+  serve.injector = nullptr;
+  plain.injector = MakeScriptedChaos({outage});
+  const auto unborrowed = fleet.ServeAll(*plan, plain);
+  ASSERT_TRUE(unborrowed.ok()) << unborrowed.status().ToString();
+  EXPECT_EQ(unborrowed->borrows, 0u);
+  EXPECT_EQ(unborrowed->budget_borrowed_per_hour, 0.0);
+}
+
+// Notice-flap hysteresis: under a notice-heavy storm that never lands a
+// hard kill inside the run, a cooldown suppresses the per-notice
+// respread churn the PR 6 controller exhibits.
+TEST(FleetChaosTest, CooldownDampsNoticeFlapping) {
+  const core::Fleet fleet = MakeFleet();
+  const auto plan = fleet.PlanAll();
+  ASSERT_TRUE(plan.ok());
+
+  core::FleetServeOptions flappy = ShortServe();
+  flappy.launch_lag_s = 1.0;
+  flappy.controller = "FAILOVER";
+  flappy.chaos = "SPOT_PREEMPTION";
+  // 30s notices: every victim drains past the 10s horizon, so the storm
+  // is pure notice flapping, never a loss.
+  flappy.chaos_knobs = {{"rate_per_hour", 1440.0}, {"notice_s", 30.0}};
+  const auto churning = fleet.ServeAll(*plan, flappy);
+  ASSERT_TRUE(churning.ok()) << churning.status().ToString();
+  EXPECT_EQ(churning->instances_lost, 0u);
+  EXPECT_GT(churning->respreads, 3u);
+
+  core::FleetServeOptions damped = flappy;
+  damped.controller_knobs = {{"cooldown_windows", 8.0}};
+  const auto calm = fleet.ServeAll(*plan, damped);
+  ASSERT_TRUE(calm.ok()) << calm.status().ToString();
+  EXPECT_GT(calm->respreads, 0u);
+  EXPECT_LT(calm->respreads, churning->respreads);
 }
 
 TEST(FleetChaosTest, InvalidChaosOptionsAreRejected) {

@@ -73,6 +73,44 @@ TEST(ControllerRegistryTest, KnobsAreDeclaredAndValidated) {
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
+
+  // FAILOVER v2: the borrowing/hysteresis knobs are declared, bounded,
+  // and forwarded by COMPOSITE. A full borrow_fraction of 1 would leave
+  // the borrower with nothing of its own to repay from; >= 1 rejected.
+  const auto failover_info = ControllerRegistry::Global().Info("FAILOVER");
+  ASSERT_TRUE(failover_info.ok());
+  EXPECT_EQ(failover_info->knobs.count("borrow_fraction"), 1u);
+  EXPECT_EQ(failover_info->knobs.count("cooldown_windows"), 1u);
+  EXPECT_EQ(failover_info->knobs.count("recovery_windows"), 1u);
+  for (const char* name : {"FAILOVER", "COMPOSITE"}) {
+    EXPECT_EQ(ControllerRegistry::Global()
+                  .Build(name, {{"borrow_fraction", 1.0}})
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << name;
+    EXPECT_EQ(ControllerRegistry::Global()
+                  .Build(name, {{"borrow_fraction", -0.1}})
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << name;
+    EXPECT_EQ(ControllerRegistry::Global()
+                  .Build(name, {{"cooldown_windows", -1.0}})
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << name;
+  }
+  EXPECT_EQ(ControllerRegistry::Global()
+                .Build("FAILOVER", {{"recovery_windows", 0.0}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  auto tuned_failover = ControllerRegistry::Global().Build(
+      "FAILOVER", {{"borrow_fraction", 0.4}, {"cooldown_windows", 4.0}});
+  ASSERT_TRUE(tuned_failover.ok()) << tuned_failover.status().ToString();
+  EXPECT_EQ((*tuned_failover)->Name(), "FAILOVER");
 }
 
 // --- WindowedMetrics on sparse windows. ---
