@@ -4,6 +4,11 @@ committed baseline and fail on any metric that regressed by more than the
 given factor (default 2x, direction-aware via each metric's
 higher_is_better flag).
 
+Two absolute gates ride along when the current run has >= 8 hardware
+threads: serve_all_speedup_8t must reach 1.5x and a single-core baseline
+becomes a hard failure (a multi-core runner must not be anchored to a
+starved baseline — refresh it instead).
+
 Usage: check_perf_regression.py CURRENT BASELINE [--factor 2.0]
 
 The metric key sets must match: a metric present in only one of the files
@@ -52,21 +57,47 @@ def main() -> int:
     current = current_doc["metrics"]
     baseline = baseline_doc["metrics"]
 
+    hard_failures = []
+
     # A single-core baseline cannot anchor the threaded-speedup metrics:
     # serve_all_speedup_* degenerates to ~1x however good the sharded loop
-    # is. Warn (non-fatal) so a baseline refreshed on a starved machine is
-    # caught at review instead of silently lowering the bar. Emitted as a
-    # GitHub Actions workflow annotation (::warning::) so it surfaces on
-    # the run summary and the PR checks page, not just in the job log.
+    # is. On a single-core runner the best we can do is warn so a baseline
+    # refreshed on a starved machine is caught at review; once the current
+    # run actually has cores to compare against, a stale single-core
+    # baseline silently lowers the bar for every threaded metric, so it
+    # escalates to a hard failure. The warning is emitted as a GitHub
+    # Actions annotation (::warning::) so it surfaces on the run summary
+    # and the PR checks page, not just in the job log.
+    current_threads = current_doc.get("hardware_concurrency")
     if baseline_doc.get("hardware_concurrency") == 1:
         message = ("baseline was recorded with hardware_concurrency=1 "
                    "(single-core machine); threaded speedup metrics are "
                    "meaningless at this concurrency — refresh "
                    "bench/baselines/perf_baseline.json on a multi-core "
                    "machine when one is available")
-        if os.environ.get("GITHUB_ACTIONS") == "true":
-            print(f"::warning title=Single-core perf baseline::{message}")
-        print(f"warning: {message}", file=sys.stderr)
+        if isinstance(current_threads, int) and current_threads > 1:
+            hard_failures.append(
+                f"single-core baseline on a {current_threads}-thread "
+                "runner: " + message)
+        else:
+            if os.environ.get("GITHUB_ACTIONS") == "true":
+                print(f"::warning title=Single-core perf baseline::{message}")
+            print(f"warning: {message}", file=sys.stderr)
+
+    # Absolute multi-core scaling floor: with 8+ hardware threads the
+    # 8-shard ServeAll must beat the single-shard wall by at least 1.5x.
+    # Relative-to-baseline checks can never catch a scaling collapse that
+    # was already baked into the baseline, hence an absolute gate.
+    if isinstance(current_threads, int) and current_threads >= 8:
+        speedup = current.get("serve_all_speedup_8t", {}).get("value")
+        if speedup is None:
+            hard_failures.append(
+                "current run has >= 8 hardware threads but no "
+                "serve_all_speedup_8t metric")
+        elif speedup < 1.5:
+            hard_failures.append(
+                f"serve_all_speedup_8t = {speedup:.3g} < 1.5 on a "
+                f"{current_threads}-thread runner")
 
     missing_from_current = sorted(set(baseline) - set(current))
     missing_from_baseline = sorted(set(current) - set(baseline))
@@ -108,6 +139,9 @@ def main() -> int:
         status = 1
     if failures:
         print(f"\nperf regression in: {', '.join(failures)}", file=sys.stderr)
+        status = 1
+    for message in hard_failures:
+        print(f"\nhard gate failure: {message}", file=sys.stderr)
         status = 1
     if status == 0:
         print("\nno perf regressions")

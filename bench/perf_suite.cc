@@ -5,6 +5,12 @@
 //
 // Metrics:
 //   * sim_events_per_sec           — raw discrete-event loop throughput
+//                                    (calendar-queue backend)
+//   * sim_events_per_sec_heap      — same workload on the binary-heap
+//                                    oracle backend, raced side by side
+//   * eq_churn_{1k,100k,1m}[_heap]_events_per_sec — steady-state event-
+//                                    queue churn (fire one / schedule one)
+//                                    at a held occupancy, per backend
 //   * eval_trials_per_sec          — AllowableThroughput simulation trials/s
 //   * evals_per_sec_kairos_plus    — KAIROS+ planning, serial evaluation
 //   * evals_per_sec_kairos_plus_batched — same plan, batched eval frontier
@@ -23,9 +29,18 @@
 //   * sustained_shed_rate          — deadline-shed fraction of that run
 //   * sustained_p99_ms             — worst windowed p99 of that run
 //   * sustained_peak_rss_mb        — peak resident set after that run
+//   * sustained_steady_allocs      — operator-new calls over the warm
+//                                    second half of the sustained run's
+//                                    windows; the zero-alloc contract
+//                                    FATALs when it is not exactly 0
 //   * sustained_telemetry_overhead — the same sustained run instrumented,
 //                                    wall ratio; gated at <3% in sustained
 //                                    mode (the 10M-query contract)
+//
+// Every run also races the calendar queue against the heap oracle on a
+// randomized schedule/cancel/fire workload and FATALs on any divergence in
+// firing order, so perf numbers are only ever reported for a queue that is
+// bit-identical to the reference.
 //
 // The co-simulation runs also assert the sharding contract: every thread
 // count must reproduce the 1-thread totals bit for bit, or the bench exits
@@ -38,15 +53,22 @@
 //   tiny      — CI-sized inputs (seconds); the committed baseline uses tiny.
 //   full      — larger inputs for local measurement.
 //   sustained — tiny-sized inputs plus a 10M-query sustained streaming run
-//               (also accepted as --sustained).
+//               (also accepted as --sustained). KAIROS_SUSTAINED_QUERIES
+//               overrides the query count in any mode (sanitizer jobs run
+//               the sustained path at a tiny scale this way).
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <fstream>
+#include <new>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -57,6 +79,74 @@
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
 #include "workload/batch_dist.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define KAIROS_PERF_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define KAIROS_PERF_ASAN 1
+#endif
+#endif
+#ifndef KAIROS_PERF_ASAN
+#define KAIROS_PERF_ASAN 0
+#endif
+
+namespace kairos::bench {
+/// Process-wide count of operator-new calls (scalar, array and aligned
+/// forms). The sustained bench snapshots it at every window barrier to
+/// assert the zero-steady-state-allocation contract; everything else
+/// ignores it, and the relaxed counter costs one uncontended atomic add
+/// per allocation — noise on a path that just called malloc.
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace kairos::bench
+
+namespace {
+void* CountedAlloc(std::size_t n, std::size_t align) {
+  kairos::bench::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) n = 1;
+  if (align <= alignof(std::max_align_t)) return std::malloc(n);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n) != 0) return nullptr;
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) {
+  void* p = CountedAlloc(n, 0);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  void* p = CountedAlloc(n, static_cast<std::size_t>(al));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return CountedAlloc(n, 0);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return CountedAlloc(n, 0);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace kairos::bench {
 namespace {
@@ -73,28 +163,167 @@ struct Metric {
   bool higher_is_better = true;
 };
 
+/// No-payload event for queue microbenches: trivially copyable, so EventFn
+/// stores it inline and relocates with memcpy.
+struct NoopEvent {
+  void operator()() const {}
+};
+
+/// Shared state of one SimEventsPerSec run; the hop events hold a pointer.
+struct ChainBench {
+  sim::Simulator* sim = nullptr;
+  std::size_t fired = 0;
+  std::size_t total = 0;
+};
+
+/// One self-rescheduling hop: schedule-and-cancel a doomed companion, then
+/// reschedule itself. Trivially copyable on purpose — the previous
+/// std::function-based hop spent a third of the bench wall inside its own
+/// capture allocation and indirect dispatch (gprof), swamping the queue
+/// under test; this functor rides EventFn's inline memcpy path.
+struct HopEvent {
+  ChainBench* chain;
+  double gap;
+  void operator()() const {
+    sim::Simulator& sim = *chain->sim;
+    const sim::EventId doomed = sim.After(gap * 2.0, NoopEvent{});
+    sim.Cancel(doomed);
+    if (++chain->fired < chain->total) sim.After(gap, HopEvent{chain, gap});
+  }
+};
+
 /// Raw event-loop throughput: several interleaved self-rescheduling chains
 /// (the shape of engine source pulls + completions), with a cancellation on
-/// every hop to exercise the free list.
-Metric SimEventsPerSec(std::size_t total_events) {
-  sim::Simulator sim;
+/// every hop to exercise the free list. Best of three passes, because a
+/// sub-second wall on a shared machine swings far more than the queues
+/// differ. Runs on the given backend so the calendar queue and the heap
+/// oracle are reported side by side.
+Metric SimEventsPerSec(std::size_t total_events, sim::QueueBackend backend,
+                       const char* name) {
   constexpr std::size_t kChains = 16;
-  std::size_t fired = 0;
-  std::function<void(double)> hop = [&](double gap) {
-    sim::EventId doomed = sim.After(gap * 2.0, [] {});
-    sim.Cancel(doomed);
-    ++fired;
-    if (fired < total_events) sim.After(gap, [&, gap] { hop(gap); });
-  };
-  const auto start = Clock::now();
-  for (std::size_t c = 0; c < kChains; ++c) {
-    const double gap = 0.9 + 0.01 * static_cast<double>(c);
-    sim.After(gap, [&, gap] { hop(gap); });
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    sim::Simulator sim(backend);
+    ChainBench chain{&sim, 0, total_events};
+    const auto start = Clock::now();
+    for (std::size_t c = 0; c < kChains; ++c) {
+      const double gap = 0.9 + 0.01 * static_cast<double>(c);
+      sim.After(gap, HopEvent{&chain, gap});
+    }
+    sim.RunUntil();
+    const double wall = SecondsSince(start);
+    // Count the cancelled companions too: Schedule+Cancel is queue work.
+    best = std::max(best, 2.0 * static_cast<double>(chain.fired) / wall);
   }
-  sim.RunUntil();
-  const double wall = SecondsSince(start);
-  // Count the cancelled companions too: Schedule+Cancel is queue work.
-  return {"sim_events_per_sec", 2.0 * static_cast<double>(fired) / wall, true};
+  return {name, best, true};
+}
+
+/// Fired event that folds its tag into a running FNV hash — the firing
+/// *order* becomes the hash value.
+struct MarkEvent {
+  std::uint64_t* hash;
+  std::uint64_t tag;
+  void operator()() const {
+    *hash ^= tag;
+    *hash *= 1099511628211ull;
+  }
+};
+
+/// Hash of the complete firing order of a randomized schedule / cancel /
+/// fire workload on one backend. Identical seeds must hash identically on
+/// every backend (the bit-identical-ordering contract); Main races the
+/// calendar queue against the heap oracle and FATALs on divergence, so a
+/// perf number is only ever reported for a queue that still matches the
+/// reference.
+std::uint64_t FiringOrderFingerprint(sim::QueueBackend backend) {
+  sim::EventQueue queue(backend);
+  std::uint64_t hash = 1469598103934665603ull;
+  std::uint64_t lcg = 0x5DEECE66Dull;
+  const auto rnd = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  };
+  std::vector<sim::EventId> live;
+  live.reserve(8192);
+  Time now = 0.0;
+  std::uint64_t tag = 0;
+  for (int i = 0; i < 50000; ++i) {
+    switch (rnd() % 4) {
+      case 0:
+      case 1: {  // schedule (twice as likely: the queue should stay busy)
+        const Time at = now + static_cast<double>(rnd() % 4096) * 0.001;
+        live.push_back(queue.Schedule(at, MarkEvent{&hash, ++tag}));
+        break;
+      }
+      case 2: {  // cancel a random handle (often already fired: no-op)
+        if (!live.empty()) queue.Cancel(live[rnd() % live.size()]);
+        break;
+      }
+      default: {  // fire the earliest
+        if (!queue.Empty()) {
+          now = queue.NextTime();
+          queue.RunNext();
+          hash ^= std::bit_cast<std::uint64_t>(now);
+          hash *= 1099511628211ull;
+        }
+        break;
+      }
+    }
+  }
+  while (!queue.Empty()) {
+    now = queue.NextTime();
+    queue.RunNext();
+    hash ^= std::bit_cast<std::uint64_t>(now);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// Steady-state event-queue churn at a held occupancy: `pending` events in
+/// flight, then fire-one / schedule-one for a fixed op count. This is the
+/// regime the calendar queue exists for — occupancy-independent cost where
+/// the heap pays log(pending) per op — measured at three occupancies on
+/// both backends.
+std::vector<Metric> EventQueueChurn(bool tiny) {
+  struct Case {
+    const char* label;
+    std::size_t pending;
+  };
+  constexpr Case kCases[] = {{"1k", 1000}, {"100k", 100000}, {"1m", 1000000}};
+  std::vector<Metric> metrics;
+  for (const Case& c : kCases) {
+    const std::size_t ops = tiny ? 200000 : 1000000;
+    for (const sim::QueueBackend backend :
+         {sim::QueueBackend::kCalendar, sim::QueueBackend::kHeap}) {
+      double best = 0.0;
+      for (int rep = 0; rep < 2; ++rep) {
+        sim::EventQueue queue(backend);
+        std::uint64_t lcg = 0x9E3779B97F4A7C15ull;
+        const auto u01 = [&lcg] {
+          lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+          return static_cast<double>(lcg >> 11) * 0x1.0p-53;
+        };
+        const double horizon = static_cast<double>(c.pending);
+        for (std::size_t i = 0; i < c.pending; ++i) {
+          queue.Schedule(u01() * horizon, NoopEvent{});
+        }
+        const auto start = Clock::now();
+        for (std::size_t i = 0; i < ops; ++i) {
+          const Time fired_at = queue.RunNext();
+          queue.Schedule(fired_at + horizon * (0.5 + 0.5 * u01()),
+                         NoopEvent{});
+        }
+        const double wall = SecondsSince(start);
+        best = std::max(best, 2.0 * static_cast<double>(ops) / wall);
+      }
+      metrics.push_back(
+          {std::string("eq_churn_") + c.label +
+               (backend == sim::QueueBackend::kHeap ? "_heap" : "") +
+               "_events_per_sec",
+           best, true});
+    }
+  }
+  return metrics;
 }
 
 /// AllowableThroughput trials/sec on the paper pool — the expensive unit
@@ -140,26 +369,51 @@ std::vector<Metric> PlannerEvalsPerSec(std::size_t queries,
   };
 
   std::vector<Metric> metrics;
+  // The batched frontier must never cost evaluations/sec: it regressed
+  // once (staging overhead with a serial frontier) and EvaluateBatch's
+  // serial fallback exists precisely to keep that from recurring, so the
+  // bench gates batched >= 0.95x serial in-binary. Wall noise on a loaded
+  // runner can fake a miss, so remeasure up to three interleaved pairs and
+  // gate on the best rate seen on each side.
+  constexpr double kBatchedFloor = 0.95;
+  double serial_rate = 0.0, batched_rate = 0.0;
   core::PlannerOutcome serial_outcome, batched_outcome;
-  for (const bool batched : {false, true}) {
-    search::SearchOptions search;
-    search.max_evals = max_evals;
-    search.eval_threads = batched ? 0 : 1;  // 0 = hardware concurrency
-    const auto start = Clock::now();
-    const auto outcome = bench.PlanWith("KAIROS+", monitor, eval, search);
-    const double wall = SecondsSince(start);
-    metrics.push_back({batched ? "evals_per_sec_kairos_plus_batched"
-                               : "evals_per_sec_kairos_plus",
-                       static_cast<double>(outcome.evaluations) / wall, true});
-    (batched ? batched_outcome : serial_outcome) = outcome;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    for (const bool batched : {false, true}) {
+      search::SearchOptions search;
+      search.max_evals = max_evals;
+      search.eval_threads = batched ? 0 : 1;  // 0 = hardware concurrency
+      const auto start = Clock::now();
+      const auto outcome = bench.PlanWith("KAIROS+", monitor, eval, search);
+      const double wall = SecondsSince(start);
+      const double rate = static_cast<double>(outcome.evaluations) / wall;
+      if (batched) {
+        batched_rate = std::max(batched_rate, rate);
+        batched_outcome = outcome;
+      } else {
+        serial_rate = std::max(serial_rate, rate);
+        serial_outcome = outcome;
+      }
+    }
+    if (!(serial_outcome.config == batched_outcome.config) ||
+        serial_outcome.evaluations != batched_outcome.evaluations) {
+      std::cerr << "FATAL: batched KAIROS+ diverged from serial ("
+                << serial_outcome.config.ToString() << "/"
+                << serial_outcome.evaluations << " vs "
+                << batched_outcome.config.ToString() << "/"
+                << batched_outcome.evaluations << ")\n";
+      std::exit(1);
+    }
+    if (batched_rate >= kBatchedFloor * serial_rate) break;
   }
-  if (!(serial_outcome.config == batched_outcome.config) ||
-      serial_outcome.evaluations != batched_outcome.evaluations) {
-    std::cerr << "FATAL: batched KAIROS+ diverged from serial ("
-              << serial_outcome.config.ToString() << "/"
-              << serial_outcome.evaluations << " vs "
-              << batched_outcome.config.ToString() << "/"
-              << batched_outcome.evaluations << ")\n";
+  metrics.push_back({"evals_per_sec_kairos_plus", serial_rate, true});
+  metrics.push_back(
+      {"evals_per_sec_kairos_plus_batched", batched_rate, true});
+  if (batched_rate < kBatchedFloor * serial_rate) {
+    std::cerr << "FATAL: batched KAIROS+ evaluation rate " << batched_rate
+              << "/s fell below " << kBatchedFloor << "x the serial rate "
+              << serial_rate << "/s (the batched frontier must never cost "
+              << "throughput; see CountingEvaluator::EvaluateBatch)\n";
     std::exit(1);
   }
 
@@ -210,7 +464,7 @@ std::vector<Metric> ServeAllWallClock(double duration_s, bool gate_overhead) {
   serve.window_s = 5.0;
 
   std::vector<Metric> metrics;
-  double wall_1t = 0.0;
+  double wall_1t = 0.0, wall_8t = 0.0;
   core::FleetServeResult reference;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     serve.serve_threads = threads;
@@ -227,11 +481,37 @@ std::vector<Metric> ServeAllWallClock(double duration_s, bool gate_overhead) {
                 << " threads diverged from the 1-thread run\n";
       std::exit(1);
     }
+    if (threads == 8) wall_8t = wall;
     metrics.push_back({"serve_all_wall_s_" + std::to_string(threads) + "t",
                        wall, /*higher_is_better=*/false});
-    if (threads == 8) {
-      metrics.push_back({"serve_all_speedup_8t", wall_1t / wall, true});
-    }
+  }
+  // A real multi-core gate: on hardware with >= 8 threads the 8-way shard
+  // must actually buy wall-clock (>= 1.5x over 1 thread), in-binary, so a
+  // serialization bug cannot hide behind a single-core baseline. One
+  // remeasured pair absorbs scheduler hiccups before declaring failure.
+  constexpr double kSpeedupFloor = 1.5;
+  double speedup_8t = wall_1t / wall_8t;
+  if (std::thread::hardware_concurrency() >= 8 &&
+      speedup_8t < kSpeedupFloor) {
+    serve.serve_threads = 1;
+    const auto retry_1t = Clock::now();
+    (void)OrDie(fleet.ServeAll(plan, serve));
+    const double best_1t = std::min(wall_1t, SecondsSince(retry_1t));
+    serve.serve_threads = 8;
+    const auto retry_8t = Clock::now();
+    (void)OrDie(fleet.ServeAll(plan, serve));
+    const double best_8t = std::min(wall_8t, SecondsSince(retry_8t));
+    speedup_8t = best_1t / best_8t;
+  }
+  metrics.push_back({"serve_all_speedup_8t", speedup_8t, true});
+  if (std::thread::hardware_concurrency() >= 8 &&
+      speedup_8t < kSpeedupFloor) {
+    std::cerr << "FATAL: serve_all_speedup_8t " << speedup_8t
+              << "x is below the " << kSpeedupFloor
+              << "x floor on a machine with "
+              << std::thread::hardware_concurrency()
+              << " hardware threads\n";
+    std::exit(1);
   }
 
   // The same 1-thread run with the telemetry plane attached: per-engine
@@ -350,9 +630,41 @@ std::vector<Metric> SustainedStreaming(std::size_t n_queries,
   serve.admission.max_queue = 100000;
   serve.serve_threads = 1;
 
+  // Steady-state allocation audit (the zero-alloc contract): snapshot the
+  // process-wide operator-new counter at every window barrier. The first
+  // half of the run is warm-up — slabs, ring buffers and policy scratch
+  // grow to their high-water marks — after which the serving path must
+  // touch the heap exactly zero times per window: every event lives in the
+  // simulator slab, every queued query in a ring, every policy round in
+  // reused scratch, and the streaming reader in its steady chunk buffer.
+  std::vector<std::uint64_t> allocs_at_window;
+  allocs_at_window.reserve(64);
+  serve.window_probe = [&allocs_at_window](std::size_t,
+                                           const serving::WindowedMetrics&) {
+    allocs_at_window.push_back(
+        g_heap_allocs.load(std::memory_order_relaxed));
+  };
+
   const auto start = Clock::now();
   const auto result = OrDie(fleet.ServeAll(plan, serve));
   const double wall = SecondsSince(start);
+  serve.window_probe = nullptr;
+
+  double steady_allocs = 0.0;
+  if (allocs_at_window.size() >= 4) {
+    const std::size_t warm = allocs_at_window.size() / 2;
+    steady_allocs =
+        static_cast<double>(allocs_at_window.back() - allocs_at_window[warm]);
+  }
+  if (steady_allocs > 0.0) {
+    std::cerr << (KAIROS_PERF_ASAN ? "warning" : "FATAL")
+              << ": sustained run made " << steady_allocs
+              << " heap allocations across its warm second half ("
+              << allocs_at_window.size()
+              << " windows); the steady-state serving path must be "
+                 "allocation-free\n";
+    if (!KAIROS_PERF_ASAN) std::exit(1);
+  }
 
   // The instrumented replay of the same stream: identical totals required
   // (pure observer), wall ratio reported and — in sustained mode — gated.
@@ -426,6 +738,7 @@ std::vector<Metric> SustainedStreaming(std::size_t n_queries,
            static_cast<double>(totals.offered), false},
       {"sustained_p99_ms", worst_p99, false},
       {"sustained_peak_rss_mb", peak_rss, false},
+      {"sustained_steady_allocs", steady_allocs, false},
       {"sustained_telemetry_overhead", overhead, false},
   };
 }
@@ -447,7 +760,26 @@ int Main(int argc, char** argv) {
   std::cout << "perf_suite (" << mode << ") on "
             << std::thread::hardware_concurrency() << " hardware threads\n";
 
-  metrics.push_back(SimEventsPerSec(tiny ? 200000 : 2000000));
+  // Determinism race first: no perf number is worth reporting from a
+  // calendar queue that stopped matching the heap oracle's firing order.
+  {
+    const std::uint64_t wheel =
+        FiringOrderFingerprint(sim::QueueBackend::kCalendar);
+    const std::uint64_t heap =
+        FiringOrderFingerprint(sim::QueueBackend::kHeap);
+    if (wheel != heap) {
+      std::cerr << "FATAL: calendar-queue firing order diverged from the "
+                   "heap oracle (fingerprints "
+                << wheel << " vs " << heap << ")\n";
+      return 1;
+    }
+  }
+
+  const std::size_t sim_events = tiny ? 200000 : 2000000;
+  metrics.push_back(SimEventsPerSec(sim_events, sim::QueueBackend::kCalendar,
+                                    "sim_events_per_sec"));
+  metrics.push_back(SimEventsPerSec(sim_events, sim::QueueBackend::kHeap,
+                                    "sim_events_per_sec_heap"));
   metrics.push_back(EvalTrialsPerSec(tiny ? 150 : 600, tiny ? 3 : 8));
   for (Metric& m : PlannerEvalsPerSec(tiny ? 150 : 500, tiny ? 8 : 24)) {
     metrics.push_back(std::move(m));
@@ -461,9 +793,22 @@ int Main(int argc, char** argv) {
                                      /*gate_overhead=*/mode == "full")) {
     metrics.push_back(std::move(m));
   }
-  for (Metric& m : SustainedStreaming(sustained ? 10000000
-                                                : tiny ? 200000 : 2000000,
+  std::size_t sustained_queries = sustained ? 10000000
+                                 : tiny      ? 200000
+                                             : 2000000;
+  if (const char* env = std::getenv("KAIROS_SUSTAINED_QUERIES")) {
+    // Sanitizer jobs drive the sustained path at a tiny scale this way.
+    const unsigned long long parsed = std::strtoull(env, nullptr, 10);
+    if (parsed > 0) sustained_queries = static_cast<std::size_t>(parsed);
+  }
+  for (Metric& m : SustainedStreaming(sustained_queries,
                                       /*gate_overhead=*/sustained)) {
+    metrics.push_back(std::move(m));
+  }
+  // After the sustained run on purpose: PeakRssMb() is a process-lifetime
+  // high-water mark, and the 1M-occupancy case would otherwise pollute the
+  // sustained_peak_rss_mb bound.
+  for (Metric& m : EventQueueChurn(tiny)) {
     metrics.push_back(std::move(m));
   }
 

@@ -61,13 +61,29 @@ int AugmentingPath(std::size_t nc, const std::vector<double>& cost,
   return sink;
 }
 
-// Core solver for m <= n.
-std::vector<int> SolveWide(std::size_t nr, std::size_t nc,
-                           const std::vector<double>& cost) {
-  std::vector<double> u(nr, 0.0), v(nc, 0.0), shortest_path_costs(nc);
-  std::vector<int> path(nc, -1), col4row(nr, -1), row4col(nc, -1);
-  std::vector<bool> sr(nr), sc(nc);
-  std::vector<std::size_t> remaining(nc);
+// Core solver for m <= n; scratch lives in (and resizes) `ws`. Returns
+// ws.col4row.
+const std::vector<int>& SolveWide(std::size_t nr, std::size_t nc,
+                                  const std::vector<double>& cost,
+                                  JvWorkspace& ws) {
+  ws.u.assign(nr, 0.0);
+  ws.v.assign(nc, 0.0);
+  ws.shortest_path_costs.resize(nc);
+  ws.path.assign(nc, -1);
+  ws.col4row.assign(nr, -1);
+  ws.row4col.assign(nc, -1);
+  ws.sr.resize(nr);
+  ws.sc.resize(nc);
+  ws.remaining.resize(nc);
+  std::vector<double>& u = ws.u;
+  std::vector<double>& v = ws.v;
+  std::vector<double>& shortest_path_costs = ws.shortest_path_costs;
+  std::vector<int>& path = ws.path;
+  std::vector<int>& col4row = ws.col4row;
+  std::vector<int>& row4col = ws.row4col;
+  std::vector<bool>& sr = ws.sr;
+  std::vector<bool>& sc = ws.sc;
+  std::vector<std::size_t>& remaining = ws.remaining;
 
   for (std::size_t cur_row = 0; cur_row < nr; ++cur_row) {
     double min_val = 0.0;
@@ -102,10 +118,17 @@ std::vector<int> SolveWide(std::size_t nr, std::size_t nc,
 }  // namespace
 
 AssignmentResult SolveJv(const Matrix& cost) {
+  JvWorkspace ws;
+  return SolveJv(cost, ws);  // copies out of the local workspace
+}
+
+const AssignmentResult& SolveJv(const Matrix& cost, JvWorkspace& ws) {
   const std::size_t m = cost.rows();
   const std::size_t n = cost.cols();
-  AssignmentResult result;
+  AssignmentResult& result = ws.result;
   result.col_for_row.assign(m, -1);
+  result.total_cost = 0.0;
+  result.matched = 0;
   if (m == 0 || n == 0) return result;
 
   for (double c : cost.data()) {
@@ -114,17 +137,46 @@ AssignmentResult SolveJv(const Matrix& cost) {
     }
   }
 
+  // Degenerate shapes dominate saturated serving rounds (one idle
+  // instance against a window of queries, or one queued query against
+  // the fleet): the optimal matching is a plain argmin, so skip the dual
+  // machinery. Scanning ascending with a strict < picks the lowest index
+  // among ties — the same pair the full solver returns for these shapes
+  // (its single augmenting search scans columns in descending order and
+  // lets later, i.e. lower, indices win ties).
+  if (m == 1 || n == 1) {
+    const std::vector<double>& c = cost.data();
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < m * n; ++k) {
+      if (c[k] < c[best]) best = k;
+    }
+    if (m == 1) {
+      result.col_for_row[0] = static_cast<int>(best);
+    } else {
+      result.col_for_row[best] = 0;
+    }
+    result.total_cost = c[best];
+    result.matched = 1;
+    return result;
+  }
+
   if (m <= n) {
-    const std::vector<int> col4row = SolveWide(m, n, cost.data());
+    const std::vector<int>& col4row = SolveWide(m, n, cost.data(), ws);
     for (std::size_t i = 0; i < m; ++i) {
       result.col_for_row[i] = col4row[i];
       result.total_cost += cost(i, static_cast<std::size_t>(col4row[i]));
       ++result.matched;
     }
   } else {
-    // Transpose, solve, and invert the mapping; surplus rows stay -1.
-    const Matrix t = cost.Transposed();
-    const std::vector<int> col4row = SolveWide(n, m, t.data());
+    // Transpose into workspace scratch, solve, invert the mapping;
+    // surplus rows stay -1.
+    ws.transposed.resize(m * n);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ws.transposed[j * m + i] = cost(i, j);
+      }
+    }
+    const std::vector<int>& col4row = SolveWide(n, m, ws.transposed, ws);
     for (std::size_t j = 0; j < n; ++j) {
       const int i = col4row[j];
       result.col_for_row[static_cast<std::size_t>(i)] = static_cast<int>(j);

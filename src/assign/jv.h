@@ -10,8 +10,25 @@
 
 namespace kairos::assign {
 
+/// Reusable scratch for SolveJv. A caller that solves one matching per
+/// round (the Kairos policy) keeps a workspace alive so steady-state
+/// solves perform zero heap allocations: every internal vector and the
+/// result itself grow to the high-water problem size and stay there.
+struct JvWorkspace {
+  std::vector<double> u, v, shortest_path_costs;
+  std::vector<int> path, col4row, row4col;
+  std::vector<bool> sr, sc;
+  std::vector<std::size_t> remaining;
+  std::vector<double> transposed;  ///< scratch for the m > n case
+  AssignmentResult result;
+};
+
 /// Solves min-cost rectangular assignment on a dense cost matrix. All costs
 /// must be finite. Throws std::invalid_argument on non-finite costs.
 AssignmentResult SolveJv(const Matrix& cost);
+
+/// Allocation-free variant: scratch and result live in `ws`; the returned
+/// reference is to ws.result and is invalidated by the next call.
+const AssignmentResult& SolveJv(const Matrix& cost, JvWorkspace& ws);
 
 }  // namespace kairos::assign

@@ -35,6 +35,16 @@ class Matrix {
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
 
+  /// Re-dimensions in place to rows x cols filled with `fill`, reusing the
+  /// existing storage when it suffices. Lets a caller keep one Matrix as
+  /// per-round scratch (the Kairos cost matrix) with no steady-state
+  /// allocation once the high-water size is reached.
+  void Reshape(std::size_t rows, std::size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   /// Matrix product this * other. Dimensions must agree.
   Matrix Multiply(const Matrix& other) const;
 

@@ -1,0 +1,130 @@
+// Ring-buffer deque: contiguous power-of-two storage with head/size
+// bookkeeping. Drop-in for the std::deque uses on the serving hot path
+// (the central queue and per-instance FIFOs), where std::deque's
+// node-block churn — a block allocation/deallocation every few hundred
+// push/pop pairs — was the last steady-state heap traffic in the
+// sustained streaming loop. A RingDeque allocates only on growth; once
+// the queue has seen its high-water depth, pushes and pops touch no
+// allocator at all.
+//
+// Supports the operations the engine needs (front/back access, indexing,
+// push/pop at both ends, prefix drop, const iteration) — not splicing or
+// middle insertion.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+namespace kairos {
+
+template <typename T>
+class RingDeque {
+ public:
+  RingDeque() = default;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return slots_[(head_ + i) & mask_];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return slots_[(head_ + i) & mask_];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(T value) {
+    Reserve(size_ + 1);
+    slots_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  void push_front(T value) {
+    Reserve(size_ + 1);
+    head_ = (head_ - 1) & mask_;
+    slots_[head_] = std::move(value);
+    ++size_;
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    slots_[head_] = T{};  // release payloads (queries hold no heap, but stay tidy)
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    slots_[(head_ + size_ - 1) & mask_] = T{};
+    --size_;
+  }
+
+  /// Drops the first n elements (n <= size()).
+  void PopFrontN(std::size_t n) {
+    assert(n <= size_);
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(head_ + i) & mask_] = T{};
+    }
+    head_ = (head_ + n) & mask_;
+    size_ -= n;
+  }
+
+  void clear() { PopFrontN(size_); }
+
+  /// Const forward iteration (range-for).
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const T*;
+    using reference = const T&;
+
+    const_iterator(const RingDeque* d, std::size_t i) : d_(d), i_(i) {}
+    const T& operator*() const { return (*d_)[i_]; }
+    const T* operator->() const { return &(*d_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const RingDeque* d_;
+    std::size_t i_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+ private:
+  void Reserve(std::size_t need) {
+    if (need <= slots_.size()) return;
+    std::size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+    while (cap < need) cap *= 2;
+    std::vector<T> grown(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      grown[i] = std::move(slots_[(head_ + i) & mask_]);
+    }
+    slots_ = std::move(grown);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace kairos

@@ -23,15 +23,22 @@ double Variance(std::span<const double> xs) {
 double Stddev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
 
 double Percentile(std::span<const double> xs, double q) {
+  std::vector<double> scratch;
+  return Percentile(xs, q, scratch);
+}
+
+double Percentile(std::span<const double> xs, double q,
+                  std::vector<double>& scratch) {
   if (xs.empty()) return 0.0;
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
+  scratch.assign(xs.begin(), xs.end());
+  std::sort(scratch.begin(), scratch.end());
   const double clamped = std::clamp(q, 0.0, 100.0);
-  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(scratch.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
   const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
   const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  return scratch[lo] + (scratch[hi] - scratch[lo]) * frac;
 }
 
 double PearsonCorrelation(std::span<const double> xs,

@@ -22,6 +22,12 @@ double Stddev(std::span<const double> xs);
 /// Returns 0 for an empty span.
 double Percentile(std::span<const double> xs, double q);
 
+/// Percentile variant for hot callers: sorts into `scratch` (resized and
+/// overwritten) instead of a fresh vector, so a caller computing one
+/// percentile per metrics window allocates nothing in steady state.
+double Percentile(std::span<const double> xs, double q,
+                  std::vector<double>& scratch);
+
 /// Pearson correlation coefficient of two equal-length series.
 /// Returns 0 if either series is constant or the series are empty.
 double PearsonCorrelation(std::span<const double> xs,

@@ -580,6 +580,14 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
   clocks.reserve(n);
   engines.reserve(n);
   streams.reserve(n);
+  if (options.window_s > 0.0) {
+    // Reserve the whole window schedule up front so barrier snapshots
+    // never reallocate mid-run (part of the zero-steady-state-alloc
+    // contract the sustained perf gate asserts).
+    const auto expected = static_cast<std::size_t>(
+        options.duration_s / options.window_s) + 2;
+    for (std::size_t j = 0; j < n; ++j) windows[j].reserve(expected);
+  }
 
   for (std::size_t j = 0; j < n; ++j) {
     const std::size_t i = indices[j];
@@ -1389,6 +1397,9 @@ StatusOr<FleetServeResult> Fleet::ServeAll(const FleetPlan& plan,
       }
       for (std::size_t j = 0; j < n; ++j) {
         windows[j].push_back(engines[j]->TakeWindow());
+        if (options.window_probe) {
+          options.window_probe(j, windows[j].back());
+        }
       }
     }
     // Chaos lands before the controller looks: a loss applied here is in

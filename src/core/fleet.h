@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <string>
@@ -232,6 +233,15 @@ struct FleetServeOptions {
   /// sustained-throughput path: resident memory stays bounded while
   /// streaming tens of millions of queries.
   bool keep_latencies = true;
+  /// Observation hook called on the driving thread right after each
+  /// window barrier snapshot, once per model in plan order: probe(model
+  /// index, the model's just-closed window). Pure observer — it must not
+  /// mutate the fleet — letting a harness watch steady-state behavior
+  /// (e.g. perf_suite's allocation-per-window audit) without buffering
+  /// every window itself. Null (the default) disables the hook and is
+  /// bit-identical to a build without it.
+  std::function<void(std::size_t, const serving::WindowedMetrics&)>
+      window_probe;
   /// Telemetry plane (telemetry/telemetry.h): when set, every shard's
   /// engine is instrumented, the driving thread emits barrier spans, and
   /// the registry is snapshotted at every barrier into

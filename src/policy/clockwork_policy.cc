@@ -19,11 +19,13 @@ const PolicyRegistrar kRegistrar(
 
 }  // namespace
 
-std::vector<Assignment> ClockworkPolicy::Distribute(const RoundContext& ctx) {
-  std::vector<Assignment> out;
+void ClockworkPolicy::Distribute(const RoundContext& ctx,
+                                 std::vector<Assignment>& out) {
+  out.clear();
   // Early binding means assignments stack onto instance queues; track the
   // availability estimate as we commit within this round.
-  std::vector<Time> avail(ctx.instances.size());
+  std::vector<Time>& avail = avail_;
+  avail.resize(ctx.instances.size());
   for (std::size_t j = 0; j < ctx.instances.size(); ++j) {
     avail[j] = std::max(ctx.now, ctx.instances[j].available_at);
   }
@@ -57,7 +59,6 @@ std::vector<Assignment> ClockworkPolicy::Distribute(const RoundContext& ctx) {
     avail[j] += serve;
     out.push_back(Assignment{i, j});
   }
-  return out;
 }
 
 }  // namespace kairos::policy

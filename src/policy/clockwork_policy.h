@@ -16,7 +16,12 @@ class ClockworkPolicy final : public Policy {
  public:
   std::string Name() const override { return "CLKWRK"; }
   bool EarlyBinding() const override { return true; }
-  std::vector<Assignment> Distribute(const RoundContext& ctx) override;
+  using Policy::Distribute;
+  void Distribute(const RoundContext& ctx,
+                  std::vector<Assignment>& out) override;
+
+ private:
+  std::vector<Time> avail_;  ///< per-round availability scratch, reused
 };
 
 }  // namespace kairos::policy

@@ -33,9 +33,11 @@ DrsPolicy::DrsPolicy(int threshold) : threshold_(threshold) {
   }
 }
 
-std::vector<Assignment> DrsPolicy::Distribute(const RoundContext& ctx) {
-  std::vector<Assignment> out;
-  std::vector<bool> taken(ctx.instances.size(), false);
+void DrsPolicy::Distribute(const RoundContext& ctx,
+                           std::vector<Assignment>& out) {
+  out.clear();
+  std::vector<char>& taken = taken_;
+  taken.assign(ctx.instances.size(), 0);
 
   // Detect whether any auxiliary instance exists; without one (homogeneous
   // configurations) everything flows to the base pool.
@@ -58,10 +60,9 @@ std::vector<Assignment> DrsPolicy::Distribute(const RoundContext& ctx) {
       }
     }
     if (chosen == ctx.instances.size()) continue;  // pool busy; query waits
-    taken[chosen] = true;
+    taken[chosen] = 1;
     out.push_back(Assignment{i, chosen});
   }
-  return out;
 }
 
 }  // namespace kairos::policy

@@ -16,12 +16,15 @@ class DrsPolicy final : public Policy {
   explicit DrsPolicy(int threshold);
 
   std::string Name() const override { return "DRS"; }
-  std::vector<Assignment> Distribute(const RoundContext& ctx) override;
+  using Policy::Distribute;
+  void Distribute(const RoundContext& ctx,
+                  std::vector<Assignment>& out) override;
 
   int threshold() const { return threshold_; }
 
  private:
   int threshold_;
+  std::vector<char> taken_;  ///< per-round scratch, reused
 };
 
 }  // namespace kairos::policy

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <limits>
 
-#include "assign/jv.h"
 #include "latency/latency_model.h"
 #include "policy/registry.h"
 
@@ -29,30 +28,59 @@ const PolicyRegistrar kRegistrar(
 
 KairosPolicy::KairosPolicy(KairosPolicyOptions options) : options_(options) {}
 
-std::vector<Assignment> KairosPolicy::Distribute(const RoundContext& ctx) {
+void KairosPolicy::Distribute(const RoundContext& ctx,
+                              std::vector<Assignment>& out) {
+  out.clear();
   const std::size_t m = ctx.waiting.size();
   const std::size_t n = ctx.instances.size();
-  if (m == 0 || n == 0) return {};
+  if (m == 0 || n == 0) return;
 
   // Heterogeneity coefficients (Definition 1): C_j = latency ratio of the
   // largest servable query between the fastest type and type j, so the base
   // normalizes to 1 and slower types weigh in (0, 1).
-  std::vector<double> coeff(n, 1.0);
+  coeff_.assign(n, 1.0);
   if (options_.use_heterogeneity_coefficient) {
     double best_ms = std::numeric_limits<double>::infinity();
-    std::vector<double> largest_ms(n);
+    largest_ms_.resize(n);
     for (std::size_t j = 0; j < n; ++j) {
-      largest_ms[j] = ctx.predictor->PredictMsNoiseless(
+      largest_ms_[j] = ctx.predictor->PredictMsNoiseless(
           ctx.instances[j].type, latency::kMaxBatchSize);
-      best_ms = std::min(best_ms, largest_ms[j]);
+      best_ms = std::min(best_ms, largest_ms_[j]);
     }
     for (std::size_t j = 0; j < n; ++j) {
-      coeff[j] = largest_ms[j] > 0.0 ? best_ms / largest_ms[j] : 1.0;
+      coeff_[j] = largest_ms_[j] > 0.0 ? best_ms / largest_ms_[j] : 1.0;
+    }
+  }
+
+  // Serve-time predictions. A noise-free predictor never draws from the
+  // RNG, so the whole waiting frontier can be priced with one batched
+  // call per instance *type* instead of one virtual-ish call per (i, j)
+  // pair — this loop dominates AllowableThroughput, which evaluates it
+  // once per trial per round. A noisy predictor falls back to per-pair
+  // calls in the legacy (i, j) order so its noise stream is unchanged.
+  const bool batched = ctx.predictor->IsDeterministic();
+  if (batched) {
+    batch_scratch_.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      batch_scratch_[i] = ctx.waiting[i].batch_size;
+    }
+    cloud::TypeId max_type = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      max_type = std::max(max_type, ctx.instances[j].type);
+    }
+    if (per_type_ms_.size() <= max_type) per_type_ms_.resize(max_type + 1);
+    type_priced_.assign(max_type + 1, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const cloud::TypeId t = ctx.instances[j].type;
+      if (type_priced_[t]) continue;
+      ctx.predictor->PredictMsNoiselessBatch(t, batch_scratch_,
+                                             per_type_ms_[t]);
+      type_priced_[t] = 1;
     }
   }
 
   // Build the penalized cost matrix (Eq. 2 + Eq. 8).
-  Matrix cost(m, n);
+  cost_.Reshape(m, n);
   const double penalty_sec = options_.penalty_factor * ctx.qos_sec;
   for (std::size_t i = 0; i < m; ++i) {
     const workload::Query& q = ctx.waiting[i];
@@ -61,17 +89,17 @@ std::vector<Assignment> KairosPolicy::Distribute(const RoundContext& ctx) {
       const serving::InstanceView& inst = ctx.instances[j];
       const Time busy_remaining = std::max(0.0, inst.available_at - ctx.now);
       const Time serve =
-          ctx.predictor->Predict(inst.type, q.batch_size);
+          batched ? MsToSec(per_type_ms_[inst.type][i])
+                  : ctx.predictor->Predict(inst.type, q.batch_size);
       Time l = busy_remaining + serve;  // L_{i,j}
       if (l + wait > options_.xi * ctx.qos_sec) {
         l = penalty_sec;  // Eq. 8: fold constraint Eq. 5 into the objective
       }
-      cost(i, j) = coeff[j] * l;
+      cost_(i, j) = coeff_[j] * l;
     }
   }
 
-  const assign::AssignmentResult match = assign::SolveJv(cost);
-  std::vector<Assignment> out;
+  const assign::AssignmentResult& match = assign::SolveJv(cost_, jv_ws_);
   out.reserve(static_cast<std::size_t>(match.matched));
   for (std::size_t i = 0; i < m; ++i) {
     const int j = match.col_for_row[i];
@@ -79,7 +107,6 @@ std::vector<Assignment> KairosPolicy::Distribute(const RoundContext& ctx) {
       out.push_back(Assignment{i, static_cast<std::size_t>(j)});
     }
   }
-  return out;
 }
 
 }  // namespace kairos::policy

@@ -7,6 +7,7 @@
 // objective. Solved with the Jonker–Volgenant algorithm each round.
 #pragma once
 
+#include "assign/jv.h"
 #include "policy/policy.h"
 
 namespace kairos::policy {
@@ -32,10 +33,24 @@ class KairosPolicy final : public Policy {
   explicit KairosPolicy(KairosPolicyOptions options = {});
 
   std::string Name() const override { return "KAIROS"; }
-  std::vector<Assignment> Distribute(const RoundContext& ctx) override;
+  using Policy::Distribute;
+  void Distribute(const RoundContext& ctx,
+                  std::vector<Assignment>& out) override;
 
  private:
   KairosPolicyOptions options_;
+
+  // Per-round scratch, reused across rounds so the steady-state serving
+  // loop allocates nothing here once high-water sizes are reached.
+  Matrix cost_;
+  assign::JvWorkspace jv_ws_;
+  std::vector<double> coeff_;
+  std::vector<double> largest_ms_;
+  std::vector<int> batch_scratch_;  ///< waiting batch sizes
+  /// per_type_ms_[t][i] = noiseless prediction for waiting[i] on type t,
+  /// filled once per round per type present (deterministic predictor only).
+  std::vector<std::vector<double>> per_type_ms_;
+  std::vector<char> type_priced_;   ///< per-round "column filled" marks
 };
 
 }  // namespace kairos::policy

@@ -43,42 +43,45 @@ std::string PartitionedKairosPolicy::Name() const {
   return "KAIROS-POP" + std::to_string(partitions_);
 }
 
-std::vector<Assignment> PartitionedKairosPolicy::Distribute(
-    const RoundContext& ctx) {
-  if (partitions_ == 1) return inner_.Distribute(ctx);
+void PartitionedKairosPolicy::Distribute(const RoundContext& ctx,
+                                         std::vector<Assignment>& out) {
+  if (partitions_ == 1) {
+    inner_.Distribute(ctx, out);
+    return;
+  }
 
-  std::vector<Assignment> merged;
+  out.clear();
   for (std::size_t p = 0; p < partitions_; ++p) {
     // Round-robin slices: queries by id, instances by index — both are
     // stable across rounds so a query keeps targeting the same sub-system.
-    std::vector<workload::Query> queries;
-    std::vector<std::size_t> query_map;
+    queries_.clear();
+    query_map_.clear();
     for (std::size_t i = 0; i < ctx.waiting.size(); ++i) {
       if (ctx.waiting[i].id % partitions_ == p) {
-        queries.push_back(ctx.waiting[i]);
-        query_map.push_back(i);
+        queries_.push_back(ctx.waiting[i]);
+        query_map_.push_back(i);
       }
     }
-    if (queries.empty()) continue;
-    std::vector<serving::InstanceView> instances;
-    std::vector<std::size_t> instance_map;
+    if (queries_.empty()) continue;
+    instances_.clear();
+    instance_map_.clear();
     for (std::size_t j = 0; j < ctx.instances.size(); ++j) {
       if (j % partitions_ == p) {
-        instances.push_back(ctx.instances[j]);
-        instance_map.push_back(j);
+        instances_.push_back(ctx.instances[j]);
+        instance_map_.push_back(j);
       }
     }
-    if (instances.empty()) continue;
+    if (instances_.empty()) continue;
 
     RoundContext sub = ctx;
-    sub.waiting = queries;
-    sub.instances = instances;
-    for (const Assignment& a : inner_.Distribute(sub)) {
-      merged.push_back(Assignment{query_map[a.waiting_idx],
-                                  instance_map[a.instance_idx]});
+    sub.waiting = queries_;
+    sub.instances = instances_;
+    inner_.Distribute(sub, sub_out_);
+    for (const Assignment& a : sub_out_) {
+      out.push_back(Assignment{query_map_[a.waiting_idx],
+                               instance_map_[a.instance_idx]});
     }
   }
-  return merged;
 }
 
 }  // namespace kairos::policy

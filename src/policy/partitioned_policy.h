@@ -17,11 +17,20 @@ class PartitionedKairosPolicy final : public Policy {
                                    KairosPolicyOptions options = {});
 
   std::string Name() const override;
-  std::vector<Assignment> Distribute(const RoundContext& ctx) override;
+  using Policy::Distribute;
+  void Distribute(const RoundContext& ctx,
+                  std::vector<Assignment>& out) override;
 
  private:
   std::size_t partitions_;
   KairosPolicy inner_;
+
+  // Per-round slice scratch, reused across rounds.
+  std::vector<workload::Query> queries_;
+  std::vector<std::size_t> query_map_;
+  std::vector<serving::InstanceView> instances_;
+  std::vector<std::size_t> instance_map_;
+  std::vector<Assignment> sub_out_;
 };
 
 }  // namespace kairos::policy

@@ -1,6 +1,10 @@
 // Query-distribution policy interface. The serving system invokes the
 // policy on every arrival and completion ("round", Sec. 5.1); the policy
 // proposes query→instance assignments over the current central queue.
+// Rounds where no proposal could start anything — a late-binding policy
+// with zero idle instances — are skipped outright (the engine's
+// saturated-round fast path), so a policy must derive each round purely
+// from the RoundContext rather than from counting invocations.
 //
 // Binding semantics:
 //  * late binding (default): only assignments onto currently *idle*
@@ -50,9 +54,21 @@ class Policy {
   /// Scheme name for reports ("KAIROS", "RIBBON", ...).
   virtual std::string Name() const = 0;
 
-  /// Proposes assignments for this round. Each waiting index and each
-  /// instance index may appear at most once (checked by the system).
-  virtual std::vector<Assignment> Distribute(const RoundContext& ctx) = 0;
+  /// Proposes assignments for this round, appended into `out` (which is
+  /// cleared first). Each waiting index and each instance index may appear
+  /// at most once (checked by the system). The out-param form lets the
+  /// engine reuse one vector across every round of a 10M-query stream —
+  /// the per-round return vector was measurable steady-state heap traffic.
+  virtual void Distribute(const RoundContext& ctx,
+                          std::vector<Assignment>& out) = 0;
+
+  /// Convenience wrapper for tests and one-shot callers. Derived classes
+  /// re-expose it with `using Policy::Distribute;`.
+  std::vector<Assignment> Distribute(const RoundContext& ctx) {
+    std::vector<Assignment> out;
+    Distribute(ctx, out);
+    return out;
+  }
 
   /// See binding semantics above.
   virtual bool EarlyBinding() const { return false; }

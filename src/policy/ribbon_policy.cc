@@ -19,9 +19,11 @@ const PolicyRegistrar kRegistrar(
 
 }  // namespace
 
-std::vector<Assignment> RibbonPolicy::Distribute(const RoundContext& ctx) {
-  std::vector<Assignment> out;
-  std::vector<bool> taken(ctx.instances.size(), false);
+void RibbonPolicy::Distribute(const RoundContext& ctx,
+                              std::vector<Assignment>& out) {
+  out.clear();
+  std::vector<char>& taken = taken_;
+  taken.assign(ctx.instances.size(), 0);
   // FCFS: oldest waiting query first; stops when no idle instance remains.
   for (std::size_t i = 0; i < ctx.waiting.size(); ++i) {
     double best_ms = std::numeric_limits<double>::infinity();
@@ -40,10 +42,9 @@ std::vector<Assignment> RibbonPolicy::Distribute(const RoundContext& ctx) {
       }
     }
     if (best_j == ctx.instances.size()) break;  // no idle instance left
-    taken[best_j] = true;
+    taken[best_j] = 1;
     out.push_back(Assignment{i, best_j});
   }
-  return out;
 }
 
 }  // namespace kairos::policy

@@ -13,7 +13,12 @@ namespace kairos::policy {
 class RibbonPolicy final : public Policy {
  public:
   std::string Name() const override { return "RIBBON"; }
-  std::vector<Assignment> Distribute(const RoundContext& ctx) override;
+  using Policy::Distribute;
+  void Distribute(const RoundContext& ctx,
+                  std::vector<Assignment>& out) override;
+
+ private:
+  std::vector<char> taken_;  ///< per-round scratch, reused
 };
 
 }  // namespace kairos::policy

@@ -15,15 +15,17 @@ CountingEvaluator::CountingEvaluator(EvalFn fn) : fn_(std::move(fn)) {
 }
 
 double CountingEvaluator::operator()(const cloud::Config& config) {
-  if (auto it = memo_.find(config); it != memo_.end()) return it->second;
+  // One fingerprint serves every map the lookup touches.
+  const std::uint64_t fp = config.Fingerprint();
+  if (const double* hit = memo_.FindHashed(fp, config)) return *hit;
   double qps;
-  if (auto staged = staged_.find(config); staged != staged_.end()) {
-    qps = staged->second;  // commit the speculative result
-    staged_.erase(staged);
+  if (double* staged = staged_.FindHashed(fp, config)) {
+    qps = *staged;  // commit the speculative result
+    staged_.EraseHashed(fp, config);
   } else {
     qps = fn_(config);
   }
-  memo_.emplace(config, qps);
+  memo_.InsertHashed(fp, config, qps);
   history_.push_back(EvalRecord{config, qps});
   if (qps > best_qps_ || history_.size() == 1) {
     best_qps_ = qps;
@@ -34,17 +36,31 @@ double CountingEvaluator::operator()(const cloud::Config& config) {
 
 void CountingEvaluator::EvaluateBatch(
     const std::vector<cloud::Config>& configs, std::size_t threads) {
+  // Serial fallback: with one worker (or a degenerate frontier) staging is
+  // pure overhead — operator() evaluates lazily and skips work on pruned
+  // candidates, which staging would have paid for. Returning here keeps
+  // eval_threads=1 searches identical to never calling EvaluateBatch.
+  if (FrontierWidth(threads) <= 1 || configs.size() < 2) return;
+
   // Distinct configs not yet known; memoized and staged entries are paid
   // for already. Frontiers are small (≈ the worker count), so the linear
   // duplicate scan is cheaper than a set.
   std::vector<const cloud::Config*> missing;
+  std::vector<std::uint64_t> fingerprints;
   missing.reserve(configs.size());
+  fingerprints.reserve(configs.size());
   for (const cloud::Config& c : configs) {
-    if (memo_.count(c) > 0 || staged_.count(c) > 0) continue;
+    const std::uint64_t fp = c.Fingerprint();
+    if (memo_.ContainsHashed(fp, c) || staged_.ContainsHashed(fp, c)) {
+      continue;
+    }
     const bool dup = std::any_of(
         missing.begin(), missing.end(),
         [&](const cloud::Config* seen) { return *seen == c; });
-    if (!dup) missing.push_back(&c);
+    if (!dup) {
+      missing.push_back(&c);
+      fingerprints.push_back(fp);
+    }
   }
   if (missing.empty()) return;
 
@@ -66,7 +82,7 @@ void CountingEvaluator::EvaluateBatch(
                 [&](std::size_t i) { values[i] = fn_(*missing[i]); });
   }
   for (std::size_t i = 0; i < missing.size(); ++i) {
-    staged_.emplace(*missing[i], values[i]);
+    staged_.InsertHashed(fingerprints[i], *missing[i], values[i]);
   }
 }
 

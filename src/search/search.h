@@ -17,10 +17,10 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cloud/config.h"
+#include "common/flat_map.h"
 #include "common/parallel.h"
 
 namespace kairos::search {
@@ -87,6 +87,12 @@ class CountingEvaluator {
   /// internal pool across calls), and *stages* the results. Nothing is
   /// committed: evals(), history() and best are untouched until operator()
   /// asks for a staged config. Requires a thread-safe EvalFn.
+  ///
+  /// With a serial frontier (`threads` resolves to one worker) or fewer
+  /// than two candidates, this is a no-op: staging buys nothing over the
+  /// lazy operator() walk and its bookkeeping was a measured regression
+  /// (evals_per_sec_kairos_plus_batched < serial in bench history), so the
+  /// serial path stays byte-for-byte the serial walk.
   void EvaluateBatch(const std::vector<cloud::Config>& configs,
                      std::size_t threads);
 
@@ -99,7 +105,10 @@ class CountingEvaluator {
   SearchResult ToResult() const;
 
  private:
-  using Memo = std::unordered_map<cloud::Config, double, cloud::ConfigHash>;
+  /// Open-addressing memo keyed by the 64-bit config fingerprint, probed
+  /// with the fingerprint precomputed once per lookup — this map is the
+  /// per-evaluation overhead every Fig. 10/11 search pays.
+  using Memo = FlatHashMap<cloud::Config, double, cloud::ConfigHash>;
 
   EvalFn fn_;
   Memo memo_;    ///< committed (counted) evaluations

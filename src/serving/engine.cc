@@ -262,7 +262,8 @@ void Engine::HardKill(std::size_t instance_idx, bool preemption) {
   fault.time = sim_->Now();
   fault.preemption = preemption;
 
-  std::deque<workload::Query> orphans;
+  std::vector<workload::Query>& orphans = orphan_scratch_;
+  orphans.clear();
   if (inst.executing) {
     sim_->Cancel(inst.completion_event);
     // The interrupted query's remaining compute never happened.
@@ -274,10 +275,13 @@ void Engine::HardKill(std::size_t instance_idx, bool preemption) {
   for (const workload::Query& q : inst.fifo) orphans.push_back(q);
   inst.fifo.clear();
   fault.requeued = orphans.size();
-  // Orphans re-enter at the *front* of the central queue: they arrived
-  // before anything queued behind them, and their original arrival stamps
-  // carry the preemption damage into the latency tail.
-  waiting_.insert(waiting_.begin(), orphans.begin(), orphans.end());
+  // Orphans re-enter at the *front* of the central queue in their
+  // original order: they arrived before anything queued behind them, and
+  // their original arrival stamps carry the preemption damage into the
+  // latency tail.
+  for (std::size_t i = orphans.size(); i-- > 0;) {
+    waiting_.push_front(orphans[i]);
+  }
 
   inst.retiring = false;
   inst.retired = true;
@@ -535,7 +539,8 @@ WindowedMetrics Engine::TakeWindow() {
   window.rejected = window_rejected_;
   window.shed = window_shed_;
   if (!window_latencies_ms_.empty()) {
-    window.p99_ms = Percentile(window_latencies_ms_, 99.0);
+    window.p99_ms =
+        Percentile(window_latencies_ms_, 99.0, percentile_scratch_);
     window.mean_ms = Mean(window_latencies_ms_);
   }
   const Time span = window.end - window.start;
@@ -676,8 +681,9 @@ void Engine::ShedExpired() {
   }
 }
 
-std::vector<InstanceView> Engine::SnapshotInstances() {
-  std::vector<InstanceView> views;
+const std::vector<InstanceView>& Engine::SnapshotInstances() {
+  std::vector<InstanceView>& views = round_views_;
+  views.clear();
   views.reserve(instances_.size());
   view_to_instance_.clear();
   for (std::size_t i = 0; i < instances_.size(); ++i) {
@@ -705,12 +711,33 @@ void Engine::RunRound() {
   ShedExpired();
   if (waiting_.empty()) return;
 
+  // Saturated-round fast path (late binding only): proposals start work
+  // only on idle instances, so a round with none policy-visible-idle is a
+  // state-level no-op — every tentative pairing dissolves and the queue
+  // survives untouched to the next round. The overload regime hits this
+  // on nearly every arrival, and skipping the snapshot, the per-type
+  // pricing and the assignment solve roughly halves its round cost. (A
+  // stateful policy would observe fewer Distribute calls; the bundled
+  // policies derive each round purely from the RoundContext.)
+  if (!policy_->EarlyBinding()) {
+    bool any_idle = false;
+    for (const Instance& inst : instances_) {
+      if (!inst.retired && !inst.retiring && !inst.executing &&
+          inst.fifo.empty()) {
+        any_idle = true;
+        break;
+      }
+    }
+    if (!any_idle) return;
+  }
+
   const std::size_t window =
       std::min(waiting_.size(), options_.run.matcher_window);
-  std::vector<workload::Query> prefix(waiting_.begin(),
-                                      waiting_.begin() +
-                                          static_cast<std::ptrdiff_t>(window));
-  const std::vector<InstanceView> views = SnapshotInstances();
+  std::vector<workload::Query>& prefix = round_prefix_;
+  prefix.clear();
+  prefix.reserve(window);
+  for (std::size_t i = 0; i < window; ++i) prefix.push_back(waiting_[i]);
+  const std::vector<InstanceView>& views = SnapshotInstances();
   if (views.empty()) return;  // everything retiring; wait for launches
 
   policy::RoundContext ctx;
@@ -721,32 +748,37 @@ void Engine::RunRound() {
   ctx.predictor = predictor_.get();
   ctx.catalog = spec_.catalog;
 
-  const std::vector<policy::Assignment> proposed = policy_->Distribute(ctx);
+  std::vector<policy::Assignment>& proposed = round_assignments_;
+  policy_->Distribute(ctx, proposed);
 
   // Validate indices. Queries are one-to-one; instances are one-to-one for
   // late-binding policies (Eq. 6), while early-binding policies may stack
   // several commitments onto one instance's FIFO in a single round.
   const bool early = policy_->EarlyBinding();
-  std::vector<bool> q_used(window, false), i_used(views.size(), false);
+  round_q_used_.assign(window, 0);
+  round_i_used_.assign(views.size(), 0);
+  std::vector<char>& q_used = round_q_used_;
+  std::vector<char>& i_used = round_i_used_;
   for (const policy::Assignment& a : proposed) {
     if (a.waiting_idx >= window || a.instance_idx >= views.size() ||
         q_used[a.waiting_idx] || (!early && i_used[a.instance_idx])) {
       throw std::logic_error("Policy returned an invalid assignment set");
     }
-    q_used[a.waiting_idx] = true;
-    i_used[a.instance_idx] = true;
+    q_used[a.waiting_idx] = 1;
+    i_used[a.instance_idx] = 1;
   }
-  std::vector<bool> remove(window, false);
+  round_remove_.assign(window, 0);
+  std::vector<char>& remove = round_remove_;
   for (const policy::Assignment& a : proposed) {
     Instance& inst = instances_[view_to_instance_[a.instance_idx]];
     const workload::Query& q = prefix[a.waiting_idx];
     const bool idle = !inst.executing && inst.fifo.empty();
     if (idle) {
       BeginExecution(view_to_instance_[a.instance_idx], q);
-      remove[a.waiting_idx] = true;
+      remove[a.waiting_idx] = 1;
     } else if (early) {
       inst.fifo.push_back(q);
-      remove[a.waiting_idx] = true;
+      remove[a.waiting_idx] = 1;
     }
     // Late binding onto a busy instance: the pairing was tentative; the
     // query stays in the central queue for the next round.
@@ -755,8 +787,7 @@ void Engine::RunRound() {
   // Only the first `window` entries can have been taken, so splice the
   // survivors back in place: O(window) per round, not O(backlog) — at
   // sustained scale the queue behind the matcher window can be huge.
-  waiting_.erase(waiting_.begin(),
-                 waiting_.begin() + static_cast<std::ptrdiff_t>(window));
+  waiting_.PopFrontN(window);
   for (std::size_t i = window; i-- > 0;) {
     if (!remove[i]) waiting_.push_front(prefix[i]);
   }

@@ -24,12 +24,12 @@
 // pre-engine results bit for bit (tests/engine_test.cc).
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/ring_deque.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "policy/registry.h"
@@ -410,8 +410,9 @@ class Engine {
   void OnCompletion(std::size_t instance_idx, workload::Query q, Time start);
 
   /// Views of the assignable instances; fills `view_to_instance_` with
-  /// the matching instances_ indices.
-  std::vector<InstanceView> SnapshotInstances();
+  /// the matching instances_ indices. Returns a reference to reused
+  /// per-round scratch, invalidated by the next call.
+  const std::vector<InstanceView>& SnapshotInstances();
 
   /// Immediate kill of one instance: cancel + requeue + retire + log.
   /// No-op when the instance already retired (a preemption notice whose
@@ -449,7 +450,14 @@ class Engine {
   std::unique_ptr<LatencyPredictor> predictor_;
   std::vector<Instance> instances_;
   std::vector<std::size_t> view_to_instance_;  ///< scratch of SnapshotInstances
-  std::deque<workload::Query> waiting_;
+  RingDeque<workload::Query> waiting_;
+  // Per-round scratch reused across rounds: at a sustained 10M-query
+  // stream, RunRound runs millions of times and these high-water once.
+  std::vector<InstanceView> round_views_;
+  std::vector<workload::Query> round_prefix_;
+  std::vector<policy::Assignment> round_assignments_;
+  std::vector<char> round_q_used_, round_i_used_, round_remove_;
+  std::vector<workload::Query> orphan_scratch_;
   std::vector<SourceState> sources_;
   /// Scheduled-but-not-yet-online instances; entries whose event already
   /// fired stay until the next reconfigure sweeps them (Cancel no-ops).
@@ -490,6 +498,7 @@ class Engine {
   std::size_t window_queue_max_ = 0;   ///< max queue depth seen at arrivals
   double window_queue_sum_ = 0.0;      ///< sum of depths (mean = /offered)
   std::vector<double> window_latencies_ms_;
+  std::vector<double> percentile_scratch_;  ///< TakeWindow p99 sort scratch
 };
 
 }  // namespace kairos::serving

@@ -5,9 +5,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "cloud/instance_type.h"
+#include "common/ring_deque.h"
 #include "common/time.h"
 #include "workload/query.h"
 
@@ -44,8 +44,10 @@ struct Instance {
   /// Scheduled completion event (safe to Cancel after it fired).
   std::uint64_t completion_event = 0;
 
-  /// Queries committed to this instance but not yet started (early binding).
-  std::deque<workload::Query> fifo;
+  /// Queries committed to this instance but not yet started (early
+  /// binding). A RingDeque so steady-state commit/start churn touches no
+  /// allocator (std::deque recycles node blocks through operator new).
+  RingDeque<workload::Query> fifo;
 
   /// Cumulative busy seconds (for utilization reporting).
   double busy_time = 0.0;

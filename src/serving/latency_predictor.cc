@@ -23,8 +23,8 @@ LatencyPredictor::LatencyPredictor(const cloud::Catalog& catalog,
 double LatencyPredictor::RawPredict(const TypeState& st, int batch) const {
   const int b = std::clamp(batch, 1, int{latency::kMaxBatchSize});
   // Lookup table first: exact repeats dominate in steady state.
-  if (auto it = st.lookup.find(b); it != st.lookup.end()) {
-    return it->second.first;
+  if (!st.samples.empty() && st.samples[static_cast<std::size_t>(b)] > 0) {
+    return st.mean_ms[static_cast<std::size_t>(b)];
   }
   if (st.distinct_batches >= 2) {
     const double n = static_cast<double>(st.n);
@@ -55,17 +55,34 @@ double LatencyPredictor::PredictMsNoiseless(cloud::TypeId type,
   return RawPredict(per_type_.at(type), batch);
 }
 
+void LatencyPredictor::PredictMsNoiselessBatch(cloud::TypeId type,
+                                               const std::vector<int>& batches,
+                                               std::vector<double>& out) const {
+  const TypeState& st = per_type_.at(type);
+  out.resize(batches.size());
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    out[i] = RawPredict(st, batches[i]);
+  }
+}
+
 void LatencyPredictor::Observe(cloud::TypeId type, int batch,
                                double latency_ms) {
   TypeState& st = per_type_.at(type);
   const int b = std::clamp(batch, 1, int{latency::kMaxBatchSize});
-  auto [it, inserted] = st.lookup.try_emplace(b, latency_ms, 1);
-  if (inserted) {
+  if (st.samples.empty()) {
+    // Allocated on first observation so idle types stay at zero footprint.
+    st.mean_ms.assign(latency::kMaxBatchSize + 1, 0.0);
+    st.samples.assign(latency::kMaxBatchSize + 1, 0);
+  }
+  const auto bi = static_cast<std::size_t>(b);
+  if (st.samples[bi] == 0) {
+    st.mean_ms[bi] = latency_ms;
+    st.samples[bi] = 1;
     ++st.distinct_batches;
   } else {
-    auto& [mean, count] = it->second;
-    ++count;
-    mean += (latency_ms - mean) / static_cast<double>(count);
+    ++st.samples[bi];
+    st.mean_ms[bi] +=
+        (latency_ms - st.mean_ms[bi]) / static_cast<double>(st.samples[bi]);
   }
   ++st.n;
   st.sx += b;

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "cloud/instance_type.h"
@@ -54,6 +53,19 @@ class LatencyPredictor {
   /// the paper computes once from the largest query's latency ratio).
   double PredictMsNoiseless(cloud::TypeId type, int batch) const;
 
+  /// Noise-free predictions for a whole frontier of batch sizes in one
+  /// call: out[i] = PredictMsNoiseless(type, batches[i]). The per-type
+  /// state is resolved once, so a policy pricing every (query, type) pair
+  /// of a round pays one call per type instead of one per pair.
+  void PredictMsNoiselessBatch(cloud::TypeId type,
+                               const std::vector<int>& batches,
+                               std::vector<double>& out) const;
+
+  /// True when predictions carry no noise (sigma <= 0): PredictMs never
+  /// advances the RNG, so noiseless batched predictions are bit-identical
+  /// to per-call PredictMs and policies may batch freely.
+  bool IsDeterministic() const { return noise_.sigma() <= 0.0; }
+
   /// Records an observed (type, batch) -> latency_ms sample.
   void Observe(cloud::TypeId type, int batch, double latency_ms);
 
@@ -66,8 +78,13 @@ class LatencyPredictor {
 
  private:
   struct TypeState {
-    // Lookup table: batch -> (mean latency, sample count).
-    std::unordered_map<int, std::pair<double, std::size_t>> lookup;
+    // Lookup table indexed directly by batch size (domain is the fixed
+    // [1, kMaxBatchSize]): mean latency and sample count per batch, with
+    // count == 0 marking "never observed". Replaces an unordered_map that
+    // showed up in AllowableThroughput profiles — the dense array is one
+    // predictable load where the map was a hash + node chase.
+    std::vector<double> mean_ms;        ///< [0, kMaxBatchSize], 0 unused
+    std::vector<std::size_t> samples;   ///< parallel to mean_ms
     // Linear-regression accumulators over all observations.
     std::size_t n = 0;
     double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;

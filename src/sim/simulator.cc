@@ -4,21 +4,9 @@
 
 namespace kairos::sim {
 
-EventId Simulator::After(Time delay, EventFn fn) {
-  return At(now_ + std::max(0.0, delay), std::move(fn));
-}
-
-EventId Simulator::At(Time at, EventFn fn) {
-  return queue_.Schedule(std::max(now_, at), std::move(fn));
-}
-
 std::size_t Simulator::RunUntil(Time until) {
   std::size_t fired = 0;
-  while (!queue_.Empty() && queue_.NextTime() <= until) {
-    now_ = queue_.NextTime();
-    queue_.RunNext();
-    ++fired;
-  }
+  while (queue_.RunNextAtMost(until, &now_)) ++fired;
   if (queue_.Empty() == false && until < kTimeInfinity) {
     now_ = std::max(now_, until);
   }

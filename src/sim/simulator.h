@@ -12,14 +12,27 @@ namespace kairos::sim {
 /// Deterministic single-threaded discrete-event simulator.
 class Simulator {
  public:
+  /// Uses the process default event-queue backend (see
+  /// DefaultQueueBackend / KAIROS_EVENT_QUEUE).
+  Simulator() = default;
+
+  /// Pins the event-queue backend, letting tests and perf_suite race the
+  /// calendar wheel against the binary-heap oracle on the same workload.
+  explicit Simulator(QueueBackend backend) : queue_(backend) {}
+
   /// Current simulation time (seconds).
   Time Now() const { return now_; }
 
   /// Schedules `fn` to run `delay` seconds from now (clamped at now).
-  EventId After(Time delay, EventFn fn);
+  /// Inline so the EventFn construction fuses with Schedule's slot store.
+  EventId After(Time delay, EventFn fn) {
+    return queue_.Schedule(now_ + std::max(0.0, delay), std::move(fn));
+  }
 
   /// Schedules `fn` at the absolute time `at` (clamped at now).
-  EventId At(Time at, EventFn fn);
+  EventId At(Time at, EventFn fn) {
+    return queue_.Schedule(std::max(now_, at), std::move(fn));
+  }
 
   /// Cancels a scheduled event; no-op if already fired/cancelled.
   bool Cancel(EventId id) { return queue_.Cancel(id); }

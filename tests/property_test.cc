@@ -39,10 +39,11 @@ class RandomPolicy final : public policy::Policy {
   std::string Name() const override { return "FUZZ"; }
   bool EarlyBinding() const override { return early_; }
 
-  std::vector<policy::Assignment> Distribute(
-      const policy::RoundContext& ctx) override {
-    std::vector<policy::Assignment> out;
-    if (ctx.instances.empty()) return out;
+  using policy::Policy::Distribute;
+  void Distribute(const policy::RoundContext& ctx,
+                  std::vector<policy::Assignment>& out) override {
+    out.clear();
+    if (ctx.instances.empty()) return;
     std::vector<bool> instance_used(ctx.instances.size(), false);
     for (std::size_t i = 0; i < ctx.waiting.size(); ++i) {
       if (rng_.Bernoulli(0.3)) continue;  // leave some queries waiting
@@ -52,7 +53,6 @@ class RandomPolicy final : public policy::Policy {
       instance_used[j] = true;
       out.push_back(policy::Assignment{i, j});
     }
-    return out;
   }
 
  private:
